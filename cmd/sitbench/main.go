@@ -1,0 +1,162 @@
+// Command sitbench regenerates the figures of Bruno & Chaudhuri (SIGMOD
+// 2004) over a freshly generated snowflake database: the GVM-vs-GS-nInd
+// accuracy scatter (Figure 5), view-matching call counts (Figure 6),
+// average absolute cardinality error per SIT pool and technique
+// (Figure 7), the estimation-time breakdown (Figure 8), the Lemma 1
+// decomposition-count table, the ablation tables A1–A6 and the
+// plan-quality study P1.
+//
+// Usage:
+//
+//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1]
+//	         [-fact N] [-queries N] [-joins 3,5,7] [-maxpool N]
+//	         [-subsets N] [-seed N] [-filtersel F] [-csv FILE]
+//
+// With -csv the selected figure's data is additionally written as CSV
+// (single figures only, not the "all"/"ablations" bundles).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"condsel/internal/bench"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1")
+		fact      = flag.Int("fact", 20000, "fact table rows")
+		queries   = flag.Int("queries", 25, "queries per workload")
+		joins     = flag.String("joins", "3,5,7", "workload join counts (comma separated)")
+		maxPool   = flag.Int("maxpool", 7, "largest SIT pool J_i")
+		subsets   = flag.Int("subsets", 200, "max sub-queries sampled per query")
+		seed      = flag.Int64("seed", 42, "random seed")
+		filterSel = flag.Float64("filtersel", 0, "target filter selectivity (default 0.05; the paper also reports ≈0.5)")
+		csvPath   = flag.String("csv", "", "write the figure's data as CSV to this file")
+	)
+	flag.Parse()
+
+	js, err := parseInts(*joins)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sitbench: bad -joins: %v\n", err)
+		os.Exit(2)
+	}
+
+	opts := bench.Options{
+		Seed:               *seed,
+		FactRows:           *fact,
+		QueriesPerWorkload: *queries,
+		Joins:              js,
+		MaxPoolJoins:       *maxPool,
+		SubsetCap:          *subsets,
+		FilterSelectivity:  *filterSel,
+	}
+
+	start := time.Now()
+	if err := run(*fig, opts, *csvPath); err != nil {
+		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(fig string, opts bench.Options, csvPath string) error {
+	withCSV := func(write func(*os.File) error) error {
+		if csvPath == "" {
+			return nil
+		}
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return write(f)
+	}
+
+	switch fig {
+	case "all":
+		e := bench.NewEnv(opts)
+		e.RunAll(os.Stdout)
+	case "5":
+		e := bench.NewEnv(opts)
+		points := e.Fig5()
+		bench.RenderFig5(os.Stdout, points)
+		return withCSV(func(f *os.File) error { return bench.WriteFig5CSV(f, points) })
+	case "6":
+		e := bench.NewEnv(opts)
+		rows := e.Fig6()
+		bench.RenderFig6(os.Stdout, rows)
+		return withCSV(func(f *os.File) error { return bench.WriteFig6CSV(f, rows) })
+	case "7":
+		e := bench.NewEnv(opts)
+		cells := e.Fig7()
+		bench.RenderFig7(os.Stdout, cells)
+		return withCSV(func(f *os.File) error { return bench.WriteFig7CSV(f, cells) })
+	case "8":
+		e := bench.NewEnv(opts)
+		cells := e.Fig8()
+		bench.RenderFig8(os.Stdout, cells)
+		return withCSV(func(f *os.File) error { return bench.WriteFig8CSV(f, cells) })
+	case "lemma1":
+		rows := bench.Lemma1(12)
+		bench.RenderLemma1(os.Stdout, rows)
+		return withCSV(func(f *os.File) error { return bench.WriteLemma1CSV(f, rows) })
+	case "ablations":
+		e := bench.NewEnv(opts)
+		e.RunAblations(os.Stdout)
+	case "a1", "a2", "a3", "a4", "a5", "a6", "a7":
+		e := bench.NewEnv(opts)
+		var title string
+		var cells []bench.AblationCell
+		switch fig {
+		case "a1":
+			title, cells = "Table A1 — histogram class (GS-Diff, pool J2)", e.AblationHistogramKind()
+		case "a2":
+			title, cells = "Table A2 — histogram bucket budget (GS-Diff, pool J2)", e.AblationBuckets(nil)
+		case "a3":
+			title, cells = "Table A3 — SITs vs join synopses", e.AblationSynopses(nil)
+		case "a4":
+			title, cells = "Table A4 — full DP vs §4.2 memo coupling", e.AblationMemoCoupling()
+		case "a5":
+			title, cells = "Table A5 — diff_H source", e.AblationDiffSource()
+		case "a6":
+			title, cells = "Table A6 — 1-D SITs vs 2-D base histograms + derivation", e.Ablation2D()
+		case "a7":
+			title, cells = "Table A7 — SITs vs LEO-style feedback", e.AblationFeedback()
+		}
+		bench.RenderAblation(os.Stdout, title, cells)
+		return withCSV(func(f *os.File) error { return bench.WriteAblationCSV(f, cells) })
+	case "p1":
+		e := bench.NewEnv(opts)
+		cells := e.PlanQuality()
+		bench.RenderPlanQuality(os.Stdout, cells)
+		return withCSV(func(f *os.File) error { return bench.WritePlanQualityCSV(f, cells) })
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", csv)
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+// Command sitgen generates the paper's synthetic snowflake database, builds
+// the SIT pools J_0 … J_max for a random workload, and prints statistics
+// about both — a quick way to inspect what the experiments run on.
+//
+// Usage:
+//
+//	sitgen [-fact N] [-seed N] [-queries N] [-joins N] [-maxpool N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	condsel "condsel"
+)
+
+func main() {
+	var (
+		fact    = flag.Int("fact", 20000, "fact table rows")
+		seed    = flag.Int64("seed", 42, "random seed")
+		queries = flag.Int("queries", 10, "workload queries")
+		joins   = flag.Int("joins", 3, "joins per workload query")
+		maxPool = flag.Int("maxpool", 3, "largest SIT pool J_i to build")
+		verbose = flag.Bool("v", false, "list every SIT in the largest pool")
+		save    = flag.String("save", "", "write the largest pool as JSON to this file")
+	)
+	flag.Parse()
+
+	db := condsel.GenerateSnowflake(condsel.SnowflakeConfig{Seed: *seed, FactRows: *fact})
+	fmt.Println("database:")
+	fmt.Print(db.Summary())
+
+	edges, err := db.SnowflakeJoins()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nforeign-key joins:")
+	for _, e := range edges {
+		fmt.Printf("  %s = %s\n", e[0], e[1])
+	}
+
+	wl, err := db.GenerateWorkload(condsel.WorkloadOptions{
+		Seed: *seed, NumQueries: *queries, Joins: *joins, Filters: 3,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nworkload: %d queries with %d joins + 3 filters; first query:\n  %s\n",
+		len(wl), *joins, wl[0])
+
+	fmt.Println("\nSIT pools:")
+	full := db.BuildStatistics(wl, *maxPool, nil)
+	for i := 0; i <= *maxPool; i++ {
+		fmt.Printf("  J%d: %4d statistics\n", i, full.MaxJoins(i).Size())
+	}
+	if *verbose {
+		fmt.Println("\nlargest pool contents:")
+		for _, d := range full.Describe() {
+			fmt.Println(" ", d)
+		}
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sitgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := full.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sitgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\npool written to %s (reload with DB.LoadPool)\n", *save)
+	}
+}

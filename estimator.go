@@ -1,0 +1,196 @@
+package condsel
+
+import (
+	"fmt"
+
+	"condsel/internal/cascades"
+	"condsel/internal/core"
+	"condsel/internal/engine"
+	"condsel/internal/gvm"
+	"condsel/internal/planner"
+)
+
+// Model selects the error model ranking candidate decompositions.
+type Model int
+
+const (
+	// NInd counts independence assumptions (§3.2).
+	NInd Model = iota
+	// Diff weighs assumptions by the SITs' distribution divergence (§3.5);
+	// the paper's most accurate practical model.
+	Diff
+	// Opt is the oracle model: it ranks by true per-factor error, requires
+	// exact evaluation, and exists for analysis only (§5).
+	Opt
+)
+
+func (m Model) internal() core.ErrorModel {
+	switch m {
+	case NInd:
+		return core.NInd{}
+	case Opt:
+		return core.Opt{}
+	default:
+		return core.Diff{}
+	}
+}
+
+// String returns the model's paper name.
+func (m Model) String() string { return m.internal().Name() }
+
+// Estimator estimates query cardinalities with the getSelectivity dynamic
+// program over a statistics pool.
+type Estimator struct {
+	db  *DB
+	est *core.Estimator
+}
+
+// NewEstimator returns an estimator over the pool using the given error
+// model.
+func (db *DB) NewEstimator(pool *Pool, model Model) *Estimator {
+	est := core.NewEstimator(db.cat, pool.pool, model.internal())
+	if model == Opt {
+		est.Oracle = db.ev
+	}
+	return &Estimator{db: db, est: est}
+}
+
+// Cardinality estimates the query's result size.
+func (e *Estimator) Cardinality(q *Query) float64 {
+	return e.est.NewRun(q.q).EstimateCardinality(q.q.All())
+}
+
+// Selectivity estimates the query's selectivity relative to the cartesian
+// product of its tables.
+func (e *Estimator) Selectivity(q *Query) float64 {
+	return e.est.NewRun(q.q).GetSelectivity(q.q.All()).Sel
+}
+
+// Explain returns the chosen decomposition: each conditional factor with
+// its estimate and the statistics used.
+func (e *Estimator) Explain(q *Query) string {
+	return e.est.NewRun(q.q).Explain(q.q.All())
+}
+
+// Run starts a per-query estimation session that memoizes across sub-query
+// requests — the way an optimizer consumes the estimator (§4).
+func (e *Estimator) Run(q *Query) *Run {
+	return &Run{query: q, run: e.est.NewRun(q.q)}
+}
+
+// GroupCount estimates the number of groups of GROUP BY attr over the
+// query's result — the Group-By extension the paper defers to its
+// companion thesis. The estimate uses the best-matching SIT's distinct
+// statistics on the query expression with a Cardenas correction for groups
+// the remaining predicates empty out.
+func (e *Estimator) GroupCount(q *Query, attr string) (float64, error) {
+	a, err := e.db.cat.Attr(attr)
+	if err != nil {
+		return 0, err
+	}
+	return e.est.NewRun(q.q).EstimateGroups(a, q.q.All()), nil
+}
+
+// Run is a per-query estimation session. Sub-queries are addressed by
+// predicate positions (see Query.Predicates).
+type Run struct {
+	query *Query
+	run   *core.Run
+}
+
+// Cardinality estimates the sub-query restricted to the predicates at the
+// given positions (all predicates when none are given).
+func (r *Run) Cardinality(predIdx ...int) (float64, error) {
+	set, err := r.subset(predIdx)
+	if err != nil {
+		return 0, err
+	}
+	return r.run.EstimateCardinality(set), nil
+}
+
+// Selectivity estimates the sub-query's selectivity.
+func (r *Run) Selectivity(predIdx ...int) (float64, error) {
+	set, err := r.subset(predIdx)
+	if err != nil {
+		return 0, err
+	}
+	return r.run.GetSelectivity(set).Sel, nil
+}
+
+// Explain renders the decomposition chosen for the sub-query.
+func (r *Run) Explain(predIdx ...int) (string, error) {
+	set, err := r.subset(predIdx)
+	if err != nil {
+		return "", err
+	}
+	return r.run.Explain(set), nil
+}
+
+func (r *Run) subset(predIdx []int) (engine.PredSet, error) {
+	if len(predIdx) == 0 {
+		return r.query.q.All(), nil
+	}
+	var set engine.PredSet
+	for _, i := range predIdx {
+		if i < 0 || i >= len(r.query.q.Preds) {
+			return 0, fmt.Errorf("condsel: predicate index %d out of range [0,%d)",
+				i, len(r.query.q.Preds))
+		}
+		set = set.Add(i)
+	}
+	return set, nil
+}
+
+// GVMEstimator is the greedy view-matching baseline (Bruno & Chaudhuri
+// SIGMOD'02) the paper compares against; it is exposed for side-by-side
+// evaluation.
+type GVMEstimator struct {
+	db  *DB
+	est *gvm.Estimator
+}
+
+// NewGVMEstimator returns the baseline estimator over the pool.
+func (db *DB) NewGVMEstimator(pool *Pool) *GVMEstimator {
+	return &GVMEstimator{db: db, est: gvm.NewEstimator(db.cat, pool.pool)}
+}
+
+// Cardinality estimates the query's result size with greedy view matching.
+func (g *GVMEstimator) Cardinality(q *Query) float64 {
+	return g.est.EstimateCardinality(q.q, q.q.All())
+}
+
+// Selectivity estimates the query's selectivity with greedy view matching.
+func (g *GVMEstimator) Selectivity(q *Query) float64 {
+	return g.est.EstimateSelectivity(q.q, q.q.All())
+}
+
+// BestPlan chooses the cheapest join order for the query under this
+// estimator's cardinalities (System-R style dynamic programming over
+// connected table subsets, C_out cost = sum of join-output cardinalities)
+// and returns the plan rendering and its estimated cost. It demonstrates
+// how estimation quality translates into plan choice; the paper leaves
+// that study as future work, and `cmd/sitbench -fig p1` quantifies it.
+func (e *Estimator) BestPlan(q *Query) (string, float64, error) {
+	run := e.est.NewRun(q.q)
+	plan, err := planner.Choose(q.q, run.EstimateCardinality)
+	if err != nil {
+		return "", 0, err
+	}
+	return plan.String(q.q), planner.Cost(plan, run.EstimateCardinality), nil
+}
+
+// CoupledCardinality estimates the query through the §4.2 optimizer
+// integration: a Cascades-style memo is seeded with the query's initial
+// plan, explored with transformation rules, and every memo entry
+// contributes one candidate decomposition. This demonstrates the pruned,
+// optimizer-guided variant of getSelectivity.
+func (e *Estimator) CoupledCardinality(q *Query) (float64, error) {
+	m, err := cascades.NewMemo(q.q)
+	if err != nil {
+		return 0, err
+	}
+	m.Explore(20000)
+	ce := cascades.NewCoupledEstimator(m, e.est)
+	ce.EstimateAll()
+	return ce.EstimateCardinality(), nil
+}

@@ -1,0 +1,62 @@
+package condsel
+
+import (
+	"fmt"
+
+	"condsel/internal/engine"
+)
+
+// Row is one tuple of a query result: values parallel to the column names
+// returned by Execute, with NULLs flagged in Nulls.
+type Row struct {
+	Values []int64
+	Nulls  []bool
+}
+
+// Execute evaluates the query exactly and returns up to limit result rows
+// (all rows when limit ≤ 0) projected onto the requested attributes
+// ("table.column"; every attribute of the referenced tables when none are
+// given). The query's predicates must form a single connected component —
+// cartesian products are refused, since materializing them is almost
+// certainly a mistake. Intended for validating estimates and inspecting
+// small results, not as a general query processor.
+func (db *DB) Execute(q *Query, limit int, attrs ...string) ([]Row, []string, error) {
+	comps := engine.Components(db.cat, q.q.Preds, q.q.All())
+	if len(comps) != 1 {
+		return nil, nil, fmt.Errorf("condsel: Execute requires a connected query (got %d components)", len(comps))
+	}
+	var attrIDs []engine.AttrID
+	var names []string
+	if len(attrs) == 0 {
+		for _, t := range q.q.Tables.Tables() {
+			for _, a := range db.cat.AttrsOfTable(t) {
+				attrIDs = append(attrIDs, a)
+				names = append(names, db.cat.AttrName(a))
+			}
+		}
+	} else {
+		for _, name := range attrs {
+			a, err := db.cat.Attr(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !q.q.Tables.Has(db.cat.AttrTable(a)) {
+				return nil, nil, fmt.Errorf("condsel: attribute %s is not part of the query", name)
+			}
+			attrIDs = append(attrIDs, a)
+			names = append(names, name)
+		}
+	}
+
+	view := db.ev.Materialize(q.q.Preds, q.q.All())
+	n := view.Count()
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	rows := make([]Row, 0, limit)
+	for i := 0; i < limit; i++ {
+		vals, nulls := view.TupleValues(i, attrIDs)
+		rows = append(rows, Row{Values: vals, Nulls: nulls})
+	}
+	return rows, names, nil
+}

@@ -1,0 +1,3 @@
+module condsel
+
+go 1.22

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"strconv"
+	"time"
+
+	"condsel/internal/cascades"
+	"condsel/internal/core"
+	"condsel/internal/engine"
+	"condsel/internal/feedback"
+	"condsel/internal/histogram"
+	"condsel/internal/sample"
+	"condsel/internal/sit"
+)
+
+// The ablation tables quantify the design choices DESIGN.md calls out.
+// They are not figures from the paper; they stress the knobs the paper
+// fixes (histogram class, bucket budget, diff computation), compare SITs
+// against the related-work join synopses the paper cites, and measure what
+// the §4.2 optimizer coupling gives up versus the full dynamic program.
+
+// AblationCell is one row of an ablation table: a configuration label and
+// the workload's average absolute cardinality error (plus optional timing).
+type AblationCell struct {
+	J       int
+	Variant string
+	AvgErr  float64
+	AvgMs   float64
+}
+
+// AblationHistogramKind (table A1) sweeps the histogram class under
+// GS-Diff with pool J2.
+func (e *Env) AblationHistogramKind() []AblationCell {
+	var cells []AblationCell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		for _, kind := range []histogram.Kind{histogram.MaxDiff, histogram.EquiDepth, histogram.EquiWidth} {
+			b := sit.NewBuilder(e.DB.Cat)
+			b.Kind = kind
+			b.Buckets = e.Opts.Buckets
+			pool := sit.BuildWorkloadPool(b, queries, 2)
+			cells = append(cells, AblationCell{
+				J:       j,
+				Variant: b.Kind.String(),
+				AvgErr:  e.workloadError(queries, pool, core.Diff{}),
+			})
+		}
+	}
+	return cells
+}
+
+// AblationBuckets (table A2) sweeps the per-histogram bucket budget under
+// GS-Diff with pool J2.
+func (e *Env) AblationBuckets(budgets []int) []AblationCell {
+	if len(budgets) == 0 {
+		budgets = []int{50, 100, 200, 400}
+	}
+	var cells []AblationCell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		for _, buckets := range budgets {
+			b := sit.NewBuilder(e.DB.Cat)
+			b.Buckets = buckets
+			pool := sit.BuildWorkloadPool(b, queries, 2)
+			cells = append(cells, AblationCell{
+				J:       j,
+				Variant: strconv.Itoa(buckets) + " buckets",
+				AvgErr:  e.workloadError(queries, pool, core.Diff{}),
+			})
+		}
+	}
+	return cells
+}
+
+// AblationSynopses (table A3) compares GS-Diff over pool J2 against join
+// synopses of several sample sizes (Acharya et al., §6 related work) and
+// the noSit baseline. Sub-queries a synopsis cannot answer fall back to the
+// noSit estimate, mirroring how a real system would combine the two.
+func (e *Env) AblationSynopses(sampleSizes []int) []AblationCell {
+	if len(sampleSizes) == 0 {
+		sampleSizes = []int{500, 2000, 8000}
+	}
+	edges := make([]sample.Edge, len(e.DB.Edges))
+	for i, fk := range e.DB.Edges {
+		edges[i] = sample.Edge{Child: fk.Child, Parent: fk.Parent}
+	}
+	var cells []AblationCell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		noSitPool := e.Pool(j, 0)
+		sitPool := e.Pool(j, 2)
+
+		cells = append(cells, AblationCell{J: j, Variant: TechNoSit,
+			AvgErr: e.workloadError(queries, noSitPool, core.NInd{})})
+		cells = append(cells, AblationCell{J: j, Variant: "GS-Diff/J2",
+			AvgErr: e.workloadError(queries, sitPool, core.Diff{})})
+
+		for _, size := range sampleSizes {
+			syn, err := sample.Build(e.DB.Cat, edges, size, e.Opts.Seed)
+			if err != nil {
+				panic(err)
+			}
+			var sum float64
+			for _, q := range queries {
+				fallback := core.NewEstimator(e.DB.Cat, noSitPool, core.NInd{}).NewRun(q)
+				est := func(set engine.PredSet) float64 {
+					if v, ok := syn.EstimateCardinality(q, set); ok {
+						return v
+					}
+					return fallback.EstimateCardinality(set)
+				}
+				sum += e.avgAbsError(q, est)
+			}
+			cells = append(cells, AblationCell{J: j,
+				Variant: "synopsis/" + strconv.Itoa(size),
+				AvgErr:  sum / float64(len(queries)),
+			})
+		}
+	}
+	return cells
+}
+
+// AblationMemoCoupling (table A4) compares the full getSelectivity DP with
+// the §4.2 memo-coupled variant (seed plan only, and explored to fixpoint),
+// reporting both accuracy and per-query time on the full queries.
+func (e *Env) AblationMemoCoupling() []AblationCell {
+	var cells []AblationCell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		pool := e.Pool(j, 2)
+		est := core.NewEstimator(e.DB.Cat, pool, core.Diff{})
+
+		variants := []struct {
+			name    string
+			explore int
+		}{
+			{"full DP", -1},
+			{"memo (seed plan)", 0},
+			{"memo (explored)", 20000},
+		}
+		for _, v := range variants {
+			var errSum float64
+			var nanos int64
+			for _, q := range queries {
+				truth := e.TrueCard(q, q.All())
+				start := time.Now()
+				var card float64
+				if v.explore < 0 {
+					card = est.NewRun(q).EstimateCardinality(q.All())
+				} else {
+					m, err := cascades.NewMemo(q)
+					if err != nil {
+						panic(err)
+					}
+					if v.explore > 0 {
+						m.Explore(v.explore)
+					}
+					ce := cascades.NewCoupledEstimator(m, est)
+					ce.EstimateAll()
+					card = ce.EstimateCardinality()
+				}
+				nanos += time.Since(start).Nanoseconds()
+				d := card - truth
+				if d < 0 {
+					d = -d
+				}
+				errSum += d
+			}
+			n := float64(len(queries))
+			cells = append(cells, AblationCell{
+				J: j, Variant: v.name,
+				AvgErr: errSum / n,
+				AvgMs:  float64(nanos) / n / 1e6,
+			})
+		}
+	}
+	return cells
+}
+
+// AblationDiffSource (table A5) compares the histogram-approximated diff_H
+// (the paper's choice) against exact-from-data diff values.
+func (e *Env) AblationDiffSource() []AblationCell {
+	var cells []AblationCell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		for _, exact := range []bool{false, true} {
+			b := sit.NewBuilder(e.DB.Cat)
+			b.Buckets = e.Opts.Buckets
+			b.ExactDiff = exact
+			pool := sit.BuildWorkloadPool(b, queries, 2)
+			name := "diff from histograms"
+			if exact {
+				name = "diff from data"
+			}
+			cells = append(cells, AblationCell{
+				J: j, Variant: name,
+				AvgErr: e.workloadError(queries, pool, core.Diff{}),
+			})
+		}
+	}
+	return cells
+}
+
+// Ablation2D (table A6) compares the two mechanisms for conditioning a
+// filter attribute on a join (§3.3): 1-D SITs built on join expressions
+// (pool J1) versus 2-D base histograms with the Example 3 on-the-fly
+// derivation — the latter needs no join execution at build time.
+func (e *Env) Ablation2D() []AblationCell {
+	var cells []AblationCell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+
+		cells = append(cells, AblationCell{J: j, Variant: TechNoSit,
+			AvgErr: e.workloadError(queries, e.Pool(j, 0), core.NInd{})})
+		cells = append(cells, AblationCell{J: j, Variant: "1-D SITs (J1)",
+			AvgErr: e.workloadError(queries, e.Pool(j, 1), core.Diff{})})
+
+		b := sit.NewBuilder(e.DB.Cat)
+		b.Buckets = e.Opts.Buckets
+		pool2d := sit.BuildWorkloadPool(b, queries, 0) // base 1-D histograms
+		if _, err := sit.Build2DBaseSITs(b, pool2d, queries); err != nil {
+			panic(err)
+		}
+		cells = append(cells, AblationCell{J: j, Variant: "2-D base + derive",
+			AvgErr: e.workloadError(queries, pool2d, core.Diff{})})
+	}
+	return cells
+}
+
+// AblationFeedback (table A7) compares SITs against a LEO-style feedback
+// estimator (Stillger et al., §6 related work): the feedback loop observes
+// every workload query's true cardinality once, which makes repeated full
+// queries exact — but its context-free per-attribute adjustments leave
+// sub-queries (the optimizer's actual requests) wrong, while SITs keep
+// separate statistics per query expression.
+func (e *Env) AblationFeedback() []AblationCell {
+	var cells []AblationCell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		noSitPool := e.Pool(j, 0)
+		sitPool := e.Pool(j, 2)
+
+		leo := feedback.New(e.DB.Cat, noSitPool)
+		for _, q := range queries {
+			leo.Observe(q, q.All(), e.TrueCard(q, q.All()))
+		}
+
+		avgSub := func(est func(*engine.Query, engine.PredSet) float64) float64 {
+			var sum float64
+			for _, q := range queries {
+				qq := q
+				sum += e.avgAbsError(q, func(set engine.PredSet) float64 { return est(qq, set) })
+			}
+			return sum / float64(len(queries))
+		}
+		avgFull := func(est func(*engine.Query, engine.PredSet) float64) float64 {
+			var sum float64
+			for _, q := range queries {
+				d := est(q, q.All()) - e.TrueCard(q, q.All())
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+			return sum / float64(len(queries))
+		}
+
+		noSitEst := func(q *engine.Query, set engine.PredSet) float64 {
+			return core.NewEstimator(e.DB.Cat, noSitPool, core.NInd{}).NewRun(q).EstimateCardinality(set)
+		}
+		gsDiffEst := func(q *engine.Query, set engine.PredSet) float64 {
+			return core.NewEstimator(e.DB.Cat, sitPool, core.Diff{}).NewRun(q).EstimateCardinality(set)
+		}
+
+		cells = append(cells,
+			AblationCell{J: j, Variant: "noSit (sub-queries)", AvgErr: avgSub(noSitEst)},
+			AblationCell{J: j, Variant: "LEO feedback (sub-queries)", AvgErr: avgSub(leo.EstimateCardinality)},
+			AblationCell{J: j, Variant: "GS-Diff/J2 (sub-queries)", AvgErr: avgSub(gsDiffEst)},
+			AblationCell{J: j, Variant: "LEO feedback (repeated full)", AvgErr: avgFull(leo.EstimateCardinality)},
+			AblationCell{J: j, Variant: "GS-Diff/J2 (full queries)", AvgErr: avgFull(gsDiffEst)},
+		)
+	}
+	return cells
+}
+
+// workloadError runs getSelectivity with the model over every query's
+// sampled sub-queries and averages the absolute cardinality error.
+func (e *Env) workloadError(queries []*engine.Query, pool *sit.Pool, model core.ErrorModel) float64 {
+	var sum float64
+	for _, q := range queries {
+		run := core.NewEstimator(e.DB.Cat, pool, model).NewRun(q)
+		sum += e.avgAbsError(q, run.EstimateCardinality)
+	}
+	return sum / float64(len(queries))
+}

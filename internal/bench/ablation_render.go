@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderAblation prints one ablation table.
+func RenderAblation(w io.Writer, title string, cells []AblationCell) {
+	fmt.Fprintf(w, "%s\n", title)
+	hasMs := false
+	for _, c := range cells {
+		if c.AvgMs > 0 {
+			hasMs = true
+			break
+		}
+	}
+	if hasMs {
+		fmt.Fprintf(w, "%4s  %-24s  %14s  %10s\n", "J", "variant", "avg abs err", "avg ms")
+	} else {
+		fmt.Fprintf(w, "%4s  %-24s  %14s\n", "J", "variant", "avg abs err")
+	}
+	for _, c := range cells {
+		if hasMs {
+			fmt.Fprintf(w, "%4d  %-24s  %14.1f  %10.3f\n", c.J, c.Variant, c.AvgErr, c.AvgMs)
+		} else {
+			fmt.Fprintf(w, "%4d  %-24s  %14.1f\n", c.J, c.Variant, c.AvgErr)
+		}
+	}
+}
+
+// RunAblations executes every ablation table and renders them to w.
+func (e *Env) RunAblations(w io.Writer) {
+	RenderAblation(w, "Table A1 — histogram class (GS-Diff, pool J2)", e.AblationHistogramKind())
+	fmt.Fprintln(w)
+	RenderAblation(w, "Table A2 — histogram bucket budget (GS-Diff, pool J2)", e.AblationBuckets(nil))
+	fmt.Fprintln(w)
+	RenderAblation(w, "Table A3 — SITs vs join synopses (Acharya et al.)", e.AblationSynopses(nil))
+	fmt.Fprintln(w)
+	RenderAblation(w, "Table A4 — full DP vs §4.2 memo coupling (full queries)", e.AblationMemoCoupling())
+	fmt.Fprintln(w)
+	RenderAblation(w, "Table A5 — diff_H source (GS-Diff, pool J2)", e.AblationDiffSource())
+	fmt.Fprintln(w)
+	RenderAblation(w, "Table A6 — 1-D SITs vs 2-D base histograms + Example 3 derivation", e.Ablation2D())
+	fmt.Fprintln(w)
+	RenderAblation(w, "Table A7 — SITs vs LEO-style feedback (Stillger et al.)", e.AblationFeedback())
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationHistogramKind(t *testing.T) {
+	e := smallEnv()
+	cells := e.AblationHistogramKind()
+	if len(cells) != 3 { // one J × three kinds
+		t.Fatalf("cells = %d", len(cells))
+	}
+	kinds := map[string]bool{}
+	for _, c := range cells {
+		if c.AvgErr < 0 {
+			t.Fatalf("negative error: %+v", c)
+		}
+		kinds[c.Variant] = true
+	}
+	for _, want := range []string{"maxDiff", "equiDepth", "equiWidth"} {
+		if !kinds[want] {
+			t.Fatalf("missing kind %q", want)
+		}
+	}
+}
+
+func TestAblationBuckets(t *testing.T) {
+	e := smallEnv()
+	cells := e.AblationBuckets([]int{20, 200})
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// More buckets must not be (much) worse than very few.
+	if cells[1].AvgErr > cells[0].AvgErr*1.5+10 {
+		t.Fatalf("200 buckets (%v) much worse than 20 (%v)", cells[1].AvgErr, cells[0].AvgErr)
+	}
+}
+
+func TestAblationSynopses(t *testing.T) {
+	e := smallEnv()
+	cells := e.AblationSynopses([]int{1 << 20})
+	if len(cells) != 3 { // noSit, GS-Diff, one synopsis size
+		t.Fatalf("cells = %d: %+v", len(cells), cells)
+	}
+	var noSit, synopsis float64
+	for _, c := range cells {
+		switch {
+		case c.Variant == TechNoSit:
+			noSit = c.AvgErr
+		case strings.HasPrefix(c.Variant, "synopsis/"):
+			synopsis = c.AvgErr
+		}
+	}
+	// A full-table synopsis answers FK-subtree sub-queries exactly, so it
+	// must beat the independence baseline on this correlated data.
+	if synopsis >= noSit {
+		t.Fatalf("full synopsis (%v) should beat noSit (%v)", synopsis, noSit)
+	}
+}
+
+func TestAblationMemoCoupling(t *testing.T) {
+	e := smallEnv()
+	cells := e.AblationMemoCoupling()
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.AvgMs <= 0 {
+			t.Fatalf("missing timing: %+v", c)
+		}
+	}
+}
+
+func TestAblationDiffSource(t *testing.T) {
+	e := smallEnv()
+	cells := e.AblationDiffSource()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	e := smallEnv()
+	var buf bytes.Buffer
+	e.RunAblations(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table A1", "Table A2", "Table A3", "Table A4", "Table A5",
+		"Table A6", "Table A7", "maxDiff", "synopsis/", "full DP", "2-D base + derive", "LEO feedback"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestAblation2D(t *testing.T) {
+	e := smallEnv()
+	cells := e.Ablation2D()
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	var noSit, derived float64
+	for _, c := range cells {
+		switch c.Variant {
+		case TechNoSit:
+			noSit = c.AvgErr
+		case "2-D base + derive":
+			derived = c.AvgErr
+		}
+	}
+	if derived >= noSit {
+		t.Fatalf("2-D derivation (%v) should beat noSit (%v)", derived, noSit)
+	}
+}
+
+func TestPlanQuality(t *testing.T) {
+	e := smallEnv()
+	cells := e.PlanQuality()
+	if len(cells) != 4 { // one J × four techniques
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.AvgRatio < 1-1e-9 {
+			t.Fatalf("quality ratio below 1: %+v", c)
+		}
+		if c.WorstRatio < c.AvgRatio-1e-9 {
+			t.Fatalf("worst below average: %+v", c)
+		}
+		if c.OptimalFrac < 0 || c.OptimalFrac > 1 {
+			t.Fatalf("bad optimal fraction: %+v", c)
+		}
+	}
+	var buf bytes.Buffer
+	RenderPlanQuality(&buf, cells)
+	if !strings.Contains(buf.String(), "Table P1") {
+		t.Fatalf("render missing title")
+	}
+}
+
+func TestAblationFeedback(t *testing.T) {
+	e := smallEnv()
+	cells := e.AblationFeedback()
+	if len(cells) != 5 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	get := func(variant string) float64 {
+		for _, c := range cells {
+			if c.Variant == variant {
+				return c.AvgErr
+			}
+		}
+		t.Fatalf("missing %q", variant)
+		return 0
+	}
+	// LEO is near-exact on the repeated full queries it observed (not
+	// perfectly: workload queries share per-attribute adjustment slots, so
+	// later observations disturb earlier ones — itself the context-free
+	// weakness)…
+	if repeated, base := get("LEO feedback (repeated full)"), get("noSit (sub-queries)"); repeated > base*0.1 {
+		t.Fatalf("LEO repeated-full error %v, want far below noSit's %v", repeated, base)
+	}
+	// …but on sub-queries it cannot beat the expression-specific SITs.
+	if get("LEO feedback (sub-queries)") < get("GS-Diff/J2 (sub-queries)") {
+		t.Fatalf("LEO sub-query error should not beat GS-Diff: %v vs %v",
+			get("LEO feedback (sub-queries)"), get("GS-Diff/J2 (sub-queries)"))
+	}
+}

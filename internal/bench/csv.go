@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers for every figure and table, so results can be plotted or
+// diffed without scraping the text renderings. Each writer emits a header
+// row followed by one record per data point.
+
+// WriteFig5CSV emits the Figure 5 scatter points.
+func WriteFig5CSV(w io.Writer, points []Fig5Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"j", "gvm_err", "gs_nind_err", "query"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.J), f(p.GVMErr), f(p.GSErr), p.Query,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV emits the Figure 6 view-matching call counts.
+func WriteFig6CSV(w io.Writer, rows []Fig6Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"j", "gs_calls", "gvm_calls"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{strconv.Itoa(r.J), f(r.GSCalls), f(r.GVMCalls)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV emits the Figure 7 error matrix.
+func WriteFig7CSV(w io.Writer, cells []Fig7Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"j", "pool", "technique", "avg_abs_err", "avg_q_err"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			strconv.Itoa(c.J), strconv.Itoa(c.Pool), c.Technique, f(c.AvgAbsErr), f(c.AvgQErr),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV emits the Figure 8 timing breakdown.
+func WriteFig8CSV(w io.Writer, cells []Fig8Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"j", "pool", "pool_size", "decomp_ms", "hist_ms", "nosit_ms"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			strconv.Itoa(c.J), strconv.Itoa(c.Pool), strconv.Itoa(c.PoolSize),
+			f(c.DecompMs), f(c.HistMs), f(c.NoSitMs),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLemma1CSV emits the Lemma 1 counting table.
+func WriteLemma1CSV(w io.Writer, rows []Lemma1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"n", "lower_bound", "t_n", "upper_bound", "dp_3n"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.N), r.LowerBound, r.T, r.UpperBound, r.DPCombos,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAblationCSV emits one ablation table.
+func WriteAblationCSV(w io.Writer, cells []AblationCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"j", "variant", "avg_abs_err", "avg_ms"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			strconv.Itoa(c.J), c.Variant, f(c.AvgErr), f(c.AvgMs),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePlanQualityCSV emits the P1 plan-quality table.
+func WritePlanQualityCSV(w io.Writer, cells []PlanQualityCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"j", "technique", "avg_ratio", "worst_ratio", "optimal_frac"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			strconv.Itoa(c.J), c.Technique, f(c.AvgRatio), f(c.WorstRatio), f(c.OptimalFrac),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,248 @@
+// Package bench is the experiment harness that regenerates every figure of
+// the paper's evaluation (§5): the GVM-vs-GS-nInd accuracy scatter
+// (Figure 5), the view-matching call counts (Figure 6), the average
+// absolute cardinality error across SIT pools and techniques (Figure 7),
+// and the estimation-time breakdown (Figure 8), plus the Lemma 1
+// decomposition counts. It owns the generated database, per-J workloads,
+// SIT pools J₀…J₇ and the ground-truth oracle, and exposes one method per
+// figure returning structured series the cmd/sitbench tool renders.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+
+	"condsel/internal/core"
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+	"condsel/internal/gvm"
+	"condsel/internal/sit"
+	"condsel/internal/workload"
+)
+
+// Options configures an experiment environment. Zero values take defaults
+// sized for a laptop-scale run of all figures.
+type Options struct {
+	Seed               int64
+	FactRows           int   // fact table size (default 20,000)
+	QueriesPerWorkload int   // queries per J workload (paper: 100; default 25)
+	Joins              []int // workload join counts (default 3,5,7 per Figures 7/8)
+	Fig5Joins          []int // mixed workload for Figure 5 (default 3..7)
+	MaxPoolJoins       int   // largest pool J_i (default 7)
+	SubsetCap          int   // max sub-queries sampled per query (default 200)
+	Buckets            int   // histogram bucket budget (default 200)
+	// FilterSelectivity is the workload's per-filter target selectivity
+	// (default 0.05; the paper footnotes similar trends at ≈0.5).
+	FilterSelectivity float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FactRows == 0 {
+		o.FactRows = 20000
+	}
+	if o.QueriesPerWorkload == 0 {
+		o.QueriesPerWorkload = 25
+	}
+	if len(o.Joins) == 0 {
+		o.Joins = []int{3, 5, 7}
+	}
+	if len(o.Fig5Joins) == 0 {
+		o.Fig5Joins = []int{3, 4, 5, 6, 7}
+	}
+	if o.MaxPoolJoins == 0 {
+		o.MaxPoolJoins = 7
+	}
+	if o.SubsetCap == 0 {
+		o.SubsetCap = 200
+	}
+	if o.Buckets == 0 {
+		o.Buckets = sit.DefaultBuckets
+	}
+	return o
+}
+
+// Env is a fully provisioned experiment environment.
+type Env struct {
+	Opts   Options
+	DB     *datagen.DB
+	Oracle *engine.Evaluator
+
+	workloads map[int][]*engine.Query
+	fullPools map[int]*sit.Pool // per J: pool built at MaxPoolJoins
+	subPools  map[[2]int]*sit.Pool
+	subsets   map[*engine.Query][]engine.PredSet
+}
+
+// NewEnv generates the database and prepares lazy workload/pool caches.
+func NewEnv(opts Options) *Env {
+	opts = opts.withDefaults()
+	db := datagen.Generate(datagen.Config{Seed: opts.Seed, FactRows: opts.FactRows})
+	return &Env{
+		Opts:      opts,
+		DB:        db,
+		Oracle:    engine.NewEvaluator(db.Cat),
+		workloads: make(map[int][]*engine.Query),
+		fullPools: make(map[int]*sit.Pool),
+		subPools:  make(map[[2]int]*sit.Pool),
+		subsets:   make(map[*engine.Query][]engine.PredSet),
+	}
+}
+
+// Workload returns (generating and caching) the J-join workload.
+func (e *Env) Workload(j int) []*engine.Query {
+	if w, ok := e.workloads[j]; ok {
+		return w
+	}
+	g := workload.NewGenerator(e.DB, workload.Config{
+		Seed:              e.Opts.Seed + int64(1000*j),
+		NumQueries:        e.Opts.QueriesPerWorkload,
+		Joins:             j,
+		Filters:           3,
+		TargetSelectivity: e.Opts.FilterSelectivity,
+	})
+	queries, err := g.Generate()
+	if err != nil {
+		panic(fmt.Sprintf("bench: workload J=%d: %v", j, err))
+	}
+	e.workloads[j] = queries
+	return queries
+}
+
+// Pool returns pool J_i for the J-join workload: all SITs whose expressions
+// are connected sub-expressions of workload queries with at most i join
+// predicates (i = 0 yields base histograms only). Pools are nested; the
+// largest is built once and the rest are derived by filtering.
+func (e *Env) Pool(j, i int) *sit.Pool {
+	key := [2]int{j, i}
+	if p, ok := e.subPools[key]; ok {
+		return p
+	}
+	full, ok := e.fullPools[j]
+	if !ok {
+		buckets := e.Opts.Buckets
+		full = sit.BuildWorkloadPoolParallel(e.DB.Cat, e.Workload(j), e.Opts.MaxPoolJoins,
+			runtime.GOMAXPROCS(0), func(b *sit.Builder) { b.Buckets = buckets })
+		e.fullPools[j] = full
+	}
+	p := full.MaxJoins(i)
+	e.subPools[key] = p
+	return p
+}
+
+// SubQueries returns the evaluated sub-query predicate sets of q: every
+// non-empty subset when few enough, otherwise a deterministic sample of
+// SubsetCap subsets always including the full query and all singletons.
+func (e *Env) SubQueries(q *engine.Query) []engine.PredSet {
+	if s, ok := e.subsets[q]; ok {
+		return s
+	}
+	n := len(q.Preds)
+	full := q.All()
+	total := int(full) // 2^n − 1
+	var out []engine.PredSet
+	if total <= e.Opts.SubsetCap {
+		for set := engine.PredSet(1); set <= full; set++ {
+			out = append(out, set)
+		}
+	} else {
+		seen := map[engine.PredSet]bool{full: true}
+		out = append(out, full)
+		for i := 0; i < n; i++ {
+			s := engine.NewPredSet(i)
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		rng := rand.New(rand.NewSource(e.Opts.Seed + int64(total)))
+		for len(out) < e.Opts.SubsetCap {
+			s := engine.PredSet(1 + rng.Int63n(int64(total)))
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	}
+	e.subsets[q] = out
+	return out
+}
+
+// TrueCard returns the exact cardinality of the sub-query, via the shared
+// memoizing oracle.
+func (e *Env) TrueCard(q *engine.Query, set engine.PredSet) float64 {
+	tables := engine.PredsTables(q.Cat, q.Preds, set)
+	return e.Oracle.Count(tables, q.Preds, set)
+}
+
+// Technique names as used across figures.
+const (
+	TechNoSit  = "noSit"
+	TechGVM    = "GVM"
+	TechGSNInd = "GS-nInd"
+	TechGSDiff = "GS-Diff"
+	TechGSOpt  = "GS-Opt"
+)
+
+// Techniques lists all comparison techniques in presentation order.
+func Techniques() []string {
+	return []string{TechNoSit, TechGVM, TechGSNInd, TechGSDiff, TechGSOpt}
+}
+
+// estimator returns a closure mapping sub-query sets to estimated
+// cardinalities under the named technique with the given pool.
+func (e *Env) estimator(tech string, q *engine.Query, pool *sit.Pool) func(engine.PredSet) float64 {
+	switch tech {
+	case TechNoSit:
+		base := pool.MaxJoins(0)
+		run := core.NewEstimator(e.DB.Cat, base, core.NInd{}).NewRun(q)
+		return run.EstimateCardinality
+	case TechGVM:
+		g := gvm.NewEstimator(e.DB.Cat, pool)
+		return func(set engine.PredSet) float64 { return g.EstimateCardinality(q, set) }
+	case TechGSNInd:
+		run := core.NewEstimator(e.DB.Cat, pool, core.NInd{}).NewRun(q)
+		return run.EstimateCardinality
+	case TechGSDiff:
+		run := core.NewEstimator(e.DB.Cat, pool, core.Diff{}).NewRun(q)
+		return run.EstimateCardinality
+	case TechGSOpt:
+		est := core.NewEstimator(e.DB.Cat, pool, core.Opt{})
+		est.Oracle = e.Oracle
+		run := est.NewRun(q)
+		return run.EstimateCardinality
+	}
+	panic("bench: unknown technique " + tech)
+}
+
+// avgAbsError returns the query's average absolute cardinality error over
+// its sampled sub-queries — the paper's §5 accuracy metric.
+func (e *Env) avgAbsError(q *engine.Query, estimate func(engine.PredSet) float64) float64 {
+	abs, _ := e.queryErrors(q, estimate)
+	return abs
+}
+
+// queryErrors returns the query's average absolute error and average
+// q-error (max((est+1)/(true+1), (true+1)/(est+1)), smoothed so empty
+// sub-queries stay finite) over its sampled sub-queries.
+func (e *Env) queryErrors(q *engine.Query, estimate func(engine.PredSet) float64) (absErr, qErr float64) {
+	subs := e.SubQueries(q)
+	for _, set := range subs {
+		truth := e.TrueCard(q, set)
+		est := estimate(set)
+		d := est - truth
+		if d < 0 {
+			d = -d
+		}
+		absErr += d
+		qe := (est + 1) / (truth + 1)
+		if qe < 1 {
+			qe = 1 / qe
+		}
+		qErr += qe
+	}
+	n := float64(len(subs))
+	return absErr / n, qErr / n
+}

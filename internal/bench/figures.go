@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"strconv"
+	"time"
+
+	"condsel/internal/core"
+	"condsel/internal/gvm"
+)
+
+// Fig5Point is one query of Figure 5's scatter: the average absolute
+// cardinality error under GVM (x axis) and GS-nInd (y axis). The paper's
+// claim is that all points lie on or below the x = y line.
+type Fig5Point struct {
+	J      int
+	Query  string
+	GVMErr float64
+	GSErr  float64
+}
+
+// Fig5 runs the mixed 3- to 7-way join workload against pool J₂ under both
+// GVM and GS-nInd (same error metric, so any gap is due to the search
+// space, exactly as §5.1 argues).
+func (e *Env) Fig5() []Fig5Point {
+	var points []Fig5Point
+	for _, j := range e.Opts.Fig5Joins {
+		pool := e.Pool(j, 2)
+		for _, q := range e.Workload(j) {
+			points = append(points, Fig5Point{
+				J:      j,
+				Query:  q.String(),
+				GVMErr: e.avgAbsError(q, e.estimator(TechGVM, q, pool)),
+				GSErr:  e.avgAbsError(q, e.estimator(TechGSNInd, q, pool)),
+			})
+		}
+	}
+	return points
+}
+
+// Fig6Row reports the average number of view-matching calls needed to
+// answer every sub-query selectivity request of one query, per J.
+type Fig6Row struct {
+	J        int
+	GSCalls  float64
+	GVMCalls float64
+}
+
+// Fig6 measures view-matching efficiency over pool J₂: getSelectivity
+// answers all requests from one memoized run; GVM re-runs its greedy per
+// request (§5.1, Figure 6).
+func (e *Env) Fig6() []Fig6Row {
+	var rows []Fig6Row
+	for _, j := range e.Opts.Joins {
+		pool := e.Pool(j, 2)
+		queries := e.Workload(j)
+
+		var gsTotal, gvmTotal float64
+		for _, q := range queries {
+			subs := e.SubQueries(q)
+
+			pool.ResetMatchCalls()
+			run := core.NewEstimator(e.DB.Cat, pool, core.NInd{}).NewRun(q)
+			for _, set := range subs {
+				run.GetSelectivity(set)
+			}
+			gsTotal += float64(pool.MatchCalls)
+
+			pool.ResetMatchCalls()
+			g := gvm.NewEstimator(e.DB.Cat, pool)
+			for _, set := range subs {
+				g.EstimateSelectivity(q, set)
+			}
+			gvmTotal += float64(pool.MatchCalls)
+		}
+		n := float64(len(queries))
+		rows = append(rows, Fig6Row{J: j, GSCalls: gsTotal / n, GVMCalls: gvmTotal / n})
+	}
+	return rows
+}
+
+// Fig7Cell is one bar of Figure 7: the workload's average absolute
+// cardinality error for a technique under pool J_i. AvgQErr supplements the
+// paper's metric with the modern q-error (max(est/true, true/est), with a
+// +1 smoothing on both sides so empty sub-queries stay finite), averaged
+// the same way.
+type Fig7Cell struct {
+	J         int
+	Pool      int
+	Technique string
+	AvgAbsErr float64
+	AvgQErr   float64
+}
+
+// Fig7 sweeps pools J₀…J_max for each workload and technique. noSit is
+// independent of the pool and reported once per workload (Pool 0).
+func (e *Env) Fig7() []Fig7Cell {
+	var cells []Fig7Cell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		avgFor := func(tech string, pool int) (abs, qerr float64) {
+			p := e.Pool(j, pool)
+			for _, q := range queries {
+				a, qe := e.queryErrors(q, e.estimator(tech, q, p))
+				abs += a
+				qerr += qe
+			}
+			n := float64(len(queries))
+			return abs / n, qerr / n
+		}
+		a, qe := avgFor(TechNoSit, 0)
+		cells = append(cells, Fig7Cell{J: j, Pool: 0, Technique: TechNoSit,
+			AvgAbsErr: a, AvgQErr: qe})
+		for pool := 1; pool <= e.Opts.MaxPoolJoins; pool++ {
+			for _, tech := range []string{TechGVM, TechGSNInd, TechGSDiff, TechGSOpt} {
+				a, qe := avgFor(tech, pool)
+				cells = append(cells, Fig7Cell{J: j, Pool: pool, Technique: tech,
+					AvgAbsErr: a, AvgQErr: qe})
+			}
+		}
+	}
+	return cells
+}
+
+// Fig8Cell is one bar group of Figure 8: the average per-query estimation
+// time of GS-Diff split into decomposition analysis and histogram
+// manipulation, plus the noSit baseline, for pool J_i.
+type Fig8Cell struct {
+	J        int
+	Pool     int
+	DecompMs float64
+	HistMs   float64
+	NoSitMs  float64
+	PoolSize int
+}
+
+// Fig8 times GS-Diff runs (answering every sampled sub-query request)
+// across pools, separating line 16's histogram manipulation from the
+// decomposition search, per §5.3.
+func (e *Env) Fig8() []Fig8Cell {
+	var cells []Fig8Cell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		base := e.Pool(j, 0)
+		for pool := 0; pool <= e.Opts.MaxPoolJoins; pool++ {
+			p := e.Pool(j, pool)
+			var totalNs, histNs, noSitNs int64
+			for _, q := range queries {
+				subs := e.SubQueries(q)
+
+				run := core.NewEstimator(e.DB.Cat, p, core.Diff{}).NewRun(q)
+				start := time.Now()
+				for _, set := range subs {
+					run.GetSelectivity(set)
+				}
+				totalNs += time.Since(start).Nanoseconds()
+				histNs += run.HistNanos
+
+				baseRun := core.NewEstimator(e.DB.Cat, base, core.NInd{}).NewRun(q)
+				start = time.Now()
+				for _, set := range subs {
+					baseRun.GetSelectivity(set)
+				}
+				noSitNs += time.Since(start).Nanoseconds()
+			}
+			n := float64(len(queries))
+			cells = append(cells, Fig8Cell{
+				J:        j,
+				Pool:     pool,
+				DecompMs: float64(totalNs-histNs) / n / 1e6,
+				HistMs:   float64(histNs) / n / 1e6,
+				NoSitMs:  float64(noSitNs) / n / 1e6,
+				PoolSize: p.Size(),
+			})
+		}
+	}
+	return cells
+}
+
+// Lemma1Row is one row of the decomposition-count table backing Lemma 1.
+type Lemma1Row struct {
+	N          int
+	T          string // T(n), decimal
+	LowerBound string // 0.5·(n+1)!
+	UpperBound string // 1.5ⁿ·n!
+	DPCombos   string // 3ⁿ, the DP's worst-case work
+}
+
+// Lemma1 tabulates T(n) against its bounds and the DP's 3ⁿ worst case for
+// n = 1..maxN.
+func Lemma1(maxN int) []Lemma1Row {
+	rows := make([]Lemma1Row, 0, maxN)
+	for n := 1; n <= maxN; n++ {
+		lo, hi := core.DecompositionBounds(n)
+		rows = append(rows, Lemma1Row{
+			N:          n,
+			T:          core.CountDecompositions(n).String(),
+			LowerBound: lo.String(),
+			UpperBound: hi.String(),
+			DPCombos:   pow3(n),
+		})
+	}
+	return rows
+}
+
+func pow3(n int) string {
+	v := int64(1)
+	for i := 0; i < n; i++ {
+		v *= 3
+	}
+	return strconv.FormatInt(v, 10)
+}

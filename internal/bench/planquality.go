@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"condsel/internal/engine"
+	"condsel/internal/planner"
+)
+
+// PlanQualityCell reports how plans chosen under one technique's estimates
+// compare, in true C_out cost, against the true-optimal join order: the
+// plan-quality ratio (≥ 1) averaged over the workload, its worst case, and
+// the fraction of queries where the chosen plan is exactly optimal. This
+// experiment answers the question the paper leaves as future work — do the
+// more accurate estimates actually buy better plans?
+type PlanQualityCell struct {
+	J           int
+	Technique   string
+	AvgRatio    float64
+	WorstRatio  float64
+	OptimalFrac float64
+}
+
+// PlanQuality runs the join-order study over each workload with pool J₂.
+func (e *Env) PlanQuality() []PlanQualityCell {
+	var cells []PlanQualityCell
+	for _, j := range e.Opts.Joins {
+		queries := e.Workload(j)
+		pool := e.Pool(j, 2)
+		for _, tech := range []string{TechNoSit, TechGSNInd, TechGSDiff, TechGSOpt} {
+			var sum, worst float64
+			optimal := 0
+			for _, q := range queries {
+				est := e.estimator(tech, q, pool)
+				plan, err := planner.Choose(q, est)
+				if err != nil {
+					panic(err)
+				}
+				ratio, err := planner.Quality(q, plan, e.trueCardFn(q))
+				if err != nil {
+					panic(err)
+				}
+				sum += ratio
+				if ratio > worst {
+					worst = ratio
+				}
+				if ratio < 1+1e-9 {
+					optimal++
+				}
+			}
+			n := float64(len(queries))
+			cells = append(cells, PlanQualityCell{
+				J:           j,
+				Technique:   tech,
+				AvgRatio:    sum / n,
+				WorstRatio:  worst,
+				OptimalFrac: float64(optimal) / n,
+			})
+		}
+	}
+	return cells
+}
+
+// trueCardFn adapts the oracle to the planner's cardinality interface.
+func (e *Env) trueCardFn(q *engine.Query) func(engine.PredSet) float64 {
+	return func(set engine.PredSet) float64 { return e.TrueCard(q, set) }
+}
+
+// RenderPlanQuality prints the P1 table.
+func RenderPlanQuality(w io.Writer, cells []PlanQualityCell) {
+	fmt.Fprintf(w, "Table P1 — join-order quality by estimation technique (pool J2, C_out cost)\n")
+	fmt.Fprintf(w, "%4s  %-10s  %12s  %12s  %10s\n", "J", "technique", "avg ratio", "worst", "optimal")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%4d  %-10s  %12.3f  %12.3f  %9.0f%%\n",
+			c.J, c.Technique, c.AvgRatio, c.WorstRatio, 100*c.OptimalFrac)
+	}
+}

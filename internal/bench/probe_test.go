@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestProbeMediumScale is a manual probe (enable with PROBE=1) that prints
+// the figures at a medium scale for shape inspection.
+func TestProbeMediumScale(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("set PROBE=1 to run")
+	}
+	e := NewEnv(Options{
+		Seed: 42, FactRows: 10000, QueriesPerWorkload: 8,
+		Joins: []int{3}, Fig5Joins: []int{3, 5}, MaxPoolJoins: 4, SubsetCap: 96,
+	})
+	e.RunAll(os.Stdout)
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderFig5 prints the scatter data plus the headline statistics the paper
+// reports: the fraction of queries where GS-nInd is at least as accurate as
+// GVM, and the largest relative error reduction.
+func RenderFig5(w io.Writer, points []Fig5Point) {
+	fmt.Fprintf(w, "Figure 5 — absolute cardinality error per query: GVM (x) vs GS-nInd (y)\n")
+	fmt.Fprintf(w, "%4s  %14s  %14s\n", "J", "GVM", "GS-nInd")
+	under, maxReduction := 0, 0.0
+	for _, p := range points {
+		fmt.Fprintf(w, "%4d  %14.1f  %14.1f\n", p.J, p.GVMErr, p.GSErr)
+		if p.GSErr <= p.GVMErr*1.01+1 { // ties within noise count as "under"
+			under++
+		}
+		if p.GVMErr > 0 {
+			if red := 1 - p.GSErr/p.GVMErr; red > maxReduction {
+				maxReduction = red
+			}
+		}
+	}
+	fmt.Fprintf(w, "points on or under x=y: %d/%d (%.0f%%); max error reduction %.0f%%\n",
+		under, len(points), 100*float64(under)/float64(len(points)), 100*maxReduction)
+}
+
+// RenderFig6 prints the view-matching call series.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintf(w, "Figure 6 — avg view-matching calls per query (pool J2)\n")
+	fmt.Fprintf(w, "%4s  %12s  %12s  %8s\n", "J", "GS-nInd", "GVM", "ratio")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.GSCalls > 0 {
+			ratio = r.GVMCalls / r.GSCalls
+		}
+		fmt.Fprintf(w, "%4d  %12.1f  %12.1f  %7.2fx\n", r.J, r.GSCalls, r.GVMCalls, ratio)
+	}
+}
+
+// RenderFig7 prints the error matrix per workload: pools as rows,
+// techniques as columns, with the paper's absolute-error metric followed by
+// the supplementary q-error in parentheses.
+func RenderFig7(w io.Writer, cells []Fig7Cell) {
+	type val struct{ abs, q float64 }
+	byJ := make(map[int]map[int]map[string]val)
+	var js []int
+	maxPool := 0
+	for _, c := range cells {
+		if byJ[c.J] == nil {
+			byJ[c.J] = make(map[int]map[string]val)
+			js = append(js, c.J)
+		}
+		if byJ[c.J][c.Pool] == nil {
+			byJ[c.J][c.Pool] = make(map[string]val)
+		}
+		byJ[c.J][c.Pool][c.Technique] = val{c.AvgAbsErr, c.AvgQErr}
+		if c.Pool > maxPool {
+			maxPool = c.Pool
+		}
+	}
+	sort.Ints(js)
+	techs := []string{TechGVM, TechGSNInd, TechGSDiff, TechGSOpt}
+	for _, j := range js {
+		fmt.Fprintf(w, "Figure 7 — avg absolute error (avg q-error), %d-way join workload\n", j)
+		fmt.Fprintf(w, "%6s", "pool")
+		for _, t := range techs {
+			fmt.Fprintf(w, "  %20s", t)
+		}
+		fmt.Fprintln(w)
+		if noSit, ok := byJ[j][0][TechNoSit]; ok {
+			fmt.Fprintf(w, "%6s  %12.1f (%5.2f)  (noSit baseline, J0)\n", "J0", noSit.abs, noSit.q)
+		}
+		for pool := 1; pool <= maxPool; pool++ {
+			row, ok := byJ[j][pool]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%5s%d", "J", pool)
+			for _, t := range techs {
+				v := row[t]
+				fmt.Fprintf(w, "  %12.1f (%5.2f)", v.abs, v.q)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderFig8 prints the timing breakdown per workload and pool.
+func RenderFig8(w io.Writer, cells []Fig8Cell) {
+	curJ := -1
+	for _, c := range cells {
+		if c.J != curJ {
+			curJ = c.J
+			fmt.Fprintf(w, "Figure 8 — avg estimation time per query (ms), %d-way join workload\n", c.J)
+			fmt.Fprintf(w, "%6s  %8s  %10s  %10s  %10s  %10s\n",
+				"pool", "#SITs", "decomp", "histManip", "total", "noSit")
+		}
+		fmt.Fprintf(w, "%5s%d  %8d  %10.3f  %10.3f  %10.3f  %10.3f\n",
+			"J", c.Pool, c.PoolSize, c.DecompMs, c.HistMs, c.DecompMs+c.HistMs, c.NoSitMs)
+	}
+}
+
+// RenderLemma1 prints the decomposition-count table.
+func RenderLemma1(w io.Writer, rows []Lemma1Row) {
+	fmt.Fprintf(w, "Lemma 1 — decomposition counts T(n) vs bounds and DP work\n")
+	fmt.Fprintf(w, "%3s  %22s  %22s  %22s  %12s\n", "n", "0.5*(n+1)!", "T(n)", "1.5^n*n!", "3^n (DP)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%3d  %22s  %22s  %22s  %12s\n", r.N, r.LowerBound, r.T, r.UpperBound, r.DPCombos)
+	}
+}
+
+// RunAll executes every figure and renders them to w, in paper order.
+func (e *Env) RunAll(w io.Writer) {
+	fmt.Fprintf(w, "environment: fact=%d rows, %d queries/workload, subset cap %d, seed %d\n",
+		e.Opts.FactRows, e.Opts.QueriesPerWorkload, e.Opts.SubsetCap, e.Opts.Seed)
+	fmt.Fprintln(w)
+	RenderFig5(w, e.Fig5())
+	fmt.Fprintln(w)
+	RenderFig6(w, e.Fig6())
+	fmt.Fprintln(w)
+	RenderFig7(w, e.Fig7())
+	fmt.Fprintln(w)
+	RenderFig8(w, e.Fig8())
+	fmt.Fprintln(w)
+	RenderLemma1(w, Lemma1(10))
+}

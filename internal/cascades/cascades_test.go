@@ -1,0 +1,188 @@
+package cascades
+
+import (
+	"testing"
+
+	"condsel/internal/core"
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+	"condsel/internal/sit"
+	"condsel/internal/workload"
+)
+
+type env struct {
+	db      *datagen.DB
+	queries []*engine.Query
+	pool    *sit.Pool
+}
+
+func newEnv(t *testing.T, joins int) *env {
+	t.Helper()
+	db := datagen.Generate(datagen.Config{Seed: 7, FactRows: 3000})
+	g := workload.NewGenerator(db, workload.Config{Seed: 7, NumQueries: 3, Joins: joins, Filters: 3})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sit.NewBuilder(db.Cat)
+	pool := sit.BuildWorkloadPool(b, queries, 2)
+	return &env{db: db, queries: queries, pool: pool}
+}
+
+func TestMemoSeeding(t *testing.T) {
+	e := newEnv(t, 3)
+	q := e.queries[0]
+	m, err := NewMemo(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Root == nil {
+		t.Fatal("nil root")
+	}
+	if m.Root.Preds != q.All() {
+		t.Fatalf("root preds %v, want %v", m.Root.Preds, q.All())
+	}
+	if m.Root.Tables != q.Tables {
+		t.Fatalf("root tables %v, want %v", m.Root.Tables, q.Tables)
+	}
+	// One group per scan, per pushed filter level, per join level at least.
+	if m.NumGroups() < q.Tables.Len()+len(q.Preds) {
+		t.Fatalf("suspiciously few groups: %d", m.NumGroups())
+	}
+	// Groups are returned bottom-up.
+	prev := -1
+	for _, g := range m.Groups() {
+		if g.Preds.Len() < prev {
+			t.Fatalf("Groups not bottom-up")
+		}
+		prev = g.Preds.Len()
+	}
+}
+
+func TestExploreGrowsMemo(t *testing.T) {
+	e := newEnv(t, 3)
+	q := e.queries[0]
+	m, err := NewMemo(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.NumExprs()
+	added := m.Explore(5000)
+	if added == 0 {
+		t.Fatalf("exploration added nothing")
+	}
+	if m.NumExprs() != before+added {
+		t.Fatalf("NumExprs inconsistent: %d + %d != %d", before, added, m.NumExprs())
+	}
+	// Commutativity must have added a swapped variant of some join.
+	swapped := false
+	for _, g := range m.Groups() {
+		joins := 0
+		for _, ex := range g.Exprs {
+			if ex.Op == OpJoin {
+				joins++
+			}
+		}
+		if joins >= 2 {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Fatalf("no group holds multiple join variants")
+	}
+	// Idempotent at fixpoint.
+	if again := m.Explore(0); again != 0 {
+		t.Fatalf("second Explore added %d exprs", again)
+	}
+}
+
+func TestExploreRespectsCap(t *testing.T) {
+	e := newEnv(t, 5)
+	m, err := NewMemo(e.queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := m.NumExprs() + 3
+	m.Explore(cap)
+	if m.NumExprs() > cap+16 { // one rule application may add a few exprs
+		t.Fatalf("cap ignored: %d exprs for cap %d", m.NumExprs(), cap)
+	}
+}
+
+// TestCoupledEstimation: the §4.2 coupled estimate is a valid selectivity
+// whose decomposition error can never beat the full DP (it explores a
+// subset of the space), and it must coincide with the DP when the memo is
+// explored to fixpoint on a small query.
+func TestCoupledEstimation(t *testing.T) {
+	e := newEnv(t, 3)
+	for _, q := range e.queries {
+		m, err := NewMemo(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Explore(20000)
+
+		est := core.NewEstimator(e.db.Cat, e.pool, core.NInd{})
+		ce := NewCoupledEstimator(m, est)
+		got := ce.EstimateAll()
+		if got.Sel < 0 || got.Sel > 1 {
+			t.Fatalf("coupled selectivity %v out of range", got.Sel)
+		}
+
+		full := est.NewRun(q).GetSelectivity(q.All())
+		if got.Err < full.Err-1e-9 {
+			t.Fatalf("coupled error %v beats full DP %v — impossible", got.Err, full.Err)
+		}
+		if card := ce.EstimateCardinality(); card < 0 {
+			t.Fatalf("negative cardinality")
+		}
+	}
+}
+
+// TestCoupledWithoutExploration: even the seed plan alone must produce a
+// finite estimate (every optimizer request is answerable).
+func TestCoupledWithoutExploration(t *testing.T) {
+	e := newEnv(t, 4)
+	q := e.queries[1]
+	m, err := NewMemo(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := core.NewEstimator(e.db.Cat, e.pool, core.Diff{})
+	ce := NewCoupledEstimator(m, est)
+	got := ce.EstimateAll()
+	if got.Sel <= 0 || got.Sel > 1 {
+		t.Fatalf("seed-plan selectivity %v", got.Sel)
+	}
+}
+
+// TestExplorationImprovesAccuracy: exploring more plans can only lower (or
+// keep) the chosen decomposition's error, since decompositions accumulate.
+func TestExplorationImprovesAccuracy(t *testing.T) {
+	e := newEnv(t, 4)
+	for _, q := range e.queries {
+		m1, err := NewMemo(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := core.NewEstimator(e.db.Cat, e.pool, core.NInd{})
+		seed := NewCoupledEstimator(m1, est).EstimateAll()
+
+		m2, err := NewMemo(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2.Explore(20000)
+		explored := NewCoupledEstimator(m2, est).EstimateAll()
+		if explored.Err > seed.Err+1e-9 {
+			t.Fatalf("exploration worsened error: %v → %v", seed.Err, explored.Err)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpScan.String() != "Scan" || OpSelect.String() != "Select" ||
+		OpJoin.String() != "Join" || Op(9).String() != "?" {
+		t.Fatalf("Op.String wrong")
+	}
+}

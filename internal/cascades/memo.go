@@ -1,0 +1,236 @@
+// Package cascades implements a compact Cascades-style optimizer memo (§4.1)
+// and the coupling of getSelectivity with its search strategy (§4.2).
+//
+// The memo groups logically equivalent sub-plans of one SPJ query. Each
+// group is identified by the predicate subset it applies (over the tables it
+// covers); each entry (logical expression) is a Scan, Select or Join over
+// other groups. Transformation rules — join commutativity and associativity,
+// select pull-up and push-down, select reordering — populate groups exactly
+// as Example 5 of the paper illustrates.
+//
+// The §4.2 coupling associates with every entry E of a group with predicate
+// set P the decomposition Sel(P) = Sel(p_E|Q_E)·Sel(Q_E), where p_E is the
+// entry's own predicate and Q_E the predicates of its inputs; the factor is
+// approximated via the same §3.3 machinery getSelectivity uses, and every
+// group keeps the most accurate decomposition induced by the entries the
+// optimizer actually explored. The estimate is therefore a pruned variant of
+// getSelectivity, guided by the optimizer's own search.
+package cascades
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"condsel/internal/engine"
+)
+
+// Op is a logical operator kind.
+type Op int
+
+const (
+	// OpScan reads one base table.
+	OpScan Op = iota
+	// OpSelect applies one filter predicate to its input group.
+	OpSelect
+	// OpJoin joins two input groups on one join predicate.
+	OpJoin
+)
+
+// String returns the operator's name.
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "Scan"
+	case OpSelect:
+		return "Select"
+	case OpJoin:
+		return "Join"
+	}
+	return "?"
+}
+
+// Expr is one memo entry: [op, {parm}, {inputs}] in the paper's notation.
+type Expr struct {
+	Op     Op
+	Table  engine.TableID // OpScan only
+	Pred   int            // predicate position for OpSelect / OpJoin
+	Inputs []*Group
+}
+
+// key returns a deduplication key within a group.
+func (e *Expr) key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|%d", e.Op, e.Table, e.Pred)
+	for _, in := range e.Inputs {
+		fmt.Fprintf(&sb, "|%v:%v", in.Tables, in.Preds)
+	}
+	return sb.String()
+}
+
+// Group is an equivalence class of sub-plans: all expressions producing
+// σ_Preds(Tables^×).
+type Group struct {
+	Tables engine.TableSet
+	Preds  engine.PredSet
+	Exprs  []*Expr
+
+	exprKeys map[string]bool
+}
+
+func (g *Group) addExpr(e *Expr) bool {
+	if g.exprKeys == nil {
+		g.exprKeys = make(map[string]bool)
+	}
+	k := e.key()
+	if g.exprKeys[k] {
+		return false
+	}
+	g.exprKeys[k] = true
+	g.Exprs = append(g.Exprs, e)
+	return true
+}
+
+// Memo is the optimizer's memoization table for one query.
+type Memo struct {
+	Query  *engine.Query
+	Root   *Group
+	groups map[groupKey]*Group
+}
+
+type groupKey struct {
+	tables engine.TableSet
+	preds  engine.PredSet
+}
+
+// NewMemo builds the memo seeded with a left-deep initial plan: filters
+// pushed onto scans, joins stacked in the order they appear in the query.
+func NewMemo(q *engine.Query) (*Memo, error) {
+	m := &Memo{Query: q, groups: make(map[groupKey]*Group)}
+	root, err := m.seedInitialPlan()
+	if err != nil {
+		return nil, err
+	}
+	m.Root = root
+	return m, nil
+}
+
+// group returns (creating on demand) the group for the sub-plan identity.
+func (m *Memo) group(tables engine.TableSet, preds engine.PredSet) *Group {
+	k := groupKey{tables, preds}
+	if g, ok := m.groups[k]; ok {
+		return g
+	}
+	g := &Group{Tables: tables, Preds: preds}
+	m.groups[k] = g
+	return g
+}
+
+// Groups returns all groups, smallest predicate sets first (bottom-up).
+func (m *Memo) Groups() []*Group {
+	out := make([]*Group, 0, len(m.groups))
+	for _, g := range m.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i].Preds.Len(), out[j].Preds.Len(); a != b {
+			return a < b
+		}
+		if out[i].Preds != out[j].Preds {
+			return out[i].Preds < out[j].Preds
+		}
+		return out[i].Tables < out[j].Tables
+	})
+	return out
+}
+
+// NumGroups returns the number of groups in the memo.
+func (m *Memo) NumGroups() int { return len(m.groups) }
+
+// NumExprs returns the total number of memo entries.
+func (m *Memo) NumExprs() int {
+	n := 0
+	for _, g := range m.groups {
+		n += len(g.Exprs)
+	}
+	return n
+}
+
+// seedInitialPlan registers scans, pushed-down filters and a left-deep join
+// stack, returning the root group.
+func (m *Memo) seedInitialPlan() (*Group, error) {
+	q := m.Query
+	cat := q.Cat
+
+	// Per-table leaf: Scan plus pushed-down filters.
+	leaf := make(map[engine.TableID]*Group)
+	for _, tid := range q.Tables.Tables() {
+		g := m.group(engine.NewTableSet(tid), 0)
+		g.addExpr(&Expr{Op: OpScan, Table: tid})
+		leaf[tid] = g
+	}
+	for i, p := range q.Preds {
+		if p.IsJoin() {
+			continue
+		}
+		tid := cat.AttrTable(p.Attr)
+		in := leaf[tid]
+		g := m.group(in.Tables, in.Preds.Add(i))
+		g.addExpr(&Expr{Op: OpSelect, Pred: i, Inputs: []*Group{in}})
+		leaf[tid] = g
+	}
+
+	// Left-deep join stack in join-connectivity order.
+	var cur *Group
+	remaining := q.JoinSet().Indices()
+	for len(remaining) > 0 {
+		progressed := false
+		for idx, i := range remaining {
+			p := q.Preds[i]
+			lt, rt := cat.AttrTable(p.Left), cat.AttrTable(p.Right)
+			var next *Group
+			switch {
+			case cur == nil:
+				next = m.joinGroups(i, leaf[lt], leaf[rt])
+			case cur.Tables.Has(lt) && !cur.Tables.Has(rt):
+				next = m.joinGroups(i, cur, leaf[rt])
+			case cur.Tables.Has(rt) && !cur.Tables.Has(lt):
+				next = m.joinGroups(i, cur, leaf[lt])
+			case cur.Tables.Has(rt) && cur.Tables.Has(lt):
+				// Cycle-closing join: model as a Select over the join pair.
+				g := m.group(cur.Tables, cur.Preds.Add(i))
+				g.addExpr(&Expr{Op: OpSelect, Pred: i, Inputs: []*Group{cur}})
+				next = g
+			default:
+				continue
+			}
+			cur = next
+			remaining = append(remaining[:idx], remaining[idx+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("cascades: query join graph is disconnected: %s", q)
+		}
+	}
+	if cur == nil { // no joins: single-table or pure-filter query
+		var root *Group
+		for _, g := range leaf {
+			if root == nil || g.Preds.Len() > root.Preds.Len() {
+				root = g
+			}
+		}
+		if len(leaf) > 1 {
+			return nil, fmt.Errorf("cascades: multi-table query without joins is unsupported")
+		}
+		return root, nil
+	}
+	return cur, nil
+}
+
+// joinGroups registers Join(pred, a, b) and returns its group.
+func (m *Memo) joinGroups(pred int, a, b *Group) *Group {
+	g := m.group(a.Tables.Union(b.Tables), a.Preds.Union(b.Preds).Add(pred))
+	g.addExpr(&Expr{Op: OpJoin, Pred: pred, Inputs: []*Group{a, b}})
+	return g
+}

@@ -1,0 +1,159 @@
+package cascades
+
+// Explore applies the transformation rules to a fixpoint (or until maxExprs
+// entries exist, as a safety valve), populating groups with alternative
+// plans exactly like a Cascades exploration phase. It returns the number of
+// expressions added.
+func (m *Memo) Explore(maxExprs int) int {
+	if maxExprs <= 0 {
+		maxExprs = 100000
+	}
+	added := 0
+	for {
+		progress := 0
+		for _, g := range m.Groups() {
+			for _, e := range append([]*Expr(nil), g.Exprs...) {
+				progress += m.applyRules(g, e)
+				if m.NumExprs() >= maxExprs {
+					return added + progress
+				}
+			}
+		}
+		added += progress
+		if progress == 0 {
+			return added
+		}
+	}
+}
+
+// applyRules generates the consequents of every rule matching entry e of
+// group g, returning how many new expressions were registered.
+func (m *Memo) applyRules(g *Group, e *Expr) int {
+	n := 0
+	switch e.Op {
+	case OpJoin:
+		n += m.ruleJoinCommute(g, e)
+		n += m.ruleJoinAssociate(g, e)
+		n += m.ruleSelectPullUp(g, e)
+	case OpSelect:
+		n += m.ruleSelectPushDown(g, e)
+		n += m.ruleSelectReorder(g, e)
+	}
+	return n
+}
+
+// ruleJoinCommute: [A ⋈ B] ⇒ [B ⋈ A].
+func (m *Memo) ruleJoinCommute(g *Group, e *Expr) int {
+	swapped := &Expr{Op: OpJoin, Pred: e.Pred, Inputs: []*Group{e.Inputs[1], e.Inputs[0]}}
+	if g.addExpr(swapped) {
+		return 1
+	}
+	return 0
+}
+
+// ruleJoinAssociate: [A ⋈p2 B] ⋈p1 C ⇒ A ⋈p2 [B ⋈p1 C], when p1 only
+// needs tables of B and C.
+func (m *Memo) ruleJoinAssociate(g *Group, e *Expr) int {
+	left := e.Inputs[0]
+	right := e.Inputs[1]
+	n := 0
+	for _, le := range left.Exprs {
+		if le.Op != OpJoin {
+			continue
+		}
+		a, b := le.Inputs[0], le.Inputs[1]
+		p1 := m.Query.Preds[e.Pred]
+		bc := b.Tables.Union(right.Tables)
+		if !p1.Tables(m.Query.Cat).SubsetOf(bc) {
+			continue
+		}
+		inner := m.group(bc, b.Preds.Union(right.Preds).Add(e.Pred))
+		if inner.addExpr(&Expr{Op: OpJoin, Pred: e.Pred, Inputs: []*Group{b, right}}) {
+			n++
+		}
+		if g.addExpr(&Expr{Op: OpJoin, Pred: le.Pred, Inputs: []*Group{a, inner}}) {
+			n++
+		}
+	}
+	return n
+}
+
+// ruleSelectPullUp: [A] ⋈ (σ_f [B]) ⇒ σ_f ([A] ⋈ [B]) — the paper's example
+// rule. Applied for a filter on either join input.
+func (m *Memo) ruleSelectPullUp(g *Group, e *Expr) int {
+	n := 0
+	for side := 0; side < 2; side++ {
+		input := e.Inputs[side]
+		for _, ie := range input.Exprs {
+			if ie.Op != OpSelect {
+				continue
+			}
+			below := ie.Inputs[0]
+			other := e.Inputs[1-side]
+			joinInputs := []*Group{below, other}
+			if side == 1 {
+				joinInputs = []*Group{other, below}
+			}
+			joined := m.group(below.Tables.Union(other.Tables),
+				below.Preds.Union(other.Preds).Add(e.Pred))
+			if joined.addExpr(&Expr{Op: OpJoin, Pred: e.Pred, Inputs: joinInputs}) {
+				n++
+			}
+			if g.addExpr(&Expr{Op: OpSelect, Pred: ie.Pred, Inputs: []*Group{joined}}) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ruleSelectPushDown: σ_f ([A] ⋈ [B]) ⇒ [σ_f A] ⋈ [B] when f references
+// only tables of one input.
+func (m *Memo) ruleSelectPushDown(g *Group, e *Expr) int {
+	input := e.Inputs[0]
+	f := m.Query.Preds[e.Pred]
+	n := 0
+	for _, ie := range input.Exprs {
+		if ie.Op != OpJoin {
+			continue
+		}
+		for side := 0; side < 2; side++ {
+			target := ie.Inputs[side]
+			if !f.Tables(m.Query.Cat).SubsetOf(target.Tables) {
+				continue
+			}
+			filtered := m.group(target.Tables, target.Preds.Add(e.Pred))
+			if filtered.addExpr(&Expr{Op: OpSelect, Pred: e.Pred, Inputs: []*Group{target}}) {
+				n++
+			}
+			joinInputs := []*Group{filtered, ie.Inputs[1-side]}
+			if side == 1 {
+				joinInputs = []*Group{ie.Inputs[1-side], filtered}
+			}
+			if g.addExpr(&Expr{Op: OpJoin, Pred: ie.Pred, Inputs: joinInputs}) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ruleSelectReorder: σ_f1 (σ_f2 [A]) ⇒ σ_f2 (σ_f1 [A]).
+func (m *Memo) ruleSelectReorder(g *Group, e *Expr) int {
+	input := e.Inputs[0]
+	n := 0
+	for _, ie := range input.Exprs {
+		if ie.Op != OpSelect {
+			continue
+		}
+		below := ie.Inputs[0]
+		mid := m.group(below.Tables, below.Preds.Add(e.Pred))
+		if mid.addExpr(&Expr{Op: OpSelect, Pred: e.Pred, Inputs: []*Group{below}}) {
+			n++
+		}
+		if g.addExpr(&Expr{Op: OpSelect, Pred: ie.Pred, Inputs: []*Group{mid}}) {
+			n++
+		}
+	}
+	return n
+}

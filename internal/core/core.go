@@ -1,0 +1,255 @@
+// Package core implements the paper's primary contribution: the conditional
+// selectivity framework (§2) and the getSelectivity dynamic-programming
+// algorithm (§3) that finds the most accurate decomposition of a selectivity
+// value for a given pool of SITs and a monotonic, algebraic error function.
+//
+// A selectivity value Sel_R(P) is repeatedly unfolded through atomic
+// decompositions Sel(P) = Sel(P'|Q)·Sel(Q) (Property 1) and separable
+// decompositions across table-disjoint components (Property 2, Lemma 2).
+// Each conditional factor Sel(P'|Q) is approximated with the candidate SITs
+// of §3.3; decompositions are ranked by an ErrorModel (§3.2/§3.5) and the
+// best one is found by memoized dynamic programming (Figure 3, Theorem 1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"condsel/internal/engine"
+	"condsel/internal/sit"
+)
+
+// Fallback constants used when the pool holds no statistics at all for a
+// predicate's attribute(s). They mirror the magic selectivities of classic
+// System R optimizers; the huge error makes any SIT-backed alternative win.
+const (
+	FallbackFilterSelectivity = 0.1
+	FallbackJoinSelectivity   = 0.01
+	FallbackError             = 1e9
+)
+
+// Estimator estimates selectivities and cardinalities of SPJ queries using
+// a pool of SITs, an error model, and the getSelectivity algorithm. Create
+// one Run per query; runs share nothing but the estimator's configuration.
+type Estimator struct {
+	Cat   *engine.Catalog
+	Pool  *sit.Pool
+	Model ErrorModel
+
+	// Oracle supplies exact conditional selectivities; it is required by
+	// the Opt error model and unused otherwise.
+	Oracle *engine.Evaluator
+
+	// Exhaustive makes the DP iterate over every non-empty P' ⊆ P in line
+	// 10 of Figure 3, exactly as printed in the paper (O(3ⁿ)). The default
+	// restricts P' to single predicates (O(2ⁿ·n)): with unidimensional
+	// SITs, the approximation of a multi-predicate factor chains into
+	// per-predicate approximations on grown conditioning sets, which is
+	// precisely a chain of singleton factors the DP explores anyway, so
+	// both modes return identical results (verified by property tests).
+	Exhaustive bool
+}
+
+// NewEstimator returns an estimator over the catalog, pool and error model.
+func NewEstimator(cat *engine.Catalog, pool *sit.Pool, model ErrorModel) *Estimator {
+	return &Estimator{Cat: cat, Pool: pool, Model: model}
+}
+
+// Factor is one approximated conditional factor Sel(P|Q) of the chosen
+// decomposition, together with the SITs that approximate it (nil entries
+// mark fallback guesses).
+type Factor struct {
+	P, Q engine.PredSet
+	Sel  float64
+	Err  float64
+	SITs []*sit.SIT
+}
+
+// Format renders the factor in the paper's Sel(P|Q) notation.
+func (f Factor) Format(q *engine.Query) string {
+	var sb strings.Builder
+	sb.WriteString("Sel(")
+	sb.WriteString(engine.FormatPreds(q.Cat, q.Preds, f.P))
+	if !f.Q.Empty() {
+		sb.WriteString(" | ")
+		sb.WriteString(engine.FormatPreds(q.Cat, q.Preds, f.Q))
+	}
+	fmt.Fprintf(&sb, ") = %.6g", f.Sel)
+	names := make([]string, 0, len(f.SITs))
+	for _, s := range f.SITs {
+		if s == nil {
+			names = append(names, "fallback")
+		} else {
+			names = append(names, s.Name(q.Cat))
+		}
+	}
+	if len(names) > 0 {
+		fmt.Fprintf(&sb, "  using %s", strings.Join(names, ", "))
+	}
+	return sb.String()
+}
+
+// Result is the outcome of getSelectivity for one predicate set: the
+// estimated selectivity, the aggregated error of the chosen decomposition,
+// and the decomposition's factors (most recently applied first).
+type Result struct {
+	Sel     float64
+	Err     float64
+	Factors []Factor
+
+	// key canonically identifies the chosen decomposition chain; equal-
+	// error candidates tie-break on it. Singleton-head chains sort before
+	// multi-predicate heads, so the winner is always a chain both search
+	// modes explore, keeping them in exact agreement.
+	key string
+}
+
+// Run is the per-query state of getSelectivity: the memoization table of
+// Figure 3 plus the ground-truth cache used by the Opt model. As the paper
+// notes, the memo satisfies all selectivity requests for sub-queries of the
+// same query, which is how the algorithm integrates with an optimizer's
+// search (§4).
+type Run struct {
+	Est   *Estimator
+	Query *engine.Query
+
+	// HistNanos accumulates time spent manipulating histograms to produce
+	// the chosen estimates (line 16 of Figure 3). The paper's Figure 8
+	// separates this "histogram manipulation" component from the
+	// "decomposition analysis" remainder of the run time.
+	HistNanos int64
+
+	memo        map[engine.PredSet]*Result
+	truthMemo   map[truthKey]float64
+	derivedMemo map[string]*sit.SIT // Example 3 derivations, nil until used
+}
+
+type truthKey struct {
+	pred int
+	cond engine.PredSet
+}
+
+// NewRun starts a getSelectivity run for one query.
+func (e *Estimator) NewRun(q *engine.Query) *Run {
+	if len(q.Preds) >= 64 {
+		panic("core: queries support at most 63 predicates")
+	}
+	return &Run{
+		Est:       e,
+		Query:     q,
+		memo:      make(map[engine.PredSet]*Result),
+		truthMemo: make(map[truthKey]float64),
+	}
+}
+
+// GetSelectivity implements Figure 3: it returns the most accurate
+// estimation of Sel(set) together with its error, memoizing every sub-result
+// so later requests for sub-queries are free.
+func (r *Run) GetSelectivity(set engine.PredSet) *Result {
+	if !set.SubsetOf(r.Query.All()) {
+		panic("core: predicate set outside the query")
+	}
+	if res, ok := r.memo[set]; ok {
+		return res
+	}
+	res := r.compute(set)
+	r.memo[set] = res
+	return res
+}
+
+func (r *Run) compute(set engine.PredSet) *Result {
+	if set.Empty() {
+		return &Result{Sel: 1, Err: 0}
+	}
+	q := r.Query
+	comps := engine.Components(q.Cat, q.Preds, set)
+	if len(comps) > 1 {
+		// Lines 4-7: separable — solve the standard decomposition's
+		// components independently and merge.
+		res := &Result{Sel: 1, Err: 0}
+		for _, comp := range comps {
+			sub := r.GetSelectivity(comp)
+			res.Sel *= sub.Sel
+			res.Err += sub.Err
+			res.Factors = append(res.Factors, sub.Factors...)
+			res.key += "[" + sub.key + "]"
+		}
+		return res
+	}
+
+	// Lines 9-17: non-separable — try atomic decompositions
+	// Sel(set) = Sel(P'|Q)·Sel(Q) and keep the most accurate. Equal-score
+	// decompositions are common (the same SITs chosen in a different
+	// order); ties break on the canonical chain key, which selects the
+	// chain with the smallest head indices — the same winner in both
+	// search modes.
+	best := &Result{Err: math.Inf(1)}
+	try := func(pp engine.PredSet) {
+		qq := set.Minus(pp)
+		resQ := r.GetSelectivity(qq)
+		selF, errF, sits := r.ApproxFactor(pp, qq)
+		cand := errF + resQ.Err
+		key := chainKey(pp, resQ.key)
+		tol := 1e-9 * (1 + math.Abs(best.Err))
+		if math.IsInf(best.Err, 1) || cand < best.Err-tol ||
+			(cand <= best.Err+tol && key < best.key) {
+			factors := make([]Factor, 0, 1+len(resQ.Factors))
+			factors = append(factors, Factor{P: pp, Q: qq, Sel: selF, Err: errF, SITs: sits})
+			factors = append(factors, resQ.Factors...)
+			best = &Result{Sel: selF * resQ.Sel, Err: cand, Factors: factors, key: key}
+		}
+	}
+	if r.Est.Exhaustive {
+		set.Subsets(try)
+	} else {
+		for _, i := range set.Indices() {
+			try(engine.NewPredSet(i))
+		}
+	}
+	return best
+}
+
+// chainKey encodes a decomposition chain for canonical tie-breaking:
+// singleton heads ("0" prefix, zero-padded index) sort before multi-
+// predicate heads ("1" prefix), then the remainder chain's key follows.
+func chainKey(pp engine.PredSet, rest string) string {
+	if pp.Len() == 1 {
+		return fmt.Sprintf("0%02d.%s", pp.Indices()[0], rest)
+	}
+	return fmt.Sprintf("1%016x.%s", uint64(pp), rest)
+}
+
+// EstimateCardinality returns the estimated cardinality of the sub-query
+// σ_set over its referenced tables: Sel(set) · |tables(set)^×|.
+func (r *Run) EstimateCardinality(set engine.PredSet) float64 {
+	sel := r.GetSelectivity(set).Sel
+	tables := engine.PredsTables(r.Query.Cat, r.Query.Preds, set)
+	return sel * r.Query.Cat.CrossSize(tables)
+}
+
+// Explain renders the chosen decomposition for the predicate set.
+func (r *Run) Explain(set engine.PredSet) string {
+	res := r.GetSelectivity(set)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sel = %.6g  (error %.4g, model %s)\n", res.Sel, res.Err, r.Est.Model.Name())
+	for _, f := range res.Factors {
+		sb.WriteString("  · ")
+		sb.WriteString(f.Format(r.Query))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// trueConditional returns the exact Sel(pred|cond), caching per run. It is
+// only available when the estimator has an oracle.
+func (r *Run) trueConditional(pred int, cond engine.PredSet) float64 {
+	key := truthKey{pred, cond}
+	if v, ok := r.truthMemo[key]; ok {
+		return v
+	}
+	v := r.Est.Oracle.ConditionalSelectivity(r.Query.Tables, r.Query.Preds,
+		engine.NewPredSet(pred), cond)
+	r.truthMemo[key] = v
+	return v
+}

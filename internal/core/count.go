@@ -1,0 +1,50 @@
+package core
+
+import "math/big"
+
+// CountDecompositions returns T(n), the number of possible decompositions
+// of a selectivity value over n predicates (Lemma 1), via the recurrence
+//
+//	T(0) = 1,  T(n) = Σ_{i=1..n} C(n,i) · T(n−i)
+//
+// (choose the i predicates of the leading factor Sel(P'|Q), then decompose
+// the remaining n−i recursively). Arbitrary precision because T grows
+// super-factorially.
+func CountDecompositions(n int) *big.Int {
+	t := make([]*big.Int, n+1)
+	t[0] = big.NewInt(1)
+	for m := 1; m <= n; m++ {
+		sum := new(big.Int)
+		for i := 1; i <= m; i++ {
+			term := new(big.Int).Binomial(int64(m), int64(i))
+			term.Mul(term, t[m-i])
+			sum.Add(sum, term)
+		}
+		t[m] = sum
+	}
+	return t[n]
+}
+
+// DecompositionBounds returns Lemma 1's bounds for T(n):
+// 0.5·(n+1)! and ⌈1.5ⁿ·n!⌉, as big integers.
+func DecompositionBounds(n int) (lower, upper *big.Int) {
+	fact := func(k int) *big.Int {
+		f := big.NewInt(1)
+		for i := 2; i <= k; i++ {
+			f.Mul(f, big.NewInt(int64(i)))
+		}
+		return f
+	}
+	lower = fact(n + 1)
+	lower.Div(lower, big.NewInt(2))
+	// 1.5ⁿ·n! = 3ⁿ·n!/2ⁿ, rounded up.
+	upper = new(big.Int).Exp(big.NewInt(3), big.NewInt(int64(n)), nil)
+	upper.Mul(upper, fact(n))
+	pow2 := new(big.Int).Exp(big.NewInt(2), big.NewInt(int64(n)), nil)
+	rem := new(big.Int)
+	upper.DivMod(upper, pow2, rem)
+	if rem.Sign() != 0 {
+		upper.Add(upper, big.NewInt(1))
+	}
+	return lower, upper
+}

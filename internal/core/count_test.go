@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestCountDecompositionsSmall(t *testing.T) {
+	// T(1)=1; T(2)=3: {Sel(p1,p2)}, {Sel(p1|p2)Sel(p2)}, {Sel(p2|p1)Sel(p1)};
+	// T(3)=13 by the recurrence.
+	want := map[int]int64{0: 1, 1: 1, 2: 3, 3: 13}
+	for n, w := range want {
+		if got := CountDecompositions(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("T(%d) = %v, want %d", n, got, w)
+		}
+	}
+}
+
+// TestDecompositionCountBounds verifies Lemma 1:
+// 0.5·(n+1)! ≤ T(n) ≤ 1.5ⁿ·n! for n ≥ 1.
+func TestDecompositionCountBounds(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		tn := CountDecompositions(n)
+		lower, upper := DecompositionBounds(n)
+		if tn.Cmp(lower) < 0 {
+			t.Errorf("n=%d: T=%v below lower bound %v", n, tn, lower)
+		}
+		if tn.Cmp(upper) > 0 {
+			t.Errorf("n=%d: T=%v above upper bound %v", n, tn, upper)
+		}
+	}
+}
+
+// TestSearchSpaceCollapse quantifies §3.4's point: the DP explores O(3ⁿ)
+// combinations while the raw decomposition space is Ω(0.5·(n+1)!) — the
+// ratio must grow without bound.
+func TestSearchSpaceCollapse(t *testing.T) {
+	prev := new(big.Int)
+	for n := 4; n <= 10; n++ {
+		tn := CountDecompositions(n)
+		dp := new(big.Int).Exp(big.NewInt(3), big.NewInt(int64(n)), nil)
+		ratio := new(big.Int).Div(tn, dp)
+		if n > 5 && ratio.Cmp(prev) <= 0 {
+			t.Fatalf("n=%d: T(n)/3ⁿ = %v did not grow (prev %v)", n, ratio, prev)
+		}
+		prev = ratio
+	}
+	if prev.Cmp(big.NewInt(100)) < 0 {
+		t.Fatalf("expected T(10)/3¹⁰ ≫ 100, got %v", prev)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"condsel/internal/engine"
+	"condsel/internal/sit"
+)
+
+// modelFixture returns a fixture and hand-built SITs for scoring tests.
+func modelFixture(t *testing.T) (*fixture, *Run, *sit.SIT, *sit.SIT, *sit.SIT) {
+	t.Helper()
+	f := newFixture(100, 40, 150)
+	est := NewEstimator(f.cat, f.pool(2), NInd{})
+	r := est.NewRun(f.query)
+
+	preds := f.query.Preds
+	base := sit.NewSIT(f.cat, f.price, nil, nil, 0)
+	sitLO := sit.NewSIT(f.cat, f.price, []engine.Pred{preds[f.joinLO]}, nil, 0.7)
+	sitBoth := sit.NewSIT(f.cat, f.price,
+		[]engine.Pred{preds[f.joinLO], preds[f.joinOC]}, nil, 0.9)
+	return f, r, base, sitLO, sitBoth
+}
+
+func TestNIndScoring(t *testing.T) {
+	f, r, base, sitLO, sitBoth := modelFixture(t)
+	m := NInd{}
+	cond := engine.NewPredSet(f.joinLO, f.joinOC) // Q = {L⋈O, O⋈C}
+
+	if got := m.FilterError(r, f.fPrice, cond, base); got != 2 {
+		t.Errorf("base SIT vs |Q|=2: got %v, want 2", got)
+	}
+	if got := m.FilterError(r, f.fPrice, cond, sitLO); got != 1 {
+		t.Errorf("SIT covering 1 of 2: got %v, want 1", got)
+	}
+	if got := m.FilterError(r, f.fPrice, cond, sitBoth); got != 0 {
+		t.Errorf("fully covering SIT: got %v, want 0", got)
+	}
+	// Empty conditioning set: nothing to assume.
+	if got := m.FilterError(r, f.fPrice, 0, base); got != 0 {
+		t.Errorf("empty cond: got %v, want 0", got)
+	}
+}
+
+// TestNIndIgnoresDisjointCond: conditioning predicates on tables unrelated
+// to the filter's attribute are not charged (separable decomposition).
+func TestNIndIgnoresDisjointCond(t *testing.T) {
+	f, r, base, _, _ := modelFixture(t)
+	m := NInd{}
+	// nation filter (customer table) conditioned on the L⋈O join: disjoint.
+	cond := engine.NewPredSet(f.joinLO)
+	if got := m.FilterError(r, f.fNation, cond, base); got != 0 {
+		t.Errorf("disjoint cond should not be charged: got %v", got)
+	}
+}
+
+func TestDiffScoring(t *testing.T) {
+	f, r, base, sitLO, sitBoth := modelFixture(t)
+	m := Diff{}
+	cond := engine.NewPredSet(f.joinLO, f.joinOC)
+
+	if got := m.FilterError(r, f.fPrice, cond, base); got != 1 {
+		t.Errorf("base SIT: got %v, want 1 (1−diff, diff=0)", got)
+	}
+	if got := m.FilterError(r, f.fPrice, cond, sitLO); !close(got, 0.3, 1e-12) {
+		t.Errorf("partial SIT diff 0.7: got %v, want 0.3", got)
+	}
+	if got := m.FilterError(r, f.fPrice, cond, sitBoth); got != 0 {
+		t.Errorf("exact-match SIT: got %v, want 0", got)
+	}
+	if got := m.FilterError(r, f.fPrice, 0, base); got != 0 {
+		t.Errorf("empty cond: got %v, want 0", got)
+	}
+}
+
+// TestDiffPrefersCorrelatedSIT encodes Example 4: among two partially
+// matching SITs with equal nInd scores, Diff must prefer the one whose
+// expression actually skews the attribute's distribution.
+func TestDiffPrefersCorrelatedSIT(t *testing.T) {
+	f, r, _, _, _ := modelFixture(t)
+	m := Diff{}
+	preds := f.query.Preds
+	correlated := sit.NewSIT(f.cat, f.price, []engine.Pred{preds[f.joinLO]}, nil, 0.8)
+	useless := sit.NewSIT(f.cat, f.price, []engine.Pred{preds[f.joinOC]}, nil, 0.0)
+	cond := engine.NewPredSet(f.joinLO, f.joinOC)
+
+	n := NInd{}
+	if n.FilterError(r, f.fPrice, cond, correlated) != n.FilterError(r, f.fPrice, cond, useless) {
+		t.Fatalf("setup broken: nInd should tie")
+	}
+	if m.FilterError(r, f.fPrice, cond, correlated) >= m.FilterError(r, f.fPrice, cond, useless) {
+		t.Fatalf("Diff must prefer the correlated SIT")
+	}
+}
+
+func TestJoinErrorSumsSides(t *testing.T) {
+	f, r, _, _, _ := modelFixture(t)
+	m := NInd{}
+	preds := f.query.Preds
+	// Estimate the O⋈C join conditioned on L⋈O. Joins are canonicalized by
+	// attribute ID, so resolve which side is the orders attribute.
+	cond := engine.NewPredSet(f.joinLO)
+	p := preds[f.joinOC]
+	ordersID := f.cat.TableByName("orders").ID
+	ordersAttr, custAttr := p.Left, p.Right
+	if f.cat.AttrTable(ordersAttr) != ordersID {
+		ordersAttr, custAttr = custAttr, ordersAttr
+	}
+	baseO := sit.NewSIT(f.cat, ordersAttr, nil, nil, 0) // orders.cid
+	baseC := sit.NewSIT(f.cat, custAttr, nil, nil, 0)   // customer.id
+	score := func(ho, hc *sit.SIT) float64 {
+		if ordersAttr == p.Left {
+			return m.JoinError(r, f.joinOC, cond, ho, hc)
+		}
+		return m.JoinError(r, f.joinOC, cond, hc, ho)
+	}
+	// The orders side is connected to L⋈O: one assumption; the customer
+	// side is table-disjoint from the cond: zero.
+	if got := score(baseO, baseC); got != 1 {
+		t.Errorf("join error = %v, want 1", got)
+	}
+	sitO := sit.NewSIT(f.cat, ordersAttr, []engine.Pred{preds[f.joinLO]}, nil, 0.5)
+	if got := score(sitO, baseC); got != 0 {
+		t.Errorf("covered join error = %v, want 0", got)
+	}
+}
+
+func TestOptModelScoresByTruth(t *testing.T) {
+	f, r, _, _, _ := modelFixture(t)
+	r.Est.Oracle = f.ev
+	m := Opt{}
+	base := r.Est.Pool.Base(f.price) // real base histogram from the pool
+	got := m.FilterError(r, f.fPrice, 0, base)
+	// Unconditioned: the base histogram estimate of price∈[801,1000] is
+	// nearly exact, so the Opt log-error must be tiny.
+	if got > 0.05 {
+		t.Fatalf("Opt score for exact base estimate = %v", got)
+	}
+	// Conditioned on the correlated join, the base histogram is far off.
+	cond := engine.NewPredSet(f.joinLO)
+	conditioned := m.FilterError(r, f.fPrice, cond, base)
+	if conditioned < got+0.2 {
+		t.Fatalf("Opt must detect conditioning error: %v vs %v", conditioned, got)
+	}
+	// Truth memoization: repeated calls hit the cache.
+	before := f.ev.Evaluations
+	m.FilterError(r, f.fPrice, cond, base)
+	if f.ev.Evaluations != before {
+		t.Fatalf("truth not memoized")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if (NInd{}).Name() != "nInd" || (Diff{}).Name() != "Diff" || (Opt{}).Name() != "Opt" {
+		t.Fatalf("model names wrong")
+	}
+}

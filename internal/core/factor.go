@@ -1,0 +1,118 @@
+package core
+
+import (
+	"time"
+
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+	"condsel/internal/sit"
+)
+
+// ApproxFactor approximates the conditional factor Sel(pp|qq) with the best
+// available SITs (§3.3) and returns the estimate, its error under the
+// estimator's model, and the SITs used (nil entries mark fallbacks).
+//
+// With unidimensional SITs a multi-predicate factor is estimated as an
+// internal chain: join predicates first (via the wildcard transform, i.e. a
+// histogram join of per-side SITs), then filters, each predicate matched
+// against the pool with the conditioning set grown by the factor predicates
+// already processed. Errors accumulate additively, generalizing nInd's
+// |P_i|·|Q_i−Q'_i| (see DESIGN.md).
+func (r *Run) ApproxFactor(pp, qq engine.PredSet) (selF, errF float64, sits []*sit.SIT) {
+	q := r.Query
+	cond := qq
+	selF = 1
+
+	process := func(i int) {
+		p := q.Preds[i]
+		if p.IsJoin() {
+			sel, err, hl, hr := r.approxJoin(i, cond)
+			selF *= sel
+			errF += err
+			sits = append(sits, hl, hr)
+		} else {
+			sel, err, h := r.approxFilter(i, cond)
+			selF *= sel
+			errF += err
+			sits = append(sits, h)
+		}
+		cond = cond.Add(i)
+	}
+	for _, i := range pp.Indices() {
+		if q.Preds[i].IsJoin() {
+			process(i)
+		}
+	}
+	for _, i := range pp.Indices() {
+		if !q.Preds[i].IsJoin() {
+			process(i)
+		}
+	}
+	return selF, errF, sits
+}
+
+// approxFilter approximates Sel(pred|cond) for a filter predicate: the best
+// candidate SIT per the error model, falling back to a magic selectivity
+// when no statistics exist for the attribute.
+func (r *Run) approxFilter(pred int, cond engine.PredSet) (sel, err float64, chosen *sit.SIT) {
+	q := r.Query
+	p := q.Preds[pred]
+	cands := r.Est.Pool.Candidates(q.Preds, p.Attr, cond)
+	cands = append(cands, r.derivedCandidates(p.Attr, cond)...)
+	if len(cands) == 0 {
+		return FallbackFilterSelectivity, FallbackError, nil
+	}
+	bestScore := 0.0
+	for _, h := range cands {
+		score := r.Est.Model.FilterError(r, pred, cond, h)
+		if chosen == nil || score < bestScore {
+			chosen, bestScore = h, score
+		}
+	}
+	start := time.Now()
+	sel = chosen.Hist.EstimateRange(p.Lo, p.Hi)
+	r.HistNanos += time.Since(start).Nanoseconds()
+	return sel, bestScore, chosen
+}
+
+// approxJoin approximates Sel(pred|cond) for an equi-join predicate by the
+// §3.3 wildcard transform: pick one SIT per join side and estimate with a
+// histogram join. The pair minimizing the model's score wins.
+func (r *Run) approxJoin(pred int, cond engine.PredSet) (sel, err float64, hl, hr *sit.SIT) {
+	q := r.Query
+	p := q.Preds[pred]
+	cl := r.Est.Pool.Candidates(q.Preds, p.Left, cond)
+	cr := r.Est.Pool.Candidates(q.Preds, p.Right, cond)
+	if len(cl) == 0 || len(cr) == 0 {
+		return FallbackJoinSelectivity, FallbackError, nil, nil
+	}
+	bestScore := 0.0
+	for _, a := range cl {
+		for _, b := range cr {
+			score := r.Est.Model.JoinError(r, pred, cond, a, b)
+			if hl == nil || score < bestScore {
+				hl, hr, bestScore = a, b, score
+			}
+		}
+	}
+	start := time.Now()
+	sel = histogram.Join(hl.Hist, hr.Hist).Selectivity
+	r.HistNanos += time.Since(start).Nanoseconds()
+	return sel, bestScore, hl, hr
+}
+
+// sideCond returns the portion of cond that can influence attr: the
+// connected component of cond's predicates whose tables include attr's
+// table. Predicates of cond in table-disjoint components are irrelevant by
+// the separable decomposition property, so error models do not charge for
+// them.
+func (r *Run) sideCond(cond engine.PredSet, attr engine.AttrID) engine.PredSet {
+	q := r.Query
+	at := q.Cat.AttrTable(attr)
+	for _, comp := range engine.Components(q.Cat, q.Preds, cond) {
+		if engine.PredsTables(q.Cat, q.Preds, comp).Has(at) {
+			return comp
+		}
+	}
+	return 0
+}

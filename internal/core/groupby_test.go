@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"condsel/internal/engine"
+	"condsel/internal/sit"
+)
+
+func emptyPool(f *fixture) *sit.Pool { return sit.NewPool(f.cat) }
+
+// exactGroups counts the true number of distinct attr values over σ_set.
+func exactGroups(f *fixture, attr engine.AttrID, set engine.PredSet) float64 {
+	vals := f.ev.AttrValues(attr, f.query.Preds, set)
+	seen := make(map[int64]bool, len(vals))
+	for _, v := range vals {
+		seen[v] = true
+	}
+	return float64(len(seen))
+}
+
+func TestEstimateGroupsBasics(t *testing.T) {
+	f := newFixture(200, 80, 400)
+	est := NewEstimator(f.cat, f.pool(2), Diff{})
+	r := est.NewRun(f.query)
+
+	// GROUP BY nation over the full query.
+	got := r.EstimateGroups(f.nation, f.query.All())
+	if got < 0 || math.IsNaN(got) {
+		t.Fatalf("bad group estimate %v", got)
+	}
+	n := r.EstimateCardinality(f.query.All())
+	if got > n+1e-9 {
+		t.Fatalf("groups %v exceed estimated rows %v", got, n)
+	}
+}
+
+// TestEstimateGroupsAccuracy: with SITs available, the group estimate for a
+// join-dependent grouping attribute should land near the truth.
+func TestEstimateGroupsAccuracy(t *testing.T) {
+	f := newFixture(201, 100, 600)
+	est := NewEstimator(f.cat, f.pool(2), Diff{})
+	r := est.NewRun(f.query)
+
+	// Group the L⋈O join by order price, restricted to expensive orders:
+	// the truth is the number of distinct prices among expensive orders
+	// with line items.
+	set := engine.NewPredSet(f.joinLO, f.fPrice)
+	truth := exactGroups(f, f.price, set)
+	got := r.EstimateGroups(f.price, set)
+	if truth == 0 {
+		t.Skip("degenerate fixture")
+	}
+	if rel := math.Abs(got-truth) / truth; rel > 0.35 {
+		t.Fatalf("group estimate %v vs truth %v (rel err %.2f)", got, truth, rel)
+	}
+}
+
+// TestEstimateGroupsRespectsFilters: a filter over the grouping attribute
+// must cap the group count by the filter's value range.
+func TestEstimateGroupsRespectsFilters(t *testing.T) {
+	f := newFixture(202, 80, 400)
+	est := NewEstimator(f.cat, f.pool(1), Diff{})
+	r := est.NewRun(f.query)
+	set := engine.NewPredSet(f.fPrice) // price ∈ [801, 1000]
+	got := r.EstimateGroups(f.price, set)
+	if got > 200 {
+		t.Fatalf("groups %v exceed the filter's 200-value range", got)
+	}
+	if got <= 0 {
+		t.Fatalf("groups should be positive, got %v", got)
+	}
+}
+
+// TestEstimateGroupsEmptyResult: impossible predicates yield zero groups.
+func TestEstimateGroupsEmptyResult(t *testing.T) {
+	f := newFixture(203, 40, 150)
+	preds := append(append([]engine.Pred{}, f.query.Preds...),
+		engine.Filter(f.price, 5000, 6000)) // outside the domain
+	q := engine.NewQuery(f.cat, preds)
+	est := NewEstimator(f.cat, f.pool(1), Diff{})
+	r := est.NewRun(q)
+	got := r.EstimateGroups(f.price, engine.NewPredSet(len(preds)-1))
+	if got != 0 {
+		t.Fatalf("groups over empty result = %v", got)
+	}
+}
+
+// TestEstimateGroupsNoStats: the square-root fallback stays within the
+// estimated row count.
+func TestEstimateGroupsNoStats(t *testing.T) {
+	f := newFixture(204, 40, 150)
+	est := NewEstimator(f.cat, emptyPool(f), NInd{})
+	r := est.NewRun(f.query)
+	set := engine.NewPredSet(f.joinLO)
+	got := r.EstimateGroups(f.price, set)
+	n := r.EstimateCardinality(set)
+	if got <= 0 || got > n {
+		t.Fatalf("fallback groups %v outside (0, %v]", got, n)
+	}
+}
+
+// TestCardenasProperties: the correction is monotone in n and bounded by d.
+func TestCardenasProperties(t *testing.T) {
+	if got := cardenas(1, 100); got != 1 {
+		t.Fatalf("cardenas(1, n) = %v", got)
+	}
+	prev := 0.0
+	for _, n := range []float64{1, 10, 100, 1000, 1e6} {
+		g := cardenas(50, n)
+		if g < prev-1e-9 || g > 50+1e-9 {
+			t.Fatalf("cardenas(50, %v) = %v not monotone/bounded", n, g)
+		}
+		prev = g
+	}
+	if prev < 49.9 {
+		t.Fatalf("cardenas should saturate at d: %v", prev)
+	}
+	// One tuple → one group.
+	if g := cardenas(50, 1); math.Abs(g-1) > 1e-9 {
+		t.Fatalf("cardenas(50, 1) = %v, want 1", g)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"condsel/internal/engine"
+	"condsel/internal/sit"
+)
+
+// randomCase builds a random small database, a random SPJ query over it and
+// the J1 pool for that query.
+func randomCase(rng *rand.Rand) (*engine.Catalog, *engine.Query, *sit.Pool) {
+	cat := engine.NewCatalog()
+	names := []string{"R", "S", "T"}
+	nTables := 2 + rng.Intn(2)
+	for ti := 0; ti < nTables; ti++ {
+		rows := 20 + rng.Intn(60)
+		cols := make([]*engine.Column, 3)
+		for ci := range cols {
+			vals := make([]int64, rows)
+			var null []bool
+			if ci == 2 {
+				null = make([]bool, rows)
+			}
+			for r := range vals {
+				vals[r] = int64(rng.Intn(20))
+				if null != nil && rng.Intn(8) == 0 {
+					null[r] = true
+				}
+			}
+			cols[ci] = &engine.Column{Name: string(rune('a' + ci)), Vals: vals, Null: null}
+		}
+		cat.MustAddTable(&engine.Table{Name: names[ti], Cols: cols})
+	}
+	var preds []engine.Pred
+	// Joins connecting consecutive tables keep the query mostly connected.
+	for ti := 1; ti < nTables; ti++ {
+		a1 := cat.AttrsOfTable(engine.TableID(ti - 1))[rng.Intn(3)]
+		a2 := cat.AttrsOfTable(engine.TableID(ti))[rng.Intn(3)]
+		preds = append(preds, engine.Join(a1, a2))
+	}
+	nFilters := 1 + rng.Intn(3)
+	for fi := 0; fi < nFilters; fi++ {
+		ti := engine.TableID(rng.Intn(nTables))
+		a := cat.AttrsOfTable(ti)[rng.Intn(3)]
+		lo := int64(rng.Intn(20))
+		preds = append(preds, engine.Filter(a, lo, lo+int64(rng.Intn(10))))
+	}
+	q := engine.NewQuery(cat, preds)
+	b := sit.NewBuilder(cat)
+	pool := sit.BuildWorkloadPool(b, []*engine.Query{q}, 1)
+	return cat, q, pool
+}
+
+// TestPropertyRandomQueries checks the core invariants over many random
+// databases and queries: selectivities in [0,1], non-negative finite
+// errors, memo determinism, separable multiplication, and singleton ≡
+// exhaustive search.
+func TestPropertyRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		cat, q, pool := randomCase(rng)
+		for _, model := range []ErrorModel{NInd{}, Diff{}} {
+			fast := NewEstimator(cat, pool, model)
+			slow := NewEstimator(cat, pool, model)
+			slow.Exhaustive = true
+			rf, rs := fast.NewRun(q), slow.NewRun(q)
+
+			full := q.All()
+			for set := engine.PredSet(1); set <= full; set++ {
+				if !set.SubsetOf(full) {
+					continue
+				}
+				res := rf.GetSelectivity(set)
+				if res.Sel < 0 || res.Sel > 1+1e-9 || math.IsNaN(res.Sel) {
+					t.Fatalf("trial %d: sel %v out of range for %v\n%s", trial, res.Sel, set, q)
+				}
+				if res.Err < 0 || math.IsInf(res.Err, 1) {
+					t.Fatalf("trial %d: bad err %v for %v", trial, res.Err, set)
+				}
+				// Determinism: a fresh run returns the same values.
+				again := fast.NewRun(q).GetSelectivity(set)
+				if again.Sel != res.Sel || again.Err != res.Err {
+					t.Fatalf("trial %d: nondeterministic result for %v", trial, set)
+				}
+				// Exhaustive equivalence.
+				ex := rs.GetSelectivity(set)
+				if math.Abs(ex.Sel-res.Sel) > 1e-9 || math.Abs(ex.Err-res.Err) > 1e-9 {
+					t.Fatalf("trial %d %s: singleton (%v,%v) vs exhaustive (%v,%v) for %v\n%s",
+						trial, model.Name(), res.Sel, res.Err, ex.Sel, ex.Err, set, q)
+				}
+				// Separable sets multiply across components.
+				comps := engine.Components(cat, q.Preds, set)
+				if len(comps) > 1 {
+					prod, errSum := 1.0, 0.0
+					for _, comp := range comps {
+						sub := rf.GetSelectivity(comp)
+						prod *= sub.Sel
+						errSum += sub.Err
+					}
+					if math.Abs(prod-res.Sel) > 1e-9 || math.Abs(errSum-res.Err) > 1e-9 {
+						t.Fatalf("trial %d: separable mismatch for %v", trial, set)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyCardinalityBounds: estimated cardinalities never exceed the
+// cross product and shrink (weakly) as predicates are added along chains.
+func TestPropertyCardinalityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		cat, q, pool := randomCase(rng)
+		run := NewEstimator(cat, pool, Diff{}).NewRun(q)
+		full := q.All()
+		for set := engine.PredSet(1); set <= full; set++ {
+			if !set.SubsetOf(full) {
+				continue
+			}
+			card := run.EstimateCardinality(set)
+			tables := engine.PredsTables(cat, q.Preds, set)
+			if card < 0 || card > cat.CrossSize(tables)+1e-6 {
+				t.Fatalf("trial %d: card %v outside [0, %v] for %v",
+					trial, card, cat.CrossSize(tables), set)
+			}
+		}
+	}
+}
+
+// TestPropertyGroupEstimates: group-count estimates stay within
+// [0, estimated rows] for random grouping attributes.
+func TestPropertyGroupEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 40; trial++ {
+		cat, q, pool := randomCase(rng)
+		run := NewEstimator(cat, pool, Diff{}).NewRun(q)
+		tables := q.Tables.Tables()
+		attr := cat.AttrsOfTable(tables[rng.Intn(len(tables))])[rng.Intn(3)]
+		groups := run.EstimateGroups(attr, q.All())
+		rows := run.EstimateCardinality(q.All())
+		if groups < 0 || math.IsNaN(groups) {
+			t.Fatalf("trial %d: bad group estimate %v", trial, groups)
+		}
+		if rows >= 1 && groups > rows+1e-6 {
+			t.Fatalf("trial %d: groups %v exceed rows %v", trial, groups, rows)
+		}
+	}
+}

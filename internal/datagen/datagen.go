@@ -1,0 +1,347 @@
+// Package datagen generates the synthetic snowflake database of the paper's
+// evaluation (§5 "Data Sets"): eight tables spanning three snowflake levels
+// with 4–8 attributes each, attribute values with configurable Zipfian skew,
+// cross-table correlation between dimension attributes and join fan-out
+// (the ingredient that breaks the independence assumption), and foreign-key
+// joins that violate referential integrity through 5–20% dangling (NULL)
+// keys, chosen either at random or correlated with attribute values.
+//
+// Schema (child → parent foreign keys):
+//
+//	sales ─┬─→ customer ──→ region
+//	       ├─→ product  ──→ category ──→ brand
+//	       └─→ store    ──→ city
+//
+// Fan-out correlation: each child's foreign key is drawn from a Zipfian
+// distribution over the parent's keys, so low-numbered parent rows are
+// "popular" (match many child rows). Every parent carries a `popularity
+// -correlated` attribute whose value increases with the row's popularity;
+// range filters on such attributes therefore select rows with
+// systematically larger join fan-out — exactly the §1 scenario where
+// expensive orders have many line items.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"condsel/internal/engine"
+)
+
+// Config controls database generation. The zero value is usable: defaults
+// fill in a medium-sized, clearly skewed instance.
+type Config struct {
+	// Seed drives all randomness; equal seeds yield identical databases.
+	Seed int64
+	// FactRows is the sales (fact) table size. Default 50,000. The paper
+	// uses up to 1M; experiments scale this knob.
+	FactRows int
+	// Skew is the Zipf s-parameter for skewed value and foreign-key
+	// distributions (must be > 1). Default 1.2.
+	Skew float64
+	// DanglingFrac is the fraction of child foreign keys replaced by NULL
+	// (referential-integrity violations). The paper uses 5%–20%.
+	// Default 0.1.
+	DanglingFrac float64
+	// CorrelatedDangling selects dangling tuples correlated with attribute
+	// values (the rows with the largest skewed measure) rather than at
+	// random.
+	CorrelatedDangling bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.FactRows == 0 {
+		c.FactRows = 50000
+	}
+	if c.Skew == 0 {
+		c.Skew = 1.2
+	}
+	if c.DanglingFrac == 0 {
+		c.DanglingFrac = 0.1
+	}
+	return c
+}
+
+// FKEdge is one foreign-key join edge of the schema: Child is the foreign
+// key attribute, Parent the referenced key attribute.
+type FKEdge struct {
+	Child  engine.AttrID
+	Parent engine.AttrID
+}
+
+// Pred returns the equi-join predicate for the edge.
+func (e FKEdge) Pred() engine.Pred { return engine.Join(e.Child, e.Parent) }
+
+// DB is a generated snowflake database: the catalog plus the schema
+// metadata workload generators need.
+type DB struct {
+	Cat *engine.Catalog
+	Cfg Config
+
+	// Edges are the seven foreign-key join edges of the snowflake.
+	Edges []FKEdge
+	// FilterAttrs are non-key attributes suitable for filter predicates,
+	// with their value domains.
+	FilterAttrs []FilterAttr
+}
+
+// FilterAttr describes a filterable attribute and its value domain.
+type FilterAttr struct {
+	Attr   engine.AttrID
+	Lo, Hi int64
+}
+
+// tableSpec drives generation of one table.
+type tableSpec struct {
+	name    string
+	rows    int
+	parents []string // parent table names, in FK order
+}
+
+// Generate builds the eight-table snowflake database.
+func Generate(cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := engine.NewCatalog()
+	db := &DB{Cat: cat, Cfg: cfg}
+
+	atLeast := func(n, floor int) int {
+		if n < floor {
+			return floor
+		}
+		return n
+	}
+	f := cfg.FactRows
+	specs := []tableSpec{
+		{name: "brand", rows: atLeast(f/500, 20)},
+		{name: "region", rows: atLeast(f/500, 20)},
+		{name: "city", rows: atLeast(f/200, 25)},
+		{name: "category", rows: atLeast(f/200, 25), parents: []string{"brand"}},
+		{name: "customer", rows: atLeast(f/10, 50), parents: []string{"region"}},
+		{name: "product", rows: atLeast(f/25, 40), parents: []string{"category"}},
+		{name: "store", rows: atLeast(f/100, 30), parents: []string{"city"}},
+		{name: "sales", rows: f, parents: []string{"customer", "product", "store"}},
+	}
+
+	rowsOf := make(map[string]int, len(specs))
+	// popularity[t][k] is the Zipf rank weight of parent t's key k, used to
+	// tie parent attributes to their future join fan-out.
+	for _, spec := range specs {
+		rowsOf[spec.name] = spec.rows
+	}
+
+	for _, spec := range specs {
+		g := newTableGen(rng, spec.rows)
+		g.key("id")
+		for _, parent := range spec.parents {
+			g.foreignKey(parent+"_fk", rowsOf[parent], cfg)
+		}
+		// Popularity-correlated attribute: grows as the key gets more
+		// popular under the Zipfian FK draw (key 0 is most popular).
+		g.popularityCorrelated("hot")
+		// One uniformly distributed and one Zipf-skewed measure.
+		g.uniform("u1", 10000)
+		g.zipf("z1", cfg.Skew, 10000)
+		if spec.name == "sales" || spec.name == "customer" {
+			// Extra intra-table correlated attribute on the larger tables.
+			g.correlatedWithPrevious("c1")
+		}
+		if spec.name == "customer" {
+			g.uniform("u2", 1000)
+		}
+		table := g.build(spec.name)
+		cat.MustAddTable(table)
+	}
+
+	// Wire FK edges and collect filterable attributes.
+	for _, spec := range specs {
+		for _, parent := range spec.parents {
+			db.Edges = append(db.Edges, FKEdge{
+				Child:  cat.MustAttr(spec.name + "." + parent + "_fk"),
+				Parent: cat.MustAttr(parent + ".id"),
+			})
+		}
+		for _, colName := range []string{"hot", "u1", "z1", "c1", "u2"} {
+			t := cat.TableByName(spec.name)
+			if col := t.Column(colName); col != nil {
+				attr := cat.MustAttr(spec.name + "." + colName)
+				lo, hi := valueRange(col)
+				db.FilterAttrs = append(db.FilterAttrs, FilterAttr{Attr: attr, Lo: lo, Hi: hi})
+			}
+		}
+	}
+	applyDangling(rng, db, cfg)
+	return db
+}
+
+// tableGen accumulates columns for one table.
+type tableGen struct {
+	rng  *rand.Rand
+	rows int
+	cols []*engine.Column
+}
+
+func newTableGen(rng *rand.Rand, rows int) *tableGen {
+	return &tableGen{rng: rng, rows: rows}
+}
+
+func (g *tableGen) key(name string) {
+	vals := make([]int64, g.rows)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	g.cols = append(g.cols, &engine.Column{Name: name, Vals: vals})
+}
+
+// foreignKey draws keys of a parent with parentRows rows from a Zipfian
+// distribution, making low parent keys popular.
+func (g *tableGen) foreignKey(name string, parentRows int, cfg Config) {
+	z := rand.NewZipf(g.rng, cfg.Skew, 1, uint64(parentRows-1))
+	vals := make([]int64, g.rows)
+	for i := range vals {
+		vals[i] = int64(z.Uint64())
+	}
+	g.cols = append(g.cols, &engine.Column{Name: name, Vals: vals})
+}
+
+// popularityCorrelated emits an attribute increasing with the row's
+// popularity under Zipfian foreign-key draws: value ≈ 10000·(1 − rank/n)
+// plus noise, so key 0 (the most referenced) gets the highest values.
+func (g *tableGen) popularityCorrelated(name string) {
+	vals := make([]int64, g.rows)
+	n := float64(g.rows)
+	for i := range vals {
+		base := 10000 * (1 - float64(i)/n)
+		noise := g.rng.NormFloat64() * 500
+		v := int64(base + noise)
+		if v < 0 {
+			v = 0
+		}
+		if v > 10000 {
+			v = 10000
+		}
+		vals[i] = v
+	}
+	g.cols = append(g.cols, &engine.Column{Name: name, Vals: vals})
+}
+
+func (g *tableGen) uniform(name string, domain int64) {
+	vals := make([]int64, g.rows)
+	for i := range vals {
+		vals[i] = g.rng.Int63n(domain)
+	}
+	g.cols = append(g.cols, &engine.Column{Name: name, Vals: vals})
+}
+
+func (g *tableGen) zipf(name string, skew float64, domain uint64) {
+	z := rand.NewZipf(g.rng, skew, 1, domain)
+	vals := make([]int64, g.rows)
+	for i := range vals {
+		vals[i] = int64(z.Uint64())
+	}
+	g.cols = append(g.cols, &engine.Column{Name: name, Vals: vals})
+}
+
+// correlatedWithPrevious emits an attribute linearly tied (plus noise) to
+// the previously added column, producing intra-table correlation.
+func (g *tableGen) correlatedWithPrevious(name string) {
+	prev := g.cols[len(g.cols)-1]
+	vals := make([]int64, g.rows)
+	for i := range vals {
+		v := prev.Vals[i]/2 + int64(g.rng.NormFloat64()*100)
+		if v < 0 {
+			v = 0
+		}
+		vals[i] = v
+	}
+	g.cols = append(g.cols, &engine.Column{Name: name, Vals: vals})
+}
+
+func (g *tableGen) build(name string) *engine.Table {
+	return &engine.Table{Name: name, Cols: g.cols}
+}
+
+// applyDangling NULLs out a fraction of every foreign key column. In
+// correlated mode, the rows with the highest z1 values dangle; otherwise
+// rows are chosen uniformly.
+func applyDangling(rng *rand.Rand, db *DB, cfg Config) {
+	for _, edge := range db.Edges {
+		col := db.Cat.AttrColumn(edge.Child)
+		n := len(col.Vals)
+		want := int(float64(n) * cfg.DanglingFrac)
+		if want == 0 {
+			continue
+		}
+		col.Null = make([]bool, n)
+		if cfg.CorrelatedDangling {
+			table := db.Cat.Table(db.Cat.AttrTable(edge.Child))
+			z1 := table.Column("z1")
+			// Dangle rows whose skewed measure exceeds a threshold chosen
+			// to hit roughly the requested fraction.
+			threshold := quantile(z1.Vals, 1-cfg.DanglingFrac)
+			marked := 0
+			for i := 0; i < n && marked < want; i++ {
+				if z1.Vals[i] >= threshold {
+					col.Null[i] = true
+					marked++
+				}
+			}
+			// Top up randomly if ties under-filled the quota.
+			for marked < want {
+				i := rng.Intn(n)
+				if !col.Null[i] {
+					col.Null[i] = true
+					marked++
+				}
+			}
+		} else {
+			for marked := 0; marked < want; {
+				i := rng.Intn(n)
+				if !col.Null[i] {
+					col.Null[i] = true
+					marked++
+				}
+			}
+		}
+	}
+}
+
+// quantile returns the q-quantile (0..1) of vals by sorting a copy.
+func quantile(vals []int64, q float64) int64 {
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// valueRange returns the min and max non-NULL values of a column.
+func valueRange(col *engine.Column) (lo, hi int64) {
+	first := true
+	for i, v := range col.Vals {
+		if col.IsNull(i) {
+			continue
+		}
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	return lo, hi
+}
+
+// Summary returns a human-readable description of the generated database.
+func (db *DB) Summary() string {
+	out := ""
+	for _, name := range db.Cat.TableNames() {
+		t := db.Cat.TableByName(name)
+		out += fmt.Sprintf("%-10s %8d rows, %d attributes\n", name, t.NumRows(), len(t.Cols))
+	}
+	out += fmt.Sprintf("%d foreign-key edges, %d filterable attributes\n",
+		len(db.Edges), len(db.FilterAttrs))
+	return out
+}

@@ -1,0 +1,192 @@
+package datagen
+
+import (
+	"testing"
+
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+)
+
+func testCfg() Config {
+	return Config{Seed: 1, FactRows: 5000}
+}
+
+func TestGenerateSchemaShape(t *testing.T) {
+	db := Generate(testCfg())
+	if got := db.Cat.NumTables(); got != 8 {
+		t.Fatalf("tables = %d, want 8", got)
+	}
+	if got := len(db.Edges); got != 7 {
+		t.Fatalf("FK edges = %d, want 7", got)
+	}
+	for _, name := range []string{"sales", "customer", "product", "store",
+		"region", "category", "city", "brand"} {
+		tab := db.Cat.TableByName(name)
+		if tab == nil {
+			t.Fatalf("missing table %q", name)
+		}
+		if n := len(tab.Cols); n < 4 || n > 8 {
+			t.Errorf("table %s has %d attributes, want 4..8", name, n)
+		}
+		if tab.NumRows() < 10 {
+			t.Errorf("table %s suspiciously small: %d rows", name, tab.NumRows())
+		}
+	}
+	if db.Cat.TableByName("sales").NumRows() != 5000 {
+		t.Fatalf("fact rows = %d", db.Cat.TableByName("sales").NumRows())
+	}
+	if len(db.FilterAttrs) == 0 {
+		t.Fatalf("no filterable attributes")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testCfg())
+	b := Generate(testCfg())
+	col1 := a.Cat.TableByName("sales").Column("z1")
+	col2 := b.Cat.TableByName("sales").Column("z1")
+	for i := range col1.Vals {
+		if col1.Vals[i] != col2.Vals[i] {
+			t.Fatalf("nondeterministic generation at row %d", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := Generate(Config{Seed: 1, FactRows: 2000})
+	b := Generate(Config{Seed: 2, FactRows: 2000})
+	col1 := a.Cat.TableByName("sales").Column("z1")
+	col2 := b.Cat.TableByName("sales").Column("z1")
+	same := 0
+	for i := range col1.Vals {
+		if col1.Vals[i] == col2.Vals[i] {
+			same++
+		}
+	}
+	if same == len(col1.Vals) {
+		t.Fatalf("different seeds produced identical data")
+	}
+}
+
+func TestDanglingForeignKeys(t *testing.T) {
+	cfg := testCfg()
+	cfg.DanglingFrac = 0.15
+	db := Generate(cfg)
+	for _, edge := range db.Edges {
+		col := db.Cat.AttrColumn(edge.Child)
+		if col.Null == nil {
+			t.Fatalf("edge %s has no dangling keys", db.Cat.AttrName(edge.Child))
+		}
+		nulls := 0
+		for _, isNull := range col.Null {
+			if isNull {
+				nulls++
+			}
+		}
+		frac := float64(nulls) / float64(len(col.Vals))
+		if frac < 0.10 || frac > 0.20 {
+			t.Errorf("edge %s dangling fraction %.3f, want ≈0.15",
+				db.Cat.AttrName(edge.Child), frac)
+		}
+	}
+}
+
+func TestCorrelatedDangling(t *testing.T) {
+	cfg := testCfg()
+	cfg.CorrelatedDangling = true
+	cfg.DanglingFrac = 0.1
+	db := Generate(cfg)
+	// Dangling sales rows must have systematically higher z1 than average.
+	sales := db.Cat.TableByName("sales")
+	fk := sales.Column("customer_fk")
+	z1 := sales.Column("z1")
+	var sumNull, sumLive, nNull, nLive float64
+	for i := range fk.Vals {
+		if fk.IsNull(i) {
+			sumNull += float64(z1.Vals[i])
+			nNull++
+		} else {
+			sumLive += float64(z1.Vals[i])
+			nLive++
+		}
+	}
+	if nNull == 0 {
+		t.Fatalf("no dangling rows")
+	}
+	if sumNull/nNull <= sumLive/nLive {
+		t.Fatalf("correlated dangling not correlated: null avg %.1f vs live avg %.1f",
+			sumNull/nNull, sumLive/nLive)
+	}
+}
+
+// TestForeignKeySkew: the Zipfian FK draw must concentrate references on
+// low parent keys — the popular-key mechanism behind the paper's skew.
+func TestForeignKeySkew(t *testing.T) {
+	db := Generate(testCfg())
+	fk := db.Cat.TableByName("sales").Column("customer_fk")
+	nCustomers := db.Cat.TableByName("customer").NumRows()
+	lowKeys := 0
+	total := 0
+	for i, v := range fk.Vals {
+		if fk.IsNull(i) {
+			continue
+		}
+		total++
+		if v < int64(nCustomers/10) {
+			lowKeys++
+		}
+	}
+	if frac := float64(lowKeys) / float64(total); frac < 0.5 {
+		t.Fatalf("low 10%% of keys receive only %.2f of references, want > 0.5 (Zipf)", frac)
+	}
+}
+
+// TestPopularityCorrelationBreaksIndependence checks the generator's core
+// property: a filter on the customer "hot" attribute selects customers with
+// far more sales than the independence assumption predicts.
+func TestPopularityCorrelationBreaksIndependence(t *testing.T) {
+	db := Generate(testCfg())
+	cat := db.Cat
+	ev := engine.NewEvaluator(cat)
+
+	join := engine.Join(cat.MustAttr("sales.customer_fk"), cat.MustAttr("customer.id"))
+	hot := cat.MustAttr("customer.hot")
+	filter := engine.Filter(hot, 9000, 10000) // top-popularity customers
+	preds := []engine.Pred{join, filter}
+	tables := engine.NewTableSet(cat.AttrTable(hot), cat.TableByName("sales").ID)
+
+	selBoth := ev.Selectivity(tables, preds, engine.FullPredSet(2))
+	selJoin := ev.Selectivity(tables, preds, engine.NewPredSet(0))
+	selFilter := ev.Selectivity(tables, preds, engine.NewPredSet(1))
+	independent := selJoin * selFilter
+	if selBoth < 2*independent {
+		t.Fatalf("correlation too weak: joint %v vs independent %v", selBoth, independent)
+	}
+}
+
+// TestZipfColumnSkew: the z1 columns must be recognizably skewed.
+func TestZipfColumnSkew(t *testing.T) {
+	db := Generate(testCfg())
+	z1 := db.Cat.TableByName("sales").Column("z1")
+	h := histogram.BuildMaxDiff(z1.Vals, 200)
+	zeroFrac := h.EstimateEq(0)
+	if zeroFrac < 0.15 {
+		t.Fatalf("Zipf mode frequency %.3f, want heavy head", zeroFrac)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	db := Generate(Config{Seed: 3, FactRows: 1000})
+	s := db.Summary()
+	if len(s) == 0 {
+		t.Fatalf("empty summary")
+	}
+}
+
+func TestFKEdgePred(t *testing.T) {
+	db := Generate(Config{Seed: 4, FactRows: 1000})
+	p := db.Edges[0].Pred()
+	if !p.IsJoin() {
+		t.Fatalf("edge pred is not a join")
+	}
+}

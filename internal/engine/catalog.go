@@ -1,0 +1,220 @@
+// Package engine provides the relational substrate used throughout the
+// repository: a catalog of in-memory columnar tables, a predicate model for
+// select-project-join (SPJ) queries in the paper's canonical form
+// σ_{p1∧…∧pk}(R1×…×Rn), and an exact evaluator that computes true
+// cardinalities and attribute-value distributions over arbitrary predicate
+// sets. The evaluator supplies the ground truth against which all estimation
+// techniques are measured, and executes the query expressions on which SITs
+// are built.
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableID identifies a table within a Catalog. IDs are dense, starting at 0.
+type TableID int
+
+// AttrID identifies an attribute (a column of some table) within a Catalog.
+// IDs are dense across the whole catalog, starting at 0.
+type AttrID int
+
+// NoAttr is the zero value used when a predicate field does not apply.
+const NoAttr AttrID = -1
+
+// Column is a single attribute's data in columnar layout. A nil Null slice
+// means the column contains no NULLs.
+type Column struct {
+	Name string
+	Vals []int64
+	Null []bool // Null[i] reports whether row i is NULL; nil if none
+}
+
+// IsNull reports whether row i of the column is NULL.
+func (c *Column) IsNull(i int) bool { return c.Null != nil && c.Null[i] }
+
+// Table is an in-memory relation with named columns of equal length.
+type Table struct {
+	ID   TableID
+	Name string
+	Cols []*Column
+
+	attrIDs []AttrID // parallel to Cols; assigned by the catalog
+}
+
+// NumRows returns the number of rows in the table.
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return len(t.Cols[0].Vals)
+}
+
+// Column returns the column with the given name, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// attrInfo locates an attribute inside the catalog.
+type attrInfo struct {
+	table TableID
+	col   int // index into Table.Cols
+	name  string
+}
+
+// Catalog owns a set of tables and assigns global attribute IDs. All queries,
+// predicates, histograms and SITs reference attributes through the catalog.
+type Catalog struct {
+	tables []*Table
+	attrs  []attrInfo
+	byName map[string]AttrID // "Table.Col" → AttrID
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]AttrID)}
+}
+
+// AddTable registers t, assigns its TableID and attribute IDs, and returns
+// the assigned TableID. Column lengths must agree; table and qualified
+// column names must be unique in the catalog.
+func (c *Catalog) AddTable(t *Table) (TableID, error) {
+	if len(c.tables) >= 64 {
+		return 0, fmt.Errorf("engine: catalog supports at most 64 tables")
+	}
+	for _, existing := range c.tables {
+		if existing.Name == t.Name {
+			return 0, fmt.Errorf("engine: duplicate table name %q", t.Name)
+		}
+	}
+	n := -1
+	for _, col := range t.Cols {
+		if n == -1 {
+			n = len(col.Vals)
+		} else if len(col.Vals) != n {
+			return 0, fmt.Errorf("engine: table %q has ragged columns (%d vs %d rows)", t.Name, n, len(col.Vals))
+		}
+		if col.Null != nil && len(col.Null) != len(col.Vals) {
+			return 0, fmt.Errorf("engine: table %q column %q has mismatched null bitmap", t.Name, col.Name)
+		}
+	}
+	t.ID = TableID(len(c.tables))
+	t.attrIDs = make([]AttrID, len(t.Cols))
+	for i, col := range t.Cols {
+		key := t.Name + "." + col.Name
+		if _, dup := c.byName[key]; dup {
+			return 0, fmt.Errorf("engine: duplicate attribute %q", key)
+		}
+		id := AttrID(len(c.attrs))
+		c.attrs = append(c.attrs, attrInfo{table: t.ID, col: i, name: key})
+		c.byName[key] = id
+		t.attrIDs[i] = id
+	}
+	c.tables = append(c.tables, t)
+	return t.ID, nil
+}
+
+// MustAddTable is AddTable that panics on error; intended for generators and
+// tests where the schema is program-controlled.
+func (c *Catalog) MustAddTable(t *Table) TableID {
+	id, err := c.AddTable(t)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumTables returns the number of tables in the catalog.
+func (c *Catalog) NumTables() int { return len(c.tables) }
+
+// NumAttrs returns the number of attributes in the catalog.
+func (c *Catalog) NumAttrs() int { return len(c.attrs) }
+
+// Table returns the table with the given ID.
+func (c *Catalog) Table(id TableID) *Table { return c.tables[int(id)] }
+
+// TableByName returns the table with the given name, or nil if absent.
+func (c *Catalog) TableByName(name string) *Table {
+	for _, t := range c.tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Attr resolves a qualified attribute name like "orders.total_price".
+func (c *Catalog) Attr(qualified string) (AttrID, error) {
+	id, ok := c.byName[qualified]
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown attribute %q", qualified)
+	}
+	return id, nil
+}
+
+// MustAttr is Attr that panics on error.
+func (c *Catalog) MustAttr(qualified string) AttrID {
+	id, err := c.Attr(qualified)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AttrTable returns the table that owns attribute a.
+func (c *Catalog) AttrTable(a AttrID) TableID { return c.attrs[int(a)].table }
+
+// AttrName returns the qualified name of attribute a ("Table.Col").
+func (c *Catalog) AttrName(a AttrID) string { return c.attrs[int(a)].name }
+
+// AttrColumn returns the column data for attribute a.
+func (c *Catalog) AttrColumn(a AttrID) *Column {
+	info := c.attrs[int(a)]
+	return c.tables[int(info.table)].Cols[info.col]
+}
+
+// TableRows returns the row count of table id.
+func (c *Catalog) TableRows(id TableID) int { return c.tables[int(id)].NumRows() }
+
+// CrossSize returns |R1×…×Rn| for the tables in set s, as a float64 because
+// the product overflows int64 for large schemas.
+func (c *Catalog) CrossSize(s TableSet) float64 {
+	size := 1.0
+	for _, id := range s.Tables() {
+		size *= float64(c.TableRows(id))
+	}
+	return size
+}
+
+// AttrsOfTable returns the attribute IDs of table id in column order.
+func (c *Catalog) AttrsOfTable(id TableID) []AttrID {
+	t := c.tables[int(id)]
+	out := make([]AttrID, len(t.attrIDs))
+	copy(out, t.attrIDs)
+	return out
+}
+
+// TableNames returns all table names in ID order.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, len(c.tables))
+	for i, t := range c.tables {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// AttrNames returns all qualified attribute names, sorted.
+func (c *Catalog) AttrNames() []string {
+	out := make([]string, 0, len(c.byName))
+	for name := range c.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

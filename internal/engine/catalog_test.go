@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoColTable(name string, a, b []int64) *Table {
+	return &Table{Name: name, Cols: []*Column{
+		{Name: "a", Vals: a},
+		{Name: "b", Vals: b},
+	}}
+}
+
+func TestCatalogAddAndResolve(t *testing.T) {
+	c := NewCatalog()
+	rID := c.MustAddTable(twoColTable("R", []int64{1, 2, 3}, []int64{4, 5, 6}))
+	sID := c.MustAddTable(twoColTable("S", []int64{7, 8}, []int64{9, 10}))
+
+	if c.NumTables() != 2 || c.NumAttrs() != 4 {
+		t.Fatalf("NumTables=%d NumAttrs=%d", c.NumTables(), c.NumAttrs())
+	}
+	ra := c.MustAttr("R.a")
+	sb := c.MustAttr("S.b")
+	if c.AttrTable(ra) != rID || c.AttrTable(sb) != sID {
+		t.Fatalf("AttrTable misresolves")
+	}
+	if got := c.AttrName(sb); got != "S.b" {
+		t.Fatalf("AttrName = %q", got)
+	}
+	if got := c.AttrColumn(ra).Vals[2]; got != 3 {
+		t.Fatalf("AttrColumn value = %d", got)
+	}
+	if c.TableRows(rID) != 3 || c.TableRows(sID) != 2 {
+		t.Fatalf("TableRows wrong")
+	}
+	if got := c.CrossSize(NewTableSet(rID, sID)); got != 6 {
+		t.Fatalf("CrossSize = %v", got)
+	}
+	if c.TableByName("S") == nil || c.TableByName("Z") != nil {
+		t.Fatalf("TableByName misbehaves")
+	}
+}
+
+func TestCatalogErrors(t *testing.T) {
+	c := NewCatalog()
+	c.MustAddTable(twoColTable("R", []int64{1}, []int64{2}))
+	if _, err := c.AddTable(twoColTable("R", []int64{1}, []int64{2})); err == nil {
+		t.Errorf("duplicate table name accepted")
+	}
+	ragged := &Table{Name: "Q", Cols: []*Column{
+		{Name: "a", Vals: []int64{1, 2}},
+		{Name: "b", Vals: []int64{1}},
+	}}
+	if _, err := c.AddTable(ragged); err == nil || !strings.Contains(err.Error(), "ragged") {
+		t.Errorf("ragged columns accepted: %v", err)
+	}
+	badNull := &Table{Name: "P", Cols: []*Column{
+		{Name: "a", Vals: []int64{1, 2}, Null: []bool{true}},
+	}}
+	if _, err := c.AddTable(badNull); err == nil {
+		t.Errorf("mismatched null bitmap accepted")
+	}
+	if _, err := c.Attr("R.zzz"); err == nil {
+		t.Errorf("unknown attribute resolved")
+	}
+}
+
+func TestCatalogAttrsOfTableAndNames(t *testing.T) {
+	c := NewCatalog()
+	id := c.MustAddTable(twoColTable("R", []int64{1}, []int64{2}))
+	attrs := c.AttrsOfTable(id)
+	if len(attrs) != 2 {
+		t.Fatalf("AttrsOfTable len = %d", len(attrs))
+	}
+	names := c.AttrNames()
+	if len(names) != 2 || names[0] != "R.a" || names[1] != "R.b" {
+		t.Fatalf("AttrNames = %v", names)
+	}
+	if tn := c.TableNames(); len(tn) != 1 || tn[0] != "R" {
+		t.Fatalf("TableNames = %v", tn)
+	}
+}
+
+func TestColumnIsNull(t *testing.T) {
+	col := &Column{Name: "a", Vals: []int64{1, 2}, Null: []bool{false, true}}
+	if col.IsNull(0) || !col.IsNull(1) {
+		t.Fatalf("IsNull wrong with bitmap")
+	}
+	noNull := &Column{Name: "b", Vals: []int64{1}}
+	if noNull.IsNull(0) {
+		t.Fatalf("IsNull wrong without bitmap")
+	}
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"testing"
+)
+
+func predTestCatalog() *Catalog {
+	c := NewCatalog()
+	c.MustAddTable(twoColTable("R", []int64{1, 5, 9}, []int64{2, 2, 7}))
+	c.MustAddTable(&Table{Name: "S", Cols: []*Column{
+		{Name: "a", Vals: []int64{5, 9}, Null: []bool{false, true}},
+		{Name: "b", Vals: []int64{1, 1}},
+	}})
+	return c
+}
+
+func TestJoinCanonicalOrder(t *testing.T) {
+	c := predTestCatalog()
+	ra, sa := c.MustAttr("R.a"), c.MustAttr("S.a")
+	j1 := Join(ra, sa)
+	j2 := Join(sa, ra)
+	if j1 != j2 {
+		t.Fatalf("join not canonical: %+v vs %+v", j1, j2)
+	}
+	if j1.Key() != j2.Key() {
+		t.Fatalf("keys differ: %s vs %s", j1.Key(), j2.Key())
+	}
+}
+
+func TestPredTablesAndAttrs(t *testing.T) {
+	c := predTestCatalog()
+	ra, sb := c.MustAttr("R.a"), c.MustAttr("S.b")
+	f := Filter(ra, 0, 10)
+	if got := f.Tables(c); got != NewTableSet(0) {
+		t.Fatalf("filter tables = %v", got)
+	}
+	j := Join(ra, sb)
+	if got := j.Tables(c); got != NewTableSet(0, 1) {
+		t.Fatalf("join tables = %v", got)
+	}
+	if len(f.Attrs()) != 1 || len(j.Attrs()) != 2 {
+		t.Fatalf("Attrs length wrong")
+	}
+	if f.IsJoin() || !j.IsJoin() {
+		t.Fatalf("IsJoin wrong")
+	}
+}
+
+func TestSelfJoinDetection(t *testing.T) {
+	c := predTestCatalog()
+	ra, rb := c.MustAttr("R.a"), c.MustAttr("R.b")
+	sa := c.MustAttr("S.a")
+	if !Join(ra, rb).SelfJoin(c) {
+		t.Errorf("R.a=R.b should be a self join")
+	}
+	if Join(ra, sa).SelfJoin(c) {
+		t.Errorf("R.a=S.a should not be a self join")
+	}
+}
+
+func TestPredMatches(t *testing.T) {
+	c := predTestCatalog()
+	ra, rb := c.MustAttr("R.a"), c.MustAttr("R.b")
+	sa := c.MustAttr("S.a")
+
+	f := Filter(ra, 2, 6)
+	wantF := []bool{false, true, false} // values 1, 5, 9
+	for i, want := range wantF {
+		if got := f.Matches(c, i); got != want {
+			t.Errorf("filter row %d: got %v want %v", i, got, want)
+		}
+	}
+
+	// NULL never matches a filter.
+	fs := Filter(sa, 0, 100)
+	if !fs.Matches(c, 0) {
+		t.Errorf("non-null S.a row 0 should match")
+	}
+	if fs.Matches(c, 1) {
+		t.Errorf("NULL S.a row 1 must not match")
+	}
+
+	// Self-join R.a = R.b: rows (1,2) (5,2) (9,7) — none equal.
+	sj := Join(ra, rb)
+	for i := 0; i < 3; i++ {
+		if sj.Matches(c, i) {
+			t.Errorf("self join row %d should not match", i)
+		}
+	}
+}
+
+func TestPredFormat(t *testing.T) {
+	c := predTestCatalog()
+	ra := c.MustAttr("R.a")
+	sb := c.MustAttr("S.b")
+	cases := []struct {
+		p    Pred
+		want string
+	}{
+		{Eq(ra, 5), "R.a = 5"},
+		{Filter(ra, MinValue, 7), "R.a <= 7"},
+		{Filter(ra, 3, MaxValue), "R.a >= 3"},
+		{Filter(ra, 3, 7), "3 <= R.a <= 7"},
+		{Join(ra, sb), "R.a = S.b"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Format(c); got != tc.want {
+			t.Errorf("Format = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPredsKeyStableUnderReorder(t *testing.T) {
+	c := predTestCatalog()
+	ra, sa := c.MustAttr("R.a"), c.MustAttr("S.a")
+	p1 := []Pred{Filter(ra, 0, 5), Join(ra, sa)}
+	p2 := []Pred{Join(sa, ra), Filter(ra, 0, 5)}
+	k1 := PredsKey(p1, FullPredSet(2))
+	k2 := PredsKey(p2, FullPredSet(2))
+	if k1 != k2 {
+		t.Fatalf("keys differ under reorder: %q vs %q", k1, k2)
+	}
+}
+
+func TestFormatPreds(t *testing.T) {
+	c := predTestCatalog()
+	ra, sa := c.MustAttr("R.a"), c.MustAttr("S.a")
+	preds := []Pred{Filter(ra, 0, 5), Join(ra, sa)}
+	got := FormatPreds(c, preds, FullPredSet(2))
+	want := "0 <= R.a <= 5 AND R.a = S.a"
+	if got != want {
+		t.Fatalf("FormatPreds = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a canonical SPJ query σ_{p1∧…∧pk}(R1×…×Rn). Tables holds R
+// explicitly; it must include every table referenced by a predicate but may
+// contain more (extra tables contribute pure cartesian-product factors).
+type Query struct {
+	Cat    *Catalog
+	Tables TableSet
+	Preds  []Pred
+}
+
+// NewQuery builds a query over the tables referenced by preds.
+func NewQuery(c *Catalog, preds []Pred) *Query {
+	q := &Query{Cat: c, Preds: preds}
+	q.Tables = PredsTables(c, preds, FullPredSet(len(preds)))
+	return q
+}
+
+// All returns the predicate set containing every predicate of the query.
+func (q *Query) All() PredSet { return FullPredSet(len(q.Preds)) }
+
+// NumJoins returns the number of join predicates.
+func (q *Query) NumJoins() int {
+	n := 0
+	for _, p := range q.Preds {
+		if p.IsJoin() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumFilters returns the number of filter predicates.
+func (q *Query) NumFilters() int { return len(q.Preds) - q.NumJoins() }
+
+// JoinSet returns the positions of all join predicates.
+func (q *Query) JoinSet() PredSet {
+	var s PredSet
+	for i, p := range q.Preds {
+		if p.IsJoin() {
+			s = s.Add(i)
+		}
+	}
+	return s
+}
+
+// FilterSet returns the positions of all filter predicates.
+func (q *Query) FilterSet() PredSet { return q.All().Minus(q.JoinSet()) }
+
+// String renders the query in a compact canonical form.
+func (q *Query) String() string {
+	names := make([]string, 0, q.Tables.Len())
+	for _, id := range q.Tables.Tables() {
+		names = append(names, q.Cat.Table(id).Name)
+	}
+	return fmt.Sprintf("SELECT * FROM %s WHERE %s",
+		strings.Join(names, " x "), FormatPreds(q.Cat, q.Preds, q.All()))
+}
+
+// Components partitions the predicate positions in set into connected
+// components, where two predicates are connected when they reference a
+// common table. The returned components are in increasing order of their
+// smallest predicate position. A predicate set whose Components have length
+// greater than one is exactly a *separable* selectivity expression in the
+// sense of Definition 2 of the paper, and the component list is its standard
+// decomposition (Lemma 2).
+func Components(c *Catalog, preds []Pred, set PredSet) []PredSet {
+	idxs := set.Indices()
+	if len(idxs) <= 1 {
+		if len(idxs) == 0 {
+			return nil
+		}
+		return []PredSet{set}
+	}
+	// Union-find over the predicate positions, merging through shared tables.
+	parent := make(map[int]int, len(idxs))
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, i := range idxs {
+		parent[i] = i
+	}
+	tableOwner := make(map[TableID]int) // first predicate seen per table
+	for _, i := range idxs {
+		for _, t := range preds[i].Tables(c).Tables() {
+			if o, ok := tableOwner[t]; ok {
+				union(o, i)
+			} else {
+				tableOwner[t] = i
+			}
+		}
+	}
+	groups := make(map[int]PredSet)
+	order := make([]int, 0, 4)
+	for _, i := range idxs {
+		r := find(i)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = groups[r].Add(i)
+	}
+	out := make([]PredSet, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// Separable reports whether the predicate set is separable: whether it can
+// be split into two non-empty parts referencing disjoint table sets
+// (Definition 2).
+func Separable(c *Catalog, preds []Pred, set PredSet) bool {
+	return len(Components(c, preds, set)) > 1
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func componentsCatalog() (*Catalog, []Pred) {
+	c := NewCatalog()
+	for _, n := range []string{"R", "S", "T", "U"} {
+		c.MustAddTable(twoColTable(n, []int64{1, 2}, []int64{3, 4}))
+	}
+	ra := c.MustAttr("R.a")
+	sa := c.MustAttr("S.a")
+	ta := c.MustAttr("T.a")
+	ub := c.MustAttr("U.b")
+	preds := []Pred{
+		Filter(ra, 0, 5),  // 0: {R}
+		Join(ra, sa),      // 1: {R,S}
+		Filter(ta, 0, 5),  // 2: {T}
+		Join(ta, ub),      // 3: {T,U}
+		Filter(ub, 0, 10), // 4: {U}
+	}
+	return c, preds
+}
+
+func TestComponentsSplitsByTables(t *testing.T) {
+	c, preds := componentsCatalog()
+	comps := Components(c, preds, FullPredSet(5))
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2: %v", len(comps), comps)
+	}
+	if comps[0] != NewPredSet(0, 1) {
+		t.Errorf("component 0 = %v, want {0,1}", comps[0])
+	}
+	if comps[1] != NewPredSet(2, 3, 4) {
+		t.Errorf("component 1 = %v, want {2,3,4}", comps[1])
+	}
+}
+
+func TestComponentsSingletonAndEmpty(t *testing.T) {
+	c, preds := componentsCatalog()
+	if got := Components(c, preds, 0); got != nil {
+		t.Errorf("empty set components = %v", got)
+	}
+	single := Components(c, preds, NewPredSet(2))
+	if len(single) != 1 || single[0] != NewPredSet(2) {
+		t.Errorf("singleton components = %v", single)
+	}
+}
+
+func TestSeparable(t *testing.T) {
+	c, preds := componentsCatalog()
+	if !Separable(c, preds, FullPredSet(5)) {
+		t.Errorf("full set should be separable")
+	}
+	if Separable(c, preds, NewPredSet(0, 1)) {
+		t.Errorf("{filter R, join RS} should not be separable")
+	}
+	if Separable(c, preds, NewPredSet(1)) {
+		t.Errorf("single join should not be separable")
+	}
+	if !Separable(c, preds, NewPredSet(0, 2)) {
+		t.Errorf("{filter R, filter T} should be separable")
+	}
+}
+
+// TestComponentsPartition checks that Components always yields a disjoint
+// cover of the input set with pairwise-disjoint table sets.
+func TestComponentsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		db := newTestDB(rng, 4, 2, 4, 5)
+		preds := db.randomPreds(rng, 1+rng.Intn(3), rng.Intn(4), 5)
+		full := FullPredSet(len(preds))
+		comps := Components(db.cat, preds, full)
+
+		var union PredSet
+		var seenTables TableSet
+		for _, comp := range comps {
+			if comp.Empty() {
+				t.Fatalf("empty component")
+			}
+			if !union.Intersect(comp).Empty() {
+				t.Fatalf("components overlap: %v", comps)
+			}
+			union = union.Union(comp)
+			ct := PredsTables(db.cat, preds, comp)
+			if !seenTables.Intersect(ct).Empty() {
+				t.Fatalf("component tables overlap: %v", comps)
+			}
+			seenTables = seenTables.Union(ct)
+			// Each component must itself be non-separable.
+			if Separable(db.cat, preds, comp) {
+				t.Fatalf("component %v separable", comp)
+			}
+		}
+		if union != full {
+			t.Fatalf("components do not cover input: %v vs %v", union, full)
+		}
+	}
+}
+
+func TestQueryAccessors(t *testing.T) {
+	c, preds := componentsCatalog()
+	q := NewQuery(c, preds)
+	if q.Tables != NewTableSet(0, 1, 2, 3) {
+		t.Fatalf("query tables = %v", q.Tables)
+	}
+	if q.NumJoins() != 2 || q.NumFilters() != 3 {
+		t.Fatalf("NumJoins=%d NumFilters=%d", q.NumJoins(), q.NumFilters())
+	}
+	if q.JoinSet() != NewPredSet(1, 3) {
+		t.Fatalf("JoinSet = %v", q.JoinSet())
+	}
+	if q.FilterSet() != NewPredSet(0, 2, 4) {
+		t.Fatalf("FilterSet = %v", q.FilterSet())
+	}
+	if q.All() != FullPredSet(5) {
+		t.Fatalf("All = %v", q.All())
+	}
+	s := q.String()
+	if s == "" {
+		t.Fatalf("empty String()")
+	}
+}

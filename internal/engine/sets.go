@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// TableSet is a bitset of table identifiers. Table i is a member when bit i
+// is set. The catalog supports at most 64 tables, which is far beyond the
+// 8-table snowflake schema used in the paper's evaluation.
+type TableSet uint64
+
+// NewTableSet returns a set containing the given tables.
+func NewTableSet(ids ...TableID) TableSet {
+	var s TableSet
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Add returns s with table id included.
+func (s TableSet) Add(id TableID) TableSet { return s | 1<<uint(id) }
+
+// Has reports whether table id is a member of s.
+func (s TableSet) Has(id TableID) bool { return s&(1<<uint(id)) != 0 }
+
+// Union returns the set union of s and t.
+func (s TableSet) Union(t TableSet) TableSet { return s | t }
+
+// Intersect returns the set intersection of s and t.
+func (s TableSet) Intersect(t TableSet) TableSet { return s & t }
+
+// Minus returns the members of s that are not in t.
+func (s TableSet) Minus(t TableSet) TableSet { return s &^ t }
+
+// Disjoint reports whether s and t have no table in common.
+func (s TableSet) Disjoint(t TableSet) bool { return s&t == 0 }
+
+// SubsetOf reports whether every member of s is also in t.
+func (s TableSet) SubsetOf(t TableSet) bool { return s&^t == 0 }
+
+// Empty reports whether s has no members.
+func (s TableSet) Empty() bool { return s == 0 }
+
+// Len returns the number of tables in s.
+func (s TableSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Tables returns the member table IDs in increasing order.
+func (s TableSet) Tables() []TableID {
+	out := make([]TableID, 0, s.Len())
+	for s != 0 {
+		i := bits.TrailingZeros64(uint64(s))
+		out = append(out, TableID(i))
+		s &^= 1 << uint(i)
+	}
+	return out
+}
+
+// String formats the set as "{0,3,5}" using table IDs.
+func (s TableSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.Tables() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(id)))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// PredSet is a bitset of predicate positions within a Query's predicate
+// slice. Queries are limited to 64 predicates; the paper's workloads use at
+// most ten.
+type PredSet uint64
+
+// FullPredSet returns the set {0, …, n-1}.
+func FullPredSet(n int) PredSet {
+	if n >= 64 {
+		panic("engine: predicate sets support at most 64 predicates")
+	}
+	return PredSet(1)<<uint(n) - 1
+}
+
+// NewPredSet returns a set containing the given predicate positions.
+func NewPredSet(idxs ...int) PredSet {
+	var s PredSet
+	for _, i := range idxs {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// Add returns s with position i included.
+func (s PredSet) Add(i int) PredSet { return s | 1<<uint(i) }
+
+// Has reports whether position i is a member of s.
+func (s PredSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Union returns the set union of s and t.
+func (s PredSet) Union(t PredSet) PredSet { return s | t }
+
+// Intersect returns the set intersection of s and t.
+func (s PredSet) Intersect(t PredSet) PredSet { return s & t }
+
+// Minus returns the members of s that are not in t.
+
+func (s PredSet) Minus(t PredSet) PredSet { return s &^ t }
+
+// SubsetOf reports whether every member of s is also in t.
+func (s PredSet) SubsetOf(t PredSet) bool { return s&^t == 0 }
+
+// Empty reports whether s has no members.
+func (s PredSet) Empty() bool { return s == 0 }
+
+// Len returns the number of positions in s.
+func (s PredSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Indices returns the member positions in increasing order.
+func (s PredSet) Indices() []int {
+	out := make([]int, 0, s.Len())
+	for s != 0 {
+		i := bits.TrailingZeros64(uint64(s))
+		out = append(out, i)
+		s &^= 1 << uint(i)
+	}
+	return out
+}
+
+// String formats the set as "{1,2,4}" using predicate positions.
+func (s PredSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, idx := range s.Indices() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Subsets calls fn for every non-empty subset of s, in an arbitrary but
+// deterministic order. It is used by the decomposition enumerators.
+func (s PredSet) Subsets(fn func(PredSet)) {
+	for sub := s; sub != 0; sub = (sub - 1) & s {
+		fn(sub)
+	}
+}

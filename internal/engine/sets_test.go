@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestTableSetBasics(t *testing.T) {
+	s := NewTableSet(0, 3, 5)
+	if !s.Has(0) || !s.Has(3) || !s.Has(5) {
+		t.Fatalf("missing members in %v", s)
+	}
+	if s.Has(1) || s.Has(4) {
+		t.Fatalf("unexpected members in %v", s)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := s.String(); got != "{0,3,5}" {
+		t.Fatalf("String = %q", got)
+	}
+	ids := s.Tables()
+	want := []TableID{0, 3, 5}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Tables = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestTableSetAlgebra(t *testing.T) {
+	a := NewTableSet(0, 1, 2)
+	b := NewTableSet(2, 3)
+	if got := a.Union(b); got != NewTableSet(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NewTableSet(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != NewTableSet(0, 1) {
+		t.Errorf("Minus = %v", got)
+	}
+	if a.Disjoint(b) {
+		t.Errorf("Disjoint should be false")
+	}
+	if !NewTableSet(0, 1).Disjoint(NewTableSet(2, 3)) {
+		t.Errorf("Disjoint should be true")
+	}
+	if !NewTableSet(1).SubsetOf(a) {
+		t.Errorf("SubsetOf should be true")
+	}
+	if NewTableSet(1, 3).SubsetOf(a) {
+		t.Errorf("SubsetOf should be false")
+	}
+	var empty TableSet
+	if !empty.Empty() || a.Empty() {
+		t.Errorf("Empty misbehaves")
+	}
+}
+
+func TestPredSetBasics(t *testing.T) {
+	s := NewPredSet(1, 2, 4)
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d", got)
+	}
+	if got := s.String(); got != "{1,2,4}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := FullPredSet(3); got != NewPredSet(0, 1, 2) {
+		t.Fatalf("FullPredSet(3) = %v", got)
+	}
+	if !s.Minus(NewPredSet(2)).Union(NewPredSet(2)).SubsetOf(s) {
+		t.Fatalf("Minus/Union roundtrip failed")
+	}
+}
+
+func TestFullPredSetPanicsBeyond64(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for 64 predicates")
+		}
+	}()
+	FullPredSet(64)
+}
+
+func TestPredSetSubsetsEnumeratesAll(t *testing.T) {
+	s := NewPredSet(0, 2, 5)
+	seen := make(map[PredSet]bool)
+	s.Subsets(func(sub PredSet) {
+		if sub.Empty() {
+			t.Fatalf("Subsets yielded empty set")
+		}
+		if !sub.SubsetOf(s) {
+			t.Fatalf("subset %v not within %v", sub, s)
+		}
+		if seen[sub] {
+			t.Fatalf("subset %v repeated", sub)
+		}
+		seen[sub] = true
+	})
+	if len(seen) != 7 { // 2^3 - 1
+		t.Fatalf("enumerated %d subsets, want 7", len(seen))
+	}
+}
+
+func TestPredSetIndicesOrder(t *testing.T) {
+	s := NewPredSet(9, 1, 4)
+	idxs := s.Indices()
+	want := []int{1, 4, 9}
+	for i := range want {
+		if idxs[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", idxs, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math/rand"
+)
+
+// testDB bundles a small random database for exhaustive cross-checks.
+type testDB struct {
+	cat *Catalog
+}
+
+// newTestDB builds nTables small tables (rows in [1, maxRows]) with nCols
+// integer columns each, values drawn from a small domain so joins and
+// filters hit often. Roughly 10% of values in the last column are NULL.
+func newTestDB(rng *rand.Rand, nTables, nCols, maxRows, domain int) *testDB {
+	cat := NewCatalog()
+	names := []string{"R", "S", "T", "U", "V", "W", "X", "Y"}
+	for ti := 0; ti < nTables; ti++ {
+		rows := 1 + rng.Intn(maxRows)
+		cols := make([]*Column, nCols)
+		for ci := 0; ci < nCols; ci++ {
+			vals := make([]int64, rows)
+			var null []bool
+			if ci == nCols-1 {
+				null = make([]bool, rows)
+			}
+			for r := 0; r < rows; r++ {
+				vals[r] = int64(rng.Intn(domain))
+				if null != nil && rng.Intn(10) == 0 {
+					null[r] = true
+				}
+			}
+			cols[ci] = &Column{Name: string(rune('a' + ci)), Vals: vals, Null: null}
+		}
+		cat.MustAddTable(&Table{Name: names[ti], Cols: cols})
+	}
+	return &testDB{cat: cat}
+}
+
+// randomPreds generates a mix of filters and joins over the catalog. Joins
+// connect distinct tables; filters use modest ranges.
+func (db *testDB) randomPreds(rng *rand.Rand, nFilters, nJoins, domain int) []Pred {
+	c := db.cat
+	var preds []Pred
+	for i := 0; i < nFilters; i++ {
+		ti := TableID(rng.Intn(c.NumTables()))
+		attrs := c.AttrsOfTable(ti)
+		a := attrs[rng.Intn(len(attrs))]
+		lo := int64(rng.Intn(domain))
+		hi := lo + int64(rng.Intn(domain/2+1))
+		preds = append(preds, Filter(a, lo, hi))
+	}
+	for i := 0; i < nJoins; i++ {
+		t1 := TableID(rng.Intn(c.NumTables()))
+		t2 := TableID(rng.Intn(c.NumTables()))
+		for t2 == t1 {
+			t2 = TableID(rng.Intn(c.NumTables()))
+		}
+		a1 := c.AttrsOfTable(t1)[rng.Intn(len(c.AttrsOfTable(t1)))]
+		a2 := c.AttrsOfTable(t2)[rng.Intn(len(c.AttrsOfTable(t2)))]
+		preds = append(preds, Join(a1, a2))
+	}
+	return preds
+}
+
+// bruteCount computes |σ_set(tables^×)| by enumerating the full cartesian
+// product. Only usable for tiny tables.
+func bruteCount(c *Catalog, tables TableSet, preds []Pred, set PredSet) float64 {
+	ids := tables.Tables()
+	rows := make([]int, len(ids))
+	for i, id := range ids {
+		rows[i] = c.TableRows(id)
+	}
+	pos := make(map[TableID]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	idxs := set.Indices()
+	var count float64
+	cursor := make([]int, len(ids))
+	var walk func(dim int)
+	walk = func(dim int) {
+		if dim == len(ids) {
+			for _, pi := range idxs {
+				p := preds[pi]
+				if p.IsJoin() {
+					lc := c.AttrColumn(p.Left)
+					rc := c.AttrColumn(p.Right)
+					li := cursor[pos[c.AttrTable(p.Left)]]
+					ri := cursor[pos[c.AttrTable(p.Right)]]
+					if lc.IsNull(li) || rc.IsNull(ri) || lc.Vals[li] != rc.Vals[ri] {
+						return
+					}
+				} else {
+					col := c.AttrColumn(p.Attr)
+					ri := cursor[pos[c.AttrTable(p.Attr)]]
+					if col.IsNull(ri) {
+						return
+					}
+					v := col.Vals[ri]
+					if v < p.Lo || v > p.Hi {
+						return
+					}
+				}
+			}
+			count++
+			return
+		}
+		for r := 0; r < rows[dim]; r++ {
+			cursor[dim] = r
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+	return count
+}

@@ -1,0 +1,93 @@
+package engine
+
+import "fmt"
+
+// View is a materialized evaluation of a connected predicate set — the
+// relational result a SIT's histogram is built over. It allows projecting
+// several attributes out of a single join evaluation, which the SIT builder
+// uses to amortize the cost of populating large pools.
+type View struct {
+	cat   *Catalog
+	preds []Pred
+	set   PredSet
+	res   *joinResult
+}
+
+// Materialize evaluates σ_set(tables(set)^×) for a connected predicate set
+// and returns a reusable view over the result. It panics if set is empty or
+// spans more than one connected component.
+func (e *Evaluator) Materialize(preds []Pred, set PredSet) *View {
+	if set.Empty() {
+		panic("engine: Materialize requires a non-empty predicate set")
+	}
+	comps := Components(e.cat, preds, set)
+	if len(comps) != 1 {
+		panic(fmt.Sprintf("engine: Materialize requires a connected predicate set, got %d components", len(comps)))
+	}
+	return &View{cat: e.cat, preds: preds, set: set, res: e.evalComponent(preds, set)}
+}
+
+// Count returns the number of tuples in the view.
+func (v *View) Count() int { return v.res.count() }
+
+// Tables returns the tables participating in the view.
+func (v *View) Tables() TableSet {
+	var s TableSet
+	for _, id := range v.res.tables {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// AttrValues projects attribute attr over the view, skipping tuples where
+// attr is NULL. The attribute's table must participate in the view.
+func (v *View) AttrValues(attr AttrID) []int64 {
+	pos := v.res.tablePos(v.cat.AttrTable(attr))
+	col := v.cat.AttrColumn(attr)
+	out := make([]int64, 0, v.res.count())
+	for _, row := range v.res.rows[pos] {
+		if !col.IsNull(int(row)) {
+			out = append(out, col.Vals[row])
+		}
+	}
+	return out
+}
+
+// TupleValues returns the values of the given attributes for the i-th
+// tuple of the view, with a parallel NULL mask.
+func (v *View) TupleValues(i int, attrs []AttrID) (vals []int64, nulls []bool) {
+	vals = make([]int64, len(attrs))
+	nulls = make([]bool, len(attrs))
+	for k, a := range attrs {
+		pos := v.res.tablePos(v.cat.AttrTable(a))
+		row := v.res.rows[pos][i]
+		col := v.cat.AttrColumn(a)
+		if col.IsNull(int(row)) {
+			nulls[k] = true
+			continue
+		}
+		vals[k] = col.Vals[row]
+	}
+	return vals, nulls
+}
+
+// AttrPairs projects the attribute pair (x, y) over the view, skipping
+// tuples where either side is NULL. Both attributes' tables must
+// participate in the view.
+func (v *View) AttrPairs(x, y AttrID) (xs, ys []int64) {
+	xPos := v.res.tablePos(v.cat.AttrTable(x))
+	yPos := v.res.tablePos(v.cat.AttrTable(y))
+	xCol, yCol := v.cat.AttrColumn(x), v.cat.AttrColumn(y)
+	n := v.res.count()
+	xs = make([]int64, 0, n)
+	ys = make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		xr, yr := v.res.rows[xPos][i], v.res.rows[yPos][i]
+		if xCol.IsNull(int(xr)) || yCol.IsNull(int(yr)) {
+			continue
+		}
+		xs = append(xs, xCol.Vals[xr])
+		ys = append(ys, yCol.Vals[yr])
+	}
+	return xs, ys
+}

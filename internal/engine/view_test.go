@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func viewFixture(t *testing.T) (*Catalog, []Pred) {
+	t.Helper()
+	c := NewCatalog()
+	c.MustAddTable(&Table{Name: "R", Cols: []*Column{
+		{Name: "k", Vals: []int64{1, 2, 3, 4}},
+		{Name: "a", Vals: []int64{10, 20, 30, 40}, Null: []bool{false, false, true, false}},
+	}})
+	c.MustAddTable(&Table{Name: "S", Cols: []*Column{
+		{Name: "k", Vals: []int64{2, 2, 3}},
+		{Name: "b", Vals: []int64{200, 201, 300}},
+	}})
+	return c, []Pred{Join(c.MustAttr("R.k"), c.MustAttr("S.k"))}
+}
+
+func TestMaterializeBasics(t *testing.T) {
+	c, preds := viewFixture(t)
+	ev := NewEvaluator(c)
+	v := ev.Materialize(preds, NewPredSet(0))
+	if v.Count() != 3 { // (2,200),(2,201),(3,300)
+		t.Fatalf("Count = %d, want 3", v.Count())
+	}
+	if v.Tables() != NewTableSet(0, 1) {
+		t.Fatalf("Tables = %v", v.Tables())
+	}
+}
+
+func TestMaterializePanics(t *testing.T) {
+	c, preds := viewFixture(t)
+	ev := NewEvaluator(c)
+	for name, set := range map[string]PredSet{
+		"empty set": 0,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			ev.Materialize(preds, set)
+		}()
+	}
+	// Disconnected predicate set panics too.
+	ra := c.MustAttr("R.a")
+	sb := c.MustAttr("S.b")
+	disc := []Pred{Filter(ra, 0, 100), Filter(sb, 0, 1000)}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("disconnected set: expected panic")
+		}
+	}()
+	ev.Materialize(disc, FullPredSet(2))
+}
+
+func TestViewAttrValuesSkipsNulls(t *testing.T) {
+	c, preds := viewFixture(t)
+	ev := NewEvaluator(c)
+	v := ev.Materialize(preds, NewPredSet(0))
+	vals := v.AttrValues(c.MustAttr("R.a"))
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	// R.a over the join: 20 (twice, via k=2) and NULL (k=3, dropped).
+	if len(vals) != 2 || vals[0] != 20 || vals[1] != 20 {
+		t.Fatalf("AttrValues = %v, want [20 20]", vals)
+	}
+}
+
+func TestViewAttrPairs(t *testing.T) {
+	c, preds := viewFixture(t)
+	ev := NewEvaluator(c)
+	v := ev.Materialize(preds, NewPredSet(0))
+	xs, ys := v.AttrPairs(c.MustAttr("R.a"), c.MustAttr("S.b"))
+	if len(xs) != 2 || len(ys) != 2 { // NULL R.a row dropped from pairs
+		t.Fatalf("AttrPairs lengths %d/%d, want 2/2", len(xs), len(ys))
+	}
+	for i := range xs {
+		if xs[i] != 20 || (ys[i] != 200 && ys[i] != 201) {
+			t.Fatalf("pair %d = (%d, %d)", i, xs[i], ys[i])
+		}
+	}
+}
+
+func TestViewTupleValues(t *testing.T) {
+	c, preds := viewFixture(t)
+	ev := NewEvaluator(c)
+	v := ev.Materialize(preds, NewPredSet(0))
+	attrs := []AttrID{c.MustAttr("R.a"), c.MustAttr("S.b")}
+	nullSeen := false
+	for i := 0; i < v.Count(); i++ {
+		vals, nulls := v.TupleValues(i, attrs)
+		if len(vals) != 2 || len(nulls) != 2 {
+			t.Fatalf("tuple %d shapes wrong", i)
+		}
+		if nulls[0] {
+			nullSeen = true
+			if vals[0] != 0 {
+				t.Fatalf("NULL value not zeroed")
+			}
+		}
+	}
+	if !nullSeen {
+		t.Fatalf("expected the k=3 tuple to carry a NULL R.a")
+	}
+}
+
+// TestViewMatchesAttrValuesAPI: the view projection agrees with the
+// evaluator's one-shot AttrValues.
+func TestViewMatchesAttrValuesAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := newTestDB(rng, 3, 2, 8, 5)
+	preds := db.randomPreds(rng, 1, 2, 5)
+	full := FullPredSet(len(preds))
+	comps := Components(db.cat, preds, full)
+	ev := NewEvaluator(db.cat)
+	for _, comp := range comps {
+		tables := PredsTables(db.cat, preds, comp)
+		attr := db.cat.AttrsOfTable(tables.Tables()[0])[0]
+		v := ev.Materialize(preds, comp)
+		a := v.AttrValues(attr)
+		b := ev.AttrValues(attr, preds, comp)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("values differ at %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package gvm implements the baseline the paper argues against: the greedy
+// view-matching approach of Bruno & Chaudhuri (SIGMOD'02), referred to as
+// GVM in §5.
+//
+// GVM estimates each predicate of a sub-query with at most one SIT (one per
+// side for joins), chosen by a greedy procedure that repeatedly applies the
+// SIT rewrite eliminating the most independence assumptions. Because view
+// matching realizes SITs through plan rewrites, the expressions of the SITs
+// used together must nest into a single rewrite tree: expression table sets
+// must be pairwise disjoint or nested (a laminar family). This is exactly
+// the restriction of the paper's Figure 1 — SIT(·|L⋈O) and SIT(·|O⋈C)
+// overlap on the orders table without nesting, so GVM can apply only one of
+// them, while getSelectivity combines both (Figure 2).
+//
+// GVM also has no cross-request memoization: every sub-plan selectivity
+// request runs the greedy procedure from scratch, which is why it issues
+// many times more view-matching calls than getSelectivity (Figure 6).
+package gvm
+
+import (
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+	"condsel/internal/sit"
+)
+
+// Fallback selectivities for predicates with no statistics at all, matching
+// the core package's constants.
+const (
+	fallbackFilterSel = 0.1
+	fallbackJoinSel   = 0.01
+)
+
+// Estimator estimates selectivities with greedy view matching over a SIT
+// pool. It is stateless across requests (by design — see package comment).
+type Estimator struct {
+	Cat  *engine.Catalog
+	Pool *sit.Pool
+}
+
+// NewEstimator returns a GVM estimator over the catalog and pool.
+func NewEstimator(cat *engine.Catalog, pool *sit.Pool) *Estimator {
+	return &Estimator{Cat: cat, Pool: pool}
+}
+
+// slot is one statistic assignment point: a filter predicate's attribute or
+// one side of a join predicate.
+type slot struct {
+	pred   int
+	attr   engine.AttrID
+	chosen *sit.SIT // nil means no statistics available (fallback)
+}
+
+// EstimateSelectivity runs the greedy procedure for the predicate subset
+// and returns the estimated Sel(set).
+func (e *Estimator) EstimateSelectivity(q *engine.Query, set engine.PredSet) float64 {
+	sel, _ := e.estimate(q, set)
+	return sel
+}
+
+// EstimateCardinality returns the estimated cardinality of σ_set over its
+// referenced tables.
+func (e *Estimator) EstimateCardinality(q *engine.Query, set engine.PredSet) float64 {
+	sel := e.EstimateSelectivity(q, set)
+	tables := engine.PredsTables(q.Cat, q.Preds, set)
+	return sel * q.Cat.CrossSize(tables)
+}
+
+// Assumptions returns the number of independence assumptions (the nInd
+// score) of the greedy solution for the predicate subset.
+func (e *Estimator) Assumptions(q *engine.Query, set engine.PredSet) float64 {
+	_, nInd := e.estimate(q, set)
+	return nInd
+}
+
+// estimate performs the greedy SIT selection and returns the selectivity
+// estimate and its nInd score.
+func (e *Estimator) estimate(q *engine.Query, set engine.PredSet) (float64, float64) {
+	if set.Empty() {
+		return 1, 0
+	}
+	// Handle separable sets per component: cross-component independence is
+	// exact, and it keeps conditioning sets meaningful.
+	comps := engine.Components(q.Cat, q.Preds, set)
+	if len(comps) > 1 {
+		sel, nInd := 1.0, 0.0
+		for _, comp := range comps {
+			s, n := e.estimate(q, comp)
+			sel *= s
+			nInd += n
+		}
+		return sel, nInd
+	}
+
+	slots := e.initialSlots(q, set)
+	chosenExprs := make([]*sit.SIT, 0, len(slots))
+
+	// Greedy rounds: apply the compatible move with the largest reduction
+	// in independence assumptions until none improves.
+	for {
+		bestSlot, bestSIT, bestGain := -1, (*sit.SIT)(nil), 0.0
+		for si := range slots {
+			s := &slots[si]
+			cond := set.Minus(engine.NewPredSet(s.pred))
+			current := e.slotScore(q, set, s.pred, s.attr, s.chosen)
+			for _, h := range e.Pool.Candidates(q.Preds, s.attr, cond) {
+				if h == s.chosen || !e.compatible(h, chosenExprs) {
+					continue
+				}
+				gain := current - e.slotScore(q, set, s.pred, s.attr, h)
+				if gain > bestGain {
+					bestSlot, bestSIT, bestGain = si, h, gain
+				}
+			}
+		}
+		if bestSlot < 0 {
+			break
+		}
+		slots[bestSlot].chosen = bestSIT
+		if !bestSIT.IsBase() {
+			chosenExprs = append(chosenExprs, bestSIT)
+		}
+	}
+
+	return e.evaluate(q, set, slots)
+}
+
+// initialSlots assigns base histograms to every predicate side.
+func (e *Estimator) initialSlots(q *engine.Query, set engine.PredSet) []slot {
+	var slots []slot
+	for _, i := range set.Indices() {
+		p := q.Preds[i]
+		if p.IsJoin() {
+			slots = append(slots,
+				slot{pred: i, attr: p.Left, chosen: e.Pool.Base(p.Left)},
+				slot{pred: i, attr: p.Right, chosen: e.Pool.Base(p.Right)})
+		} else {
+			slots = append(slots, slot{pred: i, attr: p.Attr, chosen: e.Pool.Base(p.Attr)})
+		}
+	}
+	return slots
+}
+
+// slotScore is the per-side nInd contribution: the number of conditioning
+// predicates connected to the slot's attribute that the SIT's expression
+// does not cover.
+func (e *Estimator) slotScore(q *engine.Query, set engine.PredSet, pred int, attr engine.AttrID, h *sit.SIT) float64 {
+	cond := set.Minus(engine.NewPredSet(pred))
+	side := sideComponent(q, cond, attr)
+	if h == nil {
+		return float64(side.Len())
+	}
+	matched := h.MatchedSet(q.Preds, side)
+	return float64(side.Len() - matched.Len())
+}
+
+// compatible enforces the laminar (single-rewrite-tree) constraint: the
+// candidate's expression tables must be disjoint from or nested with every
+// already chosen expression's tables.
+func (e *Estimator) compatible(h *sit.SIT, chosen []*sit.SIT) bool {
+	if h.IsBase() {
+		return true
+	}
+	ht := exprTables(e.Cat, h)
+	for _, c := range chosen {
+		ct := exprTables(e.Cat, c)
+		if ht.Disjoint(ct) || ht.SubsetOf(ct) || ct.SubsetOf(ht) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// evaluate turns the slot assignment into a selectivity estimate (product
+// over predicates, per-side SITs joined for join predicates) and its total
+// nInd score.
+func (e *Estimator) evaluate(q *engine.Query, set engine.PredSet, slots []slot) (float64, float64) {
+	byPred := make(map[int][]*sit.SIT)
+	var nInd float64
+	for _, s := range slots {
+		byPred[s.pred] = append(byPred[s.pred], s.chosen)
+		nInd += e.slotScore(q, set, s.pred, s.attr, s.chosen)
+	}
+	sel := 1.0
+	for _, i := range set.Indices() {
+		p := q.Preds[i]
+		hs := byPred[i]
+		if p.IsJoin() {
+			if hs[0] == nil || hs[1] == nil {
+				sel *= fallbackJoinSel
+				continue
+			}
+			sel *= histogram.Join(hs[0].Hist, hs[1].Hist).Selectivity
+		} else {
+			if hs[0] == nil {
+				sel *= fallbackFilterSel
+				continue
+			}
+			sel *= hs[0].Hist.EstimateRange(p.Lo, p.Hi)
+		}
+	}
+	return sel, nInd
+}
+
+// sideComponent returns the part of cond connected (through shared tables)
+// to attr's table.
+func sideComponent(q *engine.Query, cond engine.PredSet, attr engine.AttrID) engine.PredSet {
+	at := q.Cat.AttrTable(attr)
+	for _, comp := range engine.Components(q.Cat, q.Preds, cond) {
+		if engine.PredsTables(q.Cat, q.Preds, comp).Has(at) {
+			return comp
+		}
+	}
+	return 0
+}
+
+// exprTables returns the tables referenced by the SIT's expression.
+func exprTables(c *engine.Catalog, s *sit.SIT) engine.TableSet {
+	var ts engine.TableSet
+	for _, p := range s.Expr {
+		ts = ts.Union(p.Tables(c))
+	}
+	return ts
+}

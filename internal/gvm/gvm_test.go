@@ -1,0 +1,266 @@
+package gvm
+
+import (
+	"math/rand"
+	"testing"
+
+	"condsel/internal/core"
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+	"condsel/internal/sit"
+)
+
+// fixture mirrors the paper's §1 scenario: lineitem ⋈ orders ⋈ customer
+// with price-correlated line-item multiplicity and skewed nations.
+type fixture struct {
+	cat   *engine.Catalog
+	query *engine.Query
+	ev    *engine.Evaluator
+}
+
+func newFixture(seed int64, nCustomers, nOrders int) *fixture {
+	rng := rand.New(rand.NewSource(seed))
+	cat := engine.NewCatalog()
+
+	cid := make([]int64, nCustomers)
+	nation := make([]int64, nCustomers)
+	for i := range cid {
+		cid[i] = int64(i)
+		if rng.Float64() < 0.8 {
+			nation[i] = 1
+		} else {
+			nation[i] = int64(2 + rng.Intn(20))
+		}
+	}
+	cat.MustAddTable(&engine.Table{Name: "customer", Cols: []*engine.Column{
+		{Name: "id", Vals: cid}, {Name: "nation", Vals: nation},
+	}})
+
+	oid := make([]int64, nOrders)
+	ocid := make([]int64, nOrders)
+	price := make([]int64, nOrders)
+	var liOID, liQty []int64
+	for i := range oid {
+		oid[i] = int64(i)
+		ocid[i] = int64(rng.Intn(nCustomers))
+		price[i] = int64(rng.Intn(1000))
+		items := 1
+		if price[i] > 800 {
+			items = 15
+		}
+		for k := 0; k < items; k++ {
+			liOID = append(liOID, oid[i])
+			liQty = append(liQty, int64(rng.Intn(50)))
+		}
+	}
+	cat.MustAddTable(&engine.Table{Name: "orders", Cols: []*engine.Column{
+		{Name: "id", Vals: oid}, {Name: "cid", Vals: ocid}, {Name: "price", Vals: price},
+	}})
+	cat.MustAddTable(&engine.Table{Name: "lineitem", Cols: []*engine.Column{
+		{Name: "oid", Vals: liOID}, {Name: "qty", Vals: liQty},
+	}})
+
+	preds := []engine.Pred{
+		engine.Join(cat.MustAttr("lineitem.oid"), cat.MustAttr("orders.id")), // 0: L⋈O
+		engine.Join(cat.MustAttr("orders.cid"), cat.MustAttr("customer.id")), // 1: O⋈C
+		engine.Filter(cat.MustAttr("orders.price"), 801, 1000),               // 2
+		engine.Eq(cat.MustAttr("customer.nation"), 1),                        // 3
+	}
+	return &fixture{cat: cat, query: engine.NewQuery(cat, preds), ev: engine.NewEvaluator(cat)}
+}
+
+func (f *fixture) pool(maxJoins int) *sit.Pool {
+	b := sit.NewBuilder(f.cat)
+	return sit.BuildWorkloadPool(b, []*engine.Query{f.query}, maxJoins)
+}
+
+func (f *fixture) trueCard(set engine.PredSet) float64 {
+	tables := engine.PredsTables(f.cat, f.query.Preds, set)
+	return f.ev.Count(tables, f.query.Preds, set)
+}
+
+func TestGVMBasics(t *testing.T) {
+	f := newFixture(1, 60, 300)
+	e := NewEstimator(f.cat, f.pool(2))
+	if got := e.EstimateSelectivity(f.query, 0); got != 1 {
+		t.Fatalf("empty set selectivity = %v", got)
+	}
+	sel := e.EstimateSelectivity(f.query, f.query.All())
+	if sel < 0 || sel > 1 {
+		t.Fatalf("selectivity out of range: %v", sel)
+	}
+	card := e.EstimateCardinality(f.query, f.query.All())
+	if card < 0 {
+		t.Fatalf("negative cardinality: %v", card)
+	}
+}
+
+// TestGVMBaseOnlyEqualsIndependence: over pool J₀ GVM degenerates to the
+// classic independence estimate, identical to getSelectivity over J₀.
+func TestGVMBaseOnlyEqualsIndependence(t *testing.T) {
+	f := newFixture(2, 60, 300)
+	pool := f.pool(0)
+	e := NewEstimator(f.cat, pool)
+	gs := core.NewEstimator(f.cat, pool, core.NInd{})
+	full := f.query.All()
+	for set := engine.PredSet(1); set <= full; set++ {
+		if !set.SubsetOf(full) {
+			continue
+		}
+		a := e.EstimateSelectivity(f.query, set)
+		b := gs.NewRun(f.query).GetSelectivity(set).Sel
+		if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("set %v: GVM %v vs GS %v", set, a, b)
+		}
+	}
+}
+
+// TestGVMUsesSITs: with SIT pools available, GVM must beat the base-only
+// estimate on the correlated query.
+func TestGVMUsesSITs(t *testing.T) {
+	f := newFixture(3, 80, 500)
+	truth := f.trueCard(f.query.All())
+	if truth == 0 {
+		t.Skip("degenerate fixture")
+	}
+	base := NewEstimator(f.cat, f.pool(0))
+	sits := NewEstimator(f.cat, f.pool(2))
+	errBase := abs(base.EstimateCardinality(f.query, f.query.All()) - truth)
+	errSits := abs(sits.EstimateCardinality(f.query, f.query.All()) - truth)
+	if errSits >= errBase {
+		t.Fatalf("GVM with SITs (%v) should beat base-only (%v)", errSits, errBase)
+	}
+}
+
+// TestLaminarConflict reproduces Figure 1: with exactly the two overlapping
+// non-nested SITs available, GVM can apply only one of them, so at least
+// one independence assumption remains that getSelectivity avoids.
+func TestLaminarConflict(t *testing.T) {
+	f := newFixture(4, 80, 500)
+	preds := f.query.Preds
+	b := sit.NewBuilder(f.cat)
+
+	pool := sit.NewPool(f.cat)
+	// Base histograms for every attribute.
+	for _, q := range []*engine.Query{f.query} {
+		for _, p := range q.Preds {
+			for _, a := range p.Attrs() {
+				pool.Add(b.BuildBase(a))
+			}
+		}
+	}
+	sitPrice := b.Build(f.cat.MustAttr("orders.price"), []engine.Pred{preds[0]})     // price | L⋈O
+	sitNation := b.Build(f.cat.MustAttr("customer.nation"), []engine.Pred{preds[1]}) // nation | O⋈C
+	pool.Add(sitPrice)
+	pool.Add(sitNation)
+
+	e := NewEstimator(f.cat, pool)
+	gs := core.NewEstimator(f.cat, pool, core.NInd{})
+
+	full := f.query.All()
+	gvmAssumptions := e.Assumptions(f.query, full)
+	gsErr := gs.NewRun(f.query).GetSelectivity(full).Err
+	if gvmAssumptions <= gsErr {
+		t.Fatalf("GVM (laminar-restricted) should retain more assumptions: GVM %v, GS %v",
+			gvmAssumptions, gsErr)
+	}
+
+	// And the restriction must cost accuracy on this correlated data.
+	truth := f.trueCard(full)
+	if truth == 0 {
+		t.Skip("degenerate fixture")
+	}
+	gvmErr := abs(e.EstimateCardinality(f.query, full) - truth)
+	gsCard := gs.NewRun(f.query).EstimateCardinality(full)
+	gsCardErr := abs(gsCard - truth)
+	if gsCardErr > gvmErr {
+		t.Logf("note: GS err %v vs GVM err %v (heuristic; not strictly guaranteed)", gsCardErr, gvmErr)
+	}
+}
+
+// TestGVMRepeatsViewMatchingWork: estimating all sub-queries of a query
+// triggers far more view-matching calls under GVM than under getSelectivity
+// (the Figure 6 effect), because GVM cannot reuse work across requests.
+func TestGVMRepeatsViewMatchingWork(t *testing.T) {
+	f := newFixture(5, 60, 300)
+	pool := f.pool(2)
+	full := f.query.All()
+
+	pool.ResetMatchCalls()
+	gvmEst := NewEstimator(f.cat, pool)
+	for set := engine.PredSet(1); set <= full; set++ {
+		if set.SubsetOf(full) {
+			gvmEst.EstimateSelectivity(f.query, set)
+		}
+	}
+	gvmCalls := pool.MatchCalls
+
+	pool.ResetMatchCalls()
+	gs := core.NewEstimator(f.cat, pool, core.NInd{})
+	run := gs.NewRun(f.query)
+	for set := engine.PredSet(1); set <= full; set++ {
+		if set.SubsetOf(full) {
+			run.GetSelectivity(set)
+		}
+	}
+	gsCalls := pool.MatchCalls
+
+	if gvmCalls <= gsCalls {
+		t.Fatalf("GVM calls (%d) should exceed GS calls (%d)", gvmCalls, gsCalls)
+	}
+	if float64(gvmCalls) < 1.5*float64(gsCalls) {
+		t.Fatalf("expected a substantial gap: GVM %d vs GS %d", gvmCalls, gsCalls)
+	}
+}
+
+// TestGVMSelectivityProductForm sanity-checks the estimate's structure on a
+// two-predicate query: selectivity must equal the product of the two
+// per-predicate estimates when no SIT applies.
+func TestGVMSelectivityProductForm(t *testing.T) {
+	f := newFixture(6, 40, 150)
+	pool := f.pool(0)
+	e := NewEstimator(f.cat, pool)
+	sepSet := engine.NewPredSet(2, 3) // price filter ∧ nation filter
+	got := e.EstimateSelectivity(f.query, sepSet)
+
+	p2 := f.query.Preds[2]
+	p3 := f.query.Preds[3]
+	want := pool.Base(p2.Attr).Hist.EstimateRange(p2.Lo, p2.Hi) *
+		pool.Base(p3.Attr).Hist.EstimateRange(p3.Lo, p3.Hi)
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("product form violated: %v vs %v", got, want)
+	}
+}
+
+// TestGVMFallbacks: with an empty pool every predicate falls back to magic
+// selectivities.
+func TestGVMFallbacks(t *testing.T) {
+	f := newFixture(7, 20, 60)
+	e := NewEstimator(f.cat, sit.NewPool(f.cat))
+	got := e.EstimateSelectivity(f.query, f.query.All())
+	want := fallbackJoinSel * fallbackJoinSel * fallbackFilterSel * fallbackFilterSel
+	if diff := got - want; diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("fallback sel = %v, want %v", got, want)
+	}
+}
+
+// TestGVMJoinEstimateMatchesHistogramJoin: a single join predicate's
+// estimate equals the histogram join of the base histograms.
+func TestGVMJoinEstimateMatchesHistogramJoin(t *testing.T) {
+	f := newFixture(8, 40, 150)
+	pool := f.pool(0)
+	e := NewEstimator(f.cat, pool)
+	p := f.query.Preds[0]
+	got := e.EstimateSelectivity(f.query, engine.NewPredSet(0))
+	want := histogram.Join(pool.Base(p.Left).Hist, pool.Base(p.Right).Hist).Selectivity
+	if diff := got - want; diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("join estimate %v, want %v", got, want)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,213 @@
+package histogram
+
+import (
+	"sort"
+)
+
+// Kind selects a histogram construction algorithm.
+type Kind int
+
+const (
+	// MaxDiff places bucket boundaries at the largest differences between
+	// the "areas" (frequency × spread) of adjacent values — the paper's
+	// histogram class, maxDiff(V,A).
+	MaxDiff Kind = iota
+	// EquiDepth gives each bucket approximately equal total frequency.
+	EquiDepth
+	// EquiWidth gives each bucket an equal share of the value range.
+	EquiWidth
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case MaxDiff:
+		return "maxDiff"
+	case EquiDepth:
+		return "equiDepth"
+	case EquiWidth:
+		return "equiWidth"
+	}
+	return "unknown"
+}
+
+// Build constructs a histogram of the given kind over values using at most
+// maxBuckets buckets. The input slice is not modified. An empty input yields
+// an empty histogram.
+func Build(kind Kind, values []int64, maxBuckets int) *Histogram {
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	vf := valueFreqs(values)
+	if len(vf) == 0 {
+		return &Histogram{}
+	}
+	switch kind {
+	case EquiDepth:
+		return buildEquiDepth(vf, maxBuckets)
+	case EquiWidth:
+		return buildEquiWidth(vf, maxBuckets)
+	default:
+		return buildMaxDiff(vf, maxBuckets)
+	}
+}
+
+// BuildMaxDiff constructs a maxDiff(V,A) histogram — the default used for
+// all base statistics and SITs, matching the paper's experimental setup.
+func BuildMaxDiff(values []int64, maxBuckets int) *Histogram {
+	return Build(MaxDiff, values, maxBuckets)
+}
+
+// valueFreq is a distinct value with its frequency.
+type valueFreq struct {
+	v int64
+	f float64
+}
+
+// valueFreqs sorts and aggregates values into distinct (value, frequency)
+// pairs.
+func valueFreqs(values []int64) []valueFreq {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := make([]int64, len(values))
+	copy(sorted, values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]valueFreq, 0, 64)
+	cur := sorted[0]
+	n := 0.0
+	for _, v := range sorted {
+		if v != cur {
+			out = append(out, valueFreq{cur, n})
+			cur, n = v, 0
+		}
+		n++
+	}
+	out = append(out, valueFreq{cur, n})
+	return out
+}
+
+// buildMaxDiff implements maxDiff(V,A): the area of value i is its frequency
+// times its spread (distance to the next distinct value); bucket boundaries
+// go where the difference between adjacent areas is largest.
+func buildMaxDiff(vf []valueFreq, maxBuckets int) *Histogram {
+	n := len(vf)
+	if n <= maxBuckets {
+		return singletonBuckets(vf)
+	}
+	// area[i] = freq(v_i) * spread(v_i); the last value has unit spread.
+	areas := make([]float64, n)
+	for i := 0; i < n; i++ {
+		spread := 1.0
+		if i+1 < n {
+			spread = float64(vf[i+1].v) - float64(vf[i].v)
+		}
+		areas[i] = vf[i].f * spread
+	}
+	// diffs[i] = |area[i+1]-area[i]| is the tension of a boundary between
+	// value i and value i+1.
+	type boundary struct {
+		pos  int // boundary after vf[pos]
+		diff float64
+	}
+	bs := make([]boundary, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		d := areas[i+1] - areas[i]
+		if d < 0 {
+			d = -d
+		}
+		bs = append(bs, boundary{pos: i, diff: d})
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].diff != bs[j].diff {
+			return bs[i].diff > bs[j].diff
+		}
+		return bs[i].pos < bs[j].pos // deterministic ties
+	})
+	k := maxBuckets - 1
+	if k > len(bs) {
+		k = len(bs)
+	}
+	cuts := make([]int, k)
+	for i := 0; i < k; i++ {
+		cuts[i] = bs[i].pos
+	}
+	sort.Ints(cuts)
+	return bucketize(vf, cuts)
+}
+
+// buildEquiDepth targets equal frequency per bucket.
+func buildEquiDepth(vf []valueFreq, maxBuckets int) *Histogram {
+	n := len(vf)
+	if n <= maxBuckets {
+		return singletonBuckets(vf)
+	}
+	var total float64
+	for _, e := range vf {
+		total += e.f
+	}
+	per := total / float64(maxBuckets)
+	var cuts []int
+	acc := 0.0
+	for i := 0; i+1 < n && len(cuts) < maxBuckets-1; i++ {
+		acc += vf[i].f
+		if acc >= per {
+			cuts = append(cuts, i)
+			acc = 0
+		}
+	}
+	return bucketize(vf, cuts)
+}
+
+// buildEquiWidth splits the value range into equal-width stripes.
+func buildEquiWidth(vf []valueFreq, maxBuckets int) *Histogram {
+	n := len(vf)
+	if n <= maxBuckets {
+		return singletonBuckets(vf)
+	}
+	lo, hi := float64(vf[0].v), float64(vf[n-1].v)
+	width := (hi - lo + 1) / float64(maxBuckets)
+	var cuts []int
+	next := lo + width
+	for i := 0; i+1 < n && len(cuts) < maxBuckets-1; i++ {
+		if float64(vf[i+1].v) >= next {
+			cuts = append(cuts, i)
+			for float64(vf[i+1].v) >= next {
+				next += width
+			}
+		}
+	}
+	return bucketize(vf, cuts)
+}
+
+// singletonBuckets emits one bucket per distinct value (exact histogram).
+func singletonBuckets(vf []valueFreq) *Histogram {
+	h := &Histogram{Buckets: make([]Bucket, len(vf))}
+	for i, e := range vf {
+		h.Buckets[i] = Bucket{Lo: e.v, Hi: e.v, Count: e.f, Distinct: 1}
+		h.Rows += e.f
+	}
+	return h
+}
+
+// bucketize groups vf into buckets ending after each cut position (and a
+// final bucket through the last value).
+func bucketize(vf []valueFreq, cuts []int) *Histogram {
+	h := &Histogram{}
+	start := 0
+	emit := func(end int) { // inclusive index range [start, end]
+		b := Bucket{Lo: vf[start].v, Hi: vf[end].v}
+		for i := start; i <= end; i++ {
+			b.Count += vf[i].f
+			b.Distinct++
+		}
+		h.Buckets = append(h.Buckets, b)
+		h.Rows += b.Count
+		start = end + 1
+	}
+	for _, cut := range cuts {
+		emit(cut)
+	}
+	emit(len(vf) - 1)
+	return h
+}

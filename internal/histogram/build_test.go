@@ -1,0 +1,167 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func zipfValues(rng *rand.Rand, n int, s float64, max uint64) []int64 {
+	z := rand.NewZipf(rng, s, 1, max)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+func TestBuildEmptyInput(t *testing.T) {
+	for _, k := range []Kind{MaxDiff, EquiDepth, EquiWidth} {
+		h := Build(k, nil, 10)
+		if !h.Empty() {
+			t.Errorf("%v: empty input should yield empty histogram", k)
+		}
+	}
+}
+
+func TestBuildExactWhenFewDistinct(t *testing.T) {
+	values := []int64{5, 5, 5, 9, 9, 1}
+	for _, k := range []Kind{MaxDiff, EquiDepth, EquiWidth} {
+		h := Build(k, values, 10)
+		if h.NumBuckets() != 3 {
+			t.Fatalf("%v: buckets = %d, want 3 (one per distinct)", k, h.NumBuckets())
+		}
+		if h.Rows != 6 {
+			t.Fatalf("%v: rows = %v", k, h.Rows)
+		}
+		// With singleton buckets estimation is exact.
+		if got := h.EstimateRangeCount(5, 5); got != 3 {
+			t.Errorf("%v: count(5) = %v, want 3", k, got)
+		}
+		if got := h.EstimateEqCount(9); got != 2 {
+			t.Errorf("%v: eq(9) = %v, want 2", k, got)
+		}
+		if got := h.EstimateEqCount(4); got != 0 {
+			t.Errorf("%v: eq(4) = %v, want 0", k, got)
+		}
+	}
+}
+
+func TestBuildRespectsBucketBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 10000)
+	for i := range values {
+		values[i] = int64(rng.Intn(5000))
+	}
+	for _, k := range []Kind{MaxDiff, EquiDepth, EquiWidth} {
+		for _, budget := range []int{1, 2, 10, 200} {
+			h := Build(k, values, budget)
+			if h.NumBuckets() > budget {
+				t.Errorf("%v budget %d: got %d buckets", k, budget, h.NumBuckets())
+			}
+			if err := h.validate(); err != nil {
+				t.Errorf("%v budget %d: invalid: %v", k, budget, err)
+			}
+		}
+	}
+}
+
+func TestBuildInvariantsOnSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := zipfValues(rng, 20000, 1.5, 10000)
+	for _, k := range []Kind{MaxDiff, EquiDepth, EquiWidth} {
+		h := Build(k, values, 200)
+		if err := h.validate(); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if h.Rows != float64(len(values)) {
+			t.Fatalf("%v: rows %v != %d", k, h.Rows, len(values))
+		}
+		// The full range must cover every value exactly once.
+		if got := h.EstimateRangeCount(h.Min(), h.Max()); !approxEq(got, h.Rows, 1e-6) {
+			t.Fatalf("%v: full-range count %v != rows %v", k, got, h.Rows)
+		}
+	}
+}
+
+// TestMaxDiffIsolatesHeavyHitters checks the defining maxDiff behaviour:
+// a value whose frequency differs sharply from its neighbours gets its own
+// bucket boundary, making its estimate exact.
+func TestMaxDiffIsolatesHeavyHitters(t *testing.T) {
+	var values []int64
+	for v := int64(0); v < 100; v++ {
+		values = append(values, v) // uniform background, freq 1
+	}
+	for i := 0; i < 1000; i++ {
+		values = append(values, 50) // heavy hitter
+	}
+	h := Build(MaxDiff, values, 10)
+	got := h.EstimateEqCount(50)
+	if !approxEq(got, 1001, 1) {
+		t.Fatalf("heavy hitter estimate = %v, want ≈1001; hist: %v", got, h)
+	}
+}
+
+func TestMaxDiffDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := zipfValues(rng, 5000, 1.2, 2000)
+	h1 := Build(MaxDiff, values, 50)
+	h2 := Build(MaxDiff, values, 50)
+	if len(h1.Buckets) != len(h2.Buckets) {
+		t.Fatalf("nondeterministic bucket count")
+	}
+	for i := range h1.Buckets {
+		if h1.Buckets[i] != h2.Buckets[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, h1.Buckets[i], h2.Buckets[i])
+		}
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	values := []int64{9, 3, 7, 1}
+	Build(MaxDiff, values, 2)
+	want := []int64{9, 3, 7, 1}
+	for i := range values {
+		if values[i] != want[i] {
+			t.Fatalf("input mutated: %v", values)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if MaxDiff.String() != "maxDiff" || EquiDepth.String() != "equiDepth" ||
+		EquiWidth.String() != "equiWidth" || Kind(99).String() != "unknown" {
+		t.Fatalf("Kind.String misbehaves")
+	}
+}
+
+// TestRangeEstimateAccuracy bounds the estimation error of a 200-bucket
+// maxDiff histogram on skewed data: estimates must be within a few percent
+// of truth for a spread of ranges.
+func TestRangeEstimateAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	values := zipfValues(rng, 50000, 1.3, 5000)
+	h := Build(MaxDiff, values, 200)
+	for trial := 0; trial < 100; trial++ {
+		lo := int64(rng.Intn(5000))
+		hi := lo + int64(rng.Intn(1000))
+		var truth float64
+		for _, v := range values {
+			if v >= lo && v <= hi {
+				truth++
+			}
+		}
+		got := h.EstimateRangeCount(lo, hi)
+		if absF(got-truth) > 0.05*float64(len(values))+50 {
+			t.Fatalf("range [%d,%d]: est %v vs truth %v", lo, hi, got, truth)
+		}
+	}
+}
+
+func approxEq(a, b, tol float64) bool { return absF(a-b) <= tol }
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,121 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffIdenticalIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	values := zipfValues(rng, 5000, 1.3, 1000)
+	h := Build(MaxDiff, values, 100)
+	if got := Diff(h, h); got != 0 {
+		t.Fatalf("Diff(h,h) = %v", got)
+	}
+	if got := DiffExact(values, values); got != 0 {
+		t.Fatalf("DiffExact(v,v) = %v", got)
+	}
+}
+
+func TestDiffDisjointIsOne(t *testing.T) {
+	a := Build(MaxDiff, []int64{1, 2, 3}, 10)
+	b := Build(MaxDiff, []int64{100, 200}, 10)
+	if got := Diff(a, b); !approxEq(got, 1, 1e-9) {
+		t.Fatalf("Diff disjoint = %v, want 1", got)
+	}
+	if got := DiffExact([]int64{1, 2}, []int64{7, 8}); got != 1 {
+		t.Fatalf("DiffExact disjoint = %v", got)
+	}
+}
+
+func TestDiffEmptyCases(t *testing.T) {
+	e := &Histogram{}
+	h := Build(MaxDiff, []int64{1}, 10)
+	if Diff(e, e) != 0 {
+		t.Fatalf("Diff(∅,∅) != 0")
+	}
+	if Diff(e, h) != 1 || Diff(h, e) != 1 {
+		t.Fatalf("Diff with one empty should be 1")
+	}
+	if DiffExact(nil, nil) != 0 || DiffExact(nil, []int64{1}) != 1 {
+		t.Fatalf("DiffExact empty cases wrong")
+	}
+}
+
+func TestDiffSymmetricAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	prop := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a := zipfValues(ra, 500+ra.Intn(2000), 1.1+ra.Float64(), 300)
+		b := zipfValues(rb, 500+rb.Intn(2000), 1.1+rb.Float64(), 300)
+		ha := Build(MaxDiff, a, 50)
+		hb := Build(MaxDiff, b, 50)
+		d1, d2 := Diff(ha, hb), Diff(hb, ha)
+		if !approxEq(d1, d2, 1e-9) {
+			return false
+		}
+		return d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffMatchesExactOnSingletonHistograms: with one bucket per distinct
+// value, the histogram-approximated diff equals the exact variation
+// distance.
+func TestDiffMatchesExactOnSingletonHistograms(t *testing.T) {
+	a := []int64{1, 1, 2, 3, 3, 3, 9}
+	b := []int64{1, 2, 2, 2, 4}
+	ha := Build(MaxDiff, a, 100)
+	hb := Build(MaxDiff, b, 100)
+	got := Diff(ha, hb)
+	want := DiffExact(a, b)
+	if !approxEq(got, want, 1e-9) {
+		t.Fatalf("Diff = %v, DiffExact = %v", got, want)
+	}
+}
+
+// TestDiffTracksSkewDivergence: the diff between a base distribution and a
+// join-biased version of it should grow with the bias strength — the
+// behaviour the paper's Diff error function relies on (§3.5).
+func TestDiffTracksSkewDivergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	base := make([]int64, 10000)
+	for i := range base {
+		base[i] = int64(rng.Intn(1000))
+	}
+	hBase := Build(MaxDiff, base, 200)
+	prev := -1.0
+	for _, bias := range []float64{0, 0.3, 0.7, 0.95} {
+		biased := make([]int64, 0, len(base))
+		for _, v := range base {
+			biased = append(biased, v)
+			// Duplicate high values with probability growing in bias.
+			if float64(v) > 800 && rng.Float64() < bias {
+				for k := 0; k < 5; k++ {
+					biased = append(biased, v)
+				}
+			}
+		}
+		d := Diff(hBase, Build(MaxDiff, biased, 200))
+		if d < prev-0.02 {
+			t.Fatalf("diff not increasing with bias: %v after %v", d, prev)
+		}
+		prev = d
+	}
+	if prev < 0.2 {
+		t.Fatalf("strong bias should yield sizable diff, got %v", prev)
+	}
+}
+
+func TestDiffExactHalfShift(t *testing.T) {
+	// Half the mass moves: variation distance 0.5.
+	a := []int64{1, 1, 2, 2}
+	b := []int64{1, 1, 3, 3}
+	if got := DiffExact(a, b); !approxEq(got, 0.5, 1e-12) {
+		t.Fatalf("DiffExact = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,288 @@
+// Package histogram implements the unidimensional histograms used as base
+// statistics and as SITs: maxDiff(V,A) (the paper's choice, Poosala et al.
+// SIGMOD'96), plus equi-depth and equi-width variants for ablation studies.
+//
+// A histogram approximates the frequency distribution of an integer-valued
+// attribute. Within a bucket, the usual uniform-spread and uniform-frequency
+// assumptions apply: Distinct values are assumed evenly spaced across the
+// bucket's range, each carrying Count/Distinct rows. The package provides
+// range and equality selectivity estimation, a histogram equi-join that
+// returns both the join selectivity and the joined distribution (§3.3 of the
+// paper), and the variation-distance metric used to compute a SIT's diff
+// value (§3.5).
+package histogram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bucket is one histogram bucket over the inclusive value range [Lo, Hi].
+type Bucket struct {
+	Lo, Hi   int64
+	Count    float64 // total row frequency in the bucket
+	Distinct float64 // estimated number of distinct values in the bucket
+}
+
+// span returns the number of integer points in the bucket's range.
+func (b Bucket) span() float64 { return float64(b.Hi) - float64(b.Lo) + 1 }
+
+// Histogram approximates a value distribution with ordered, non-overlapping
+// buckets. Rows is the total frequency captured by the buckets (the
+// relation's row count minus NULLs). TotalRows, when set, is the underlying
+// relation's full row count including NULLs; selectivities are normalized
+// by it, since a NULL satisfies neither a range predicate nor an equi-join.
+// A zero TotalRows means "no NULLs" and falls back to Rows. The zero value
+// is an empty histogram over zero rows.
+type Histogram struct {
+	Buckets   []Bucket
+	Rows      float64
+	TotalRows float64
+}
+
+// denom returns the selectivity denominator: TotalRows when set, else Rows.
+func (h *Histogram) denom() float64 {
+	if h.TotalRows > 0 {
+		return h.TotalRows
+	}
+	return h.Rows
+}
+
+// Empty reports whether the histogram describes no rows.
+func (h *Histogram) Empty() bool { return h == nil || h.Rows == 0 || len(h.Buckets) == 0 }
+
+// Min returns the smallest value covered, or 0 for an empty histogram.
+func (h *Histogram) Min() int64 {
+	if h.Empty() {
+		return 0
+	}
+	return h.Buckets[0].Lo
+}
+
+// Max returns the largest value covered, or 0 for an empty histogram.
+func (h *Histogram) Max() int64 {
+	if h.Empty() {
+		return 0
+	}
+	return h.Buckets[len(h.Buckets)-1].Hi
+}
+
+// NumBuckets returns the number of buckets.
+func (h *Histogram) NumBuckets() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.Buckets)
+}
+
+// DistinctTotal returns the estimated number of distinct values.
+func (h *Histogram) DistinctTotal() float64 {
+	if h == nil {
+		return 0
+	}
+	var d float64
+	for _, b := range h.Buckets {
+		d += b.Distinct
+	}
+	return d
+}
+
+// overlapPoints returns the number of integer points shared by [lo1,hi1] and
+// [lo2,hi2], as a float64 (0 when disjoint).
+func overlapPoints(lo1, hi1, lo2, hi2 int64) float64 {
+	lo := lo1
+	if lo2 > lo {
+		lo = lo2
+	}
+	hi := hi1
+	if hi2 < hi {
+		hi = hi2
+	}
+	if hi < lo {
+		return 0
+	}
+	return float64(hi) - float64(lo) + 1
+}
+
+// EstimateRangeCount returns the estimated number of rows with value in
+// [lo, hi] (inclusive).
+func (h *Histogram) EstimateRangeCount(lo, hi int64) float64 {
+	if h.Empty() || hi < lo {
+		return 0
+	}
+	var count float64
+	for _, b := range h.Buckets {
+		if b.Hi < lo {
+			continue
+		}
+		if b.Lo > hi {
+			break
+		}
+		frac := overlapPoints(b.Lo, b.Hi, lo, hi) / b.span()
+		count += b.Count * frac
+	}
+	return count
+}
+
+// EstimateRange returns the estimated selectivity of lo ≤ attr ≤ hi.
+func (h *Histogram) EstimateRange(lo, hi int64) float64 {
+	if h.Empty() {
+		return 0
+	}
+	return h.EstimateRangeCount(lo, hi) / h.denom()
+}
+
+// EstimateEqCount returns the estimated number of rows with value v, using
+// the uniform-frequency assumption within the covering bucket.
+func (h *Histogram) EstimateEqCount(v int64) float64 {
+	if h.Empty() {
+		return 0
+	}
+	for _, b := range h.Buckets {
+		if v < b.Lo {
+			return 0
+		}
+		if v <= b.Hi {
+			if b.Distinct <= 0 {
+				return 0
+			}
+			// Probability that v is one of the bucket's distinct values,
+			// times the per-value frequency.
+			present := b.Distinct / b.span()
+			if present > 1 {
+				present = 1
+			}
+			return present * b.Count / b.Distinct
+		}
+	}
+	return 0
+}
+
+// EstimateEq returns the estimated selectivity of attr = v.
+func (h *Histogram) EstimateEq(v int64) float64 {
+	if h.Empty() {
+		return 0
+	}
+	return h.EstimateEqCount(v) / h.denom()
+}
+
+// Restrict returns a new histogram describing only rows with value in
+// [lo, hi], with bucket counts and distincts scaled by range overlap. The
+// result's Rows reflects the retained frequency.
+func (h *Histogram) Restrict(lo, hi int64) *Histogram {
+	out := &Histogram{}
+	if h.Empty() || hi < lo {
+		return out
+	}
+	for _, b := range h.Buckets {
+		ov := overlapPoints(b.Lo, b.Hi, lo, hi)
+		if ov == 0 {
+			continue
+		}
+		frac := ov / b.span()
+		nb := Bucket{
+			Lo:       maxI64(b.Lo, lo),
+			Hi:       minI64(b.Hi, hi),
+			Count:    b.Count * frac,
+			Distinct: b.Distinct * frac,
+		}
+		if nb.Count > 0 {
+			out.Buckets = append(out.Buckets, nb)
+			out.Rows += nb.Count
+		}
+	}
+	return out
+}
+
+// Scale returns a copy with all bucket counts (and Rows) multiplied by f.
+// Distinct counts are left unchanged for f ≥ 1 and scaled down for f < 1
+// (a shrinking relation cannot keep more distinct values than rows).
+func (h *Histogram) Scale(f float64) *Histogram {
+	if h.Empty() || f <= 0 {
+		return &Histogram{}
+	}
+	out := &Histogram{Rows: h.Rows * f, Buckets: make([]Bucket, len(h.Buckets))}
+	for i, b := range h.Buckets {
+		nb := b
+		nb.Count = b.Count * f
+		if f < 1 {
+			nb.Distinct = b.Distinct * f
+			if nb.Distinct > nb.Count {
+				nb.Distinct = nb.Count
+			}
+		}
+		out.Buckets[i] = nb
+	}
+	return out
+}
+
+// String renders a compact multi-line summary, useful for debugging.
+func (h *Histogram) String() string {
+	if h.Empty() {
+		return "hist{empty}"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "hist{rows=%.0f buckets=%d", h.Rows, len(h.Buckets))
+	n := len(h.Buckets)
+	show := n
+	if show > 4 {
+		show = 4
+	}
+	for i := 0; i < show; i++ {
+		b := h.Buckets[i]
+		fmt.Fprintf(&sb, " [%d,%d]c=%.1f,d=%.1f", b.Lo, b.Hi, b.Count, b.Distinct)
+	}
+	if n > show {
+		fmt.Fprintf(&sb, " …")
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// validate checks structural invariants; used by tests.
+func (h *Histogram) validate() error {
+	if h == nil {
+		return nil
+	}
+	var total float64
+	for i, b := range h.Buckets {
+		if b.Hi < b.Lo {
+			return fmt.Errorf("bucket %d inverted range [%d,%d]", i, b.Lo, b.Hi)
+		}
+		if i > 0 && b.Lo <= h.Buckets[i-1].Hi {
+			return fmt.Errorf("bucket %d overlaps predecessor", i)
+		}
+		if b.Count < 0 || b.Distinct < 0 {
+			return fmt.Errorf("bucket %d negative count/distinct", i)
+		}
+		if b.Distinct > b.span()+1e-9 {
+			return fmt.Errorf("bucket %d distinct %v exceeds span %v", i, b.Distinct, b.span())
+		}
+		total += b.Count
+	}
+	if total-h.Rows > 1e-6*maxF(1, h.Rows) || h.Rows-total > 1e-6*maxF(1, h.Rows) {
+		return fmt.Errorf("bucket counts sum to %v, Rows = %v", total, h.Rows)
+	}
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

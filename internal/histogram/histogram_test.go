@@ -1,0 +1,150 @@
+package histogram
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogramBehaviour(t *testing.T) {
+	var h *Histogram
+	if !h.Empty() {
+		t.Fatalf("nil histogram should be empty")
+	}
+	e := &Histogram{}
+	if !e.Empty() || e.Min() != 0 || e.Max() != 0 || e.NumBuckets() != 0 {
+		t.Fatalf("empty histogram accessors misbehave")
+	}
+	if e.EstimateRange(0, 10) != 0 || e.EstimateEq(5) != 0 {
+		t.Fatalf("empty histogram estimates should be 0")
+	}
+	if got := e.Restrict(0, 5); !got.Empty() {
+		t.Fatalf("Restrict of empty should be empty")
+	}
+	if got := e.Scale(2); !got.Empty() {
+		t.Fatalf("Scale of empty should be empty")
+	}
+}
+
+func TestEstimateRangeSelectivityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	values := zipfValues(rng, 10000, 1.4, 3000)
+	h := Build(MaxDiff, values, 100)
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	prop := func(a, b int32) bool {
+		lo, hi := int64(a%4000), int64(b%4000)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		s := h.EstimateRange(lo, hi)
+		return s >= 0 && s <= 1+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateRangeMonotoneInWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	values := zipfValues(rng, 5000, 1.2, 1000)
+	h := Build(MaxDiff, values, 60)
+	prop := func(a int16, w1, w2 uint8) bool {
+		lo := int64(a)
+		narrow := h.EstimateRangeCount(lo, lo+int64(w1))
+		wide := h.EstimateRangeCount(lo, lo+int64(w1)+int64(w2))
+		return wide >= narrow-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateInvertedRange(t *testing.T) {
+	h := Build(MaxDiff, []int64{1, 2, 3}, 10)
+	if got := h.EstimateRangeCount(5, 2); got != 0 {
+		t.Fatalf("inverted range count = %v", got)
+	}
+}
+
+func TestRestrictPreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	values := zipfValues(rng, 8000, 1.3, 2000)
+	h := Build(MaxDiff, values, 120)
+	r := h.Restrict(100, 900)
+	if err := r.validate(); err != nil {
+		t.Fatalf("restricted invalid: %v", err)
+	}
+	want := h.EstimateRangeCount(100, 900)
+	if !approxEq(r.Rows, want, 1e-6*want+1e-9) {
+		t.Fatalf("restricted rows %v, want %v", r.Rows, want)
+	}
+	if r.Min() < 100 || r.Max() > 900 {
+		t.Fatalf("restricted range [%d,%d] exceeds [100,900]", r.Min(), r.Max())
+	}
+	if got := h.Restrict(10, 5); !got.Empty() {
+		t.Fatalf("inverted Restrict should be empty")
+	}
+}
+
+func TestScale(t *testing.T) {
+	h := Build(MaxDiff, []int64{1, 1, 2, 3}, 10)
+	up := h.Scale(2)
+	if up.Rows != 8 {
+		t.Fatalf("Scale(2) rows = %v", up.Rows)
+	}
+	if err := up.validate(); err != nil {
+		t.Fatalf("scaled invalid: %v", err)
+	}
+	down := h.Scale(0.5)
+	if down.Rows != 2 {
+		t.Fatalf("Scale(0.5) rows = %v", down.Rows)
+	}
+	for _, b := range down.Buckets {
+		if b.Distinct > b.Count+1e-12 {
+			t.Fatalf("scaled-down distinct %v exceeds count %v", b.Distinct, b.Count)
+		}
+	}
+	if got := h.Scale(0); !got.Empty() {
+		t.Fatalf("Scale(0) should be empty")
+	}
+}
+
+func TestDistinctTotal(t *testing.T) {
+	h := Build(MaxDiff, []int64{1, 1, 2, 3, 3, 3}, 10)
+	if got := h.DistinctTotal(); got != 3 {
+		t.Fatalf("DistinctTotal = %v, want 3", got)
+	}
+	var nilH *Histogram
+	if nilH.DistinctTotal() != 0 {
+		t.Fatalf("nil DistinctTotal should be 0")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	e := &Histogram{}
+	if e.String() != "hist{empty}" {
+		t.Fatalf("empty String = %q", e.String())
+	}
+	rng := rand.New(rand.NewSource(13))
+	h := Build(MaxDiff, zipfValues(rng, 1000, 1.5, 500), 20)
+	s := h.String()
+	if !strings.Contains(s, "rows=1000") || !strings.Contains(s, "…") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []*Histogram{
+		{Rows: 1, Buckets: []Bucket{{Lo: 5, Hi: 2, Count: 1, Distinct: 1}}},
+		{Rows: 2, Buckets: []Bucket{{Lo: 0, Hi: 4, Count: 1, Distinct: 1}, {Lo: 3, Hi: 9, Count: 1, Distinct: 1}}},
+		{Rows: 1, Buckets: []Bucket{{Lo: 0, Hi: 0, Count: -1, Distinct: 1}}},
+		{Rows: 1, Buckets: []Bucket{{Lo: 0, Hi: 1, Count: 1, Distinct: 5}}},
+		{Rows: 99, Buckets: []Bucket{{Lo: 0, Hi: 0, Count: 1, Distinct: 1}}},
+	}
+	for i, h := range cases {
+		if err := h.validate(); err == nil {
+			t.Errorf("case %d: corruption not caught", i)
+		}
+	}
+}

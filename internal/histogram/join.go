@@ -1,0 +1,98 @@
+package histogram
+
+// JoinResult is the outcome of a histogram equi-join H1 ⋈ H2: the estimated
+// join selectivity relative to |R1|·|R2| (the cartesian product of the two
+// underlying relations), the estimated join cardinality, and a histogram of
+// the join attribute over the join result. The joined histogram is the H3 of
+// §3.3 Example 3: it can be used to estimate further predicates over the
+// join column.
+type JoinResult struct {
+	Selectivity float64
+	Cardinality float64
+	Joined      *Histogram
+}
+
+// Join estimates the equi-join of the two distributions using the standard
+// bucket-alignment technique: per aligned segment, the distinct values of
+// the smaller side are assumed contained in the larger (containment
+// assumption), with per-value frequencies taken as uniform within each
+// bucket.
+func Join(h1, h2 *Histogram) JoinResult {
+	res := JoinResult{Joined: &Histogram{}}
+	if h1.Empty() || h2.Empty() {
+		return res
+	}
+	i, j := 0, 0
+	for i < len(h1.Buckets) && j < len(h2.Buckets) {
+		b1, b2 := h1.Buckets[i], h2.Buckets[j]
+		lo := maxI64(b1.Lo, b2.Lo)
+		hi := minI64(b1.Hi, b2.Hi)
+		if lo <= hi {
+			ov := float64(hi) - float64(lo) + 1
+			frac1 := ov / b1.span()
+			frac2 := ov / b2.span()
+			d1 := b1.Distinct * frac1
+			d2 := b2.Distinct * frac2
+			if d1 > 0 && d2 > 0 {
+				d := d1
+				if d2 < d {
+					d = d2
+				}
+				perVal1 := b1.Count / b1.Distinct
+				perVal2 := b2.Count / b2.Distinct
+				card := d * perVal1 * perVal2
+				if card > 0 {
+					if d > ov {
+						d = ov
+					}
+					res.Cardinality += card
+					res.Joined.Buckets = append(res.Joined.Buckets, Bucket{
+						Lo: lo, Hi: hi, Count: card, Distinct: d,
+					})
+					res.Joined.Rows += card
+				}
+			}
+		}
+		// Advance whichever bucket ends first.
+		if b1.Hi <= b2.Hi {
+			i++
+		}
+		if b2.Hi <= b1.Hi {
+			j++
+		}
+	}
+	res.Selectivity = res.Cardinality / (h1.denom() * h2.denom())
+	res.Joined.coalesce()
+	return res
+}
+
+// coalesce merges adjacent buckets that touch exactly (Hi+1 == next.Lo is
+// kept separate; only identical-boundary artifacts are merged). Join output
+// can contain many tiny segments; merging keeps downstream operations cheap
+// while preserving totals.
+func (h *Histogram) coalesce() {
+	if len(h.Buckets) <= 1 {
+		return
+	}
+	const target = 512
+	if len(h.Buckets) <= target {
+		return
+	}
+	// Merge pairs until under target, preserving counts and ranges.
+	for len(h.Buckets) > target {
+		merged := make([]Bucket, 0, (len(h.Buckets)+1)/2)
+		for i := 0; i < len(h.Buckets); i += 2 {
+			if i+1 == len(h.Buckets) {
+				merged = append(merged, h.Buckets[i])
+				break
+			}
+			a, b := h.Buckets[i], h.Buckets[i+1]
+			nb := Bucket{Lo: a.Lo, Hi: b.Hi, Count: a.Count + b.Count, Distinct: a.Distinct + b.Distinct}
+			if span := nb.span(); nb.Distinct > span {
+				nb.Distinct = span
+			}
+			merged = append(merged, nb)
+		}
+		h.Buckets = merged
+	}
+}

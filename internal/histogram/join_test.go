@@ -1,0 +1,129 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trueJoinCard computes Σ_v f1(v)·f2(v) exactly.
+func trueJoinCard(a, b []int64) float64 {
+	fb := make(map[int64]float64)
+	for _, v := range b {
+		fb[v]++
+	}
+	var card float64
+	for _, v := range a {
+		card += fb[v]
+	}
+	return card
+}
+
+func TestJoinExactOnSingletonBuckets(t *testing.T) {
+	a := []int64{1, 1, 2, 3, 3, 3}
+	b := []int64{1, 3, 3, 4}
+	ha := Build(MaxDiff, a, 100) // singleton buckets: exact
+	hb := Build(MaxDiff, b, 100)
+	res := Join(ha, hb)
+	want := trueJoinCard(a, b) // 1·1? — computed below
+	if !approxEq(res.Cardinality, want, 1e-9) {
+		t.Fatalf("join card = %v, want %v", res.Cardinality, want)
+	}
+	wantSel := want / float64(len(a)*len(b))
+	if !approxEq(res.Selectivity, wantSel, 1e-12) {
+		t.Fatalf("join sel = %v, want %v", res.Selectivity, wantSel)
+	}
+	if err := res.Joined.validate(); err != nil {
+		t.Fatalf("joined histogram invalid: %v", err)
+	}
+	if !approxEq(res.Joined.Rows, want, 1e-9) {
+		t.Fatalf("joined rows = %v, want %v", res.Joined.Rows, want)
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	h := Build(MaxDiff, []int64{1, 2}, 10)
+	e := &Histogram{}
+	for _, pair := range [][2]*Histogram{{h, e}, {e, h}, {e, e}} {
+		res := Join(pair[0], pair[1])
+		if res.Selectivity != 0 || res.Cardinality != 0 || !res.Joined.Empty() {
+			t.Fatalf("join with empty input should be zero")
+		}
+	}
+}
+
+func TestJoinDisjointDomains(t *testing.T) {
+	ha := Build(MaxDiff, []int64{1, 2, 3}, 10)
+	hb := Build(MaxDiff, []int64{100, 200}, 10)
+	res := Join(ha, hb)
+	if res.Cardinality != 0 {
+		t.Fatalf("disjoint join card = %v", res.Cardinality)
+	}
+}
+
+func TestJoinSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := zipfValues(rng, 3000, 1.3, 500)
+	b := zipfValues(rng, 2000, 1.1, 500)
+	ha := Build(MaxDiff, a, 50)
+	hb := Build(MaxDiff, b, 50)
+	r1 := Join(ha, hb)
+	r2 := Join(hb, ha)
+	if !approxEq(r1.Cardinality, r2.Cardinality, 1e-6*r1.Cardinality) {
+		t.Fatalf("join not symmetric: %v vs %v", r1.Cardinality, r2.Cardinality)
+	}
+	if !approxEq(r1.Selectivity, r2.Selectivity, 1e-12) {
+		t.Fatalf("selectivity not symmetric")
+	}
+}
+
+// TestJoinAccuracy bounds the histogram join estimate against the true join
+// cardinality on skewed foreign-key-like data.
+func TestJoinAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// Dimension: keys 0..999 uniform; fact: zipf-distributed foreign keys.
+	dim := make([]int64, 1000)
+	for i := range dim {
+		dim[i] = int64(i)
+	}
+	fact := zipfValues(rng, 20000, 1.2, 999)
+	hd := Build(MaxDiff, dim, 200)
+	hf := Build(MaxDiff, fact, 200)
+	res := Join(hd, hf)
+	want := trueJoinCard(dim, fact) // = len(fact): every fact key matches once
+	if relErr := absF(res.Cardinality-want) / want; relErr > 0.1 {
+		t.Fatalf("join estimate %v vs truth %v (rel err %.3f)", res.Cardinality, want, relErr)
+	}
+}
+
+func TestJoinedHistogramUsableDownstream(t *testing.T) {
+	a := []int64{1, 1, 2, 3}
+	b := []int64{1, 2, 2, 3}
+	res := Join(Build(MaxDiff, a, 10), Build(MaxDiff, b, 10))
+	// Filtering the join result on the join attribute ≤ 2 keeps matches at
+	// values 1 (freq 2·1) and 2 (freq 1·2): 4 of the 5 total.
+	got := res.Joined.EstimateRange(MinInt64(), 2)
+	if !approxEq(got, 4.0/5.0, 1e-9) {
+		t.Fatalf("downstream range = %v, want 0.8", got)
+	}
+}
+
+// MinInt64 avoids an import cycle with engine's MinValue constant in tests.
+func MinInt64() int64 { return -1 << 63 }
+
+func TestCoalesceKeepsTotals(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 2000; i++ {
+		h.Buckets = append(h.Buckets, Bucket{Lo: int64(3 * i), Hi: int64(3*i + 1), Count: 2, Distinct: 1})
+		h.Rows += 2
+	}
+	h.coalesce()
+	if len(h.Buckets) > 512 {
+		t.Fatalf("coalesce left %d buckets", len(h.Buckets))
+	}
+	if err := h.validate(); err != nil {
+		t.Fatalf("coalesced invalid: %v", err)
+	}
+	if h.Rows != 4000 {
+		t.Fatalf("rows changed: %v", h.Rows)
+	}
+}

@@ -1,0 +1,176 @@
+// Package planner implements a System-R style join-order optimizer over
+// the engine's canonical SPJ queries, used to study how cardinality
+// estimation quality translates into plan quality — the question the paper
+// explicitly leaves as future work ("A comprehensive study on how plans are
+// affected by the estimation techniques proposed in this paper").
+//
+// Plans are binary join trees with filters pushed to the leaves. The cost
+// model is C_out: the sum of the (estimated) cardinalities of every join
+// node's output — the standard metric for studying join-order quality
+// independently of physical operator details. Choosing a plan under one
+// technique's estimates and re-costing it under exact cardinalities yields
+// the technique's plan-quality ratio against the true optimum.
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"condsel/internal/engine"
+)
+
+// Plan is a binary join tree. A leaf scans one table (with its pushed-down
+// filters); an inner node joins its children on all join predicates that
+// connect them. Preds is the set of query predicates applied at or below
+// the node; Rows is the node's output cardinality under the estimates the
+// plan was chosen with.
+type Plan struct {
+	Table       engine.TableID // leaves only
+	Left, Right *Plan          // inner nodes only
+	Preds       engine.PredSet
+	Rows        float64
+}
+
+// IsLeaf reports whether the node scans a base table.
+func (p *Plan) IsLeaf() bool { return p.Left == nil }
+
+// Tables returns the set of tables under the node.
+func (p *Plan) Tables(c *engine.Catalog) engine.TableSet {
+	if p.IsLeaf() {
+		return engine.NewTableSet(p.Table)
+	}
+	return p.Left.Tables(c).Union(p.Right.Tables(c))
+}
+
+// String renders the join tree with estimated cardinalities.
+func (p *Plan) String(q *engine.Query) string {
+	if p.IsLeaf() {
+		return q.Cat.Table(p.Table).Name
+	}
+	return fmt.Sprintf("(%s ⋈ %s)[%.0f]", p.Left.String(q), p.Right.String(q), p.Rows)
+}
+
+// Choose runs dynamic programming over connected table subsets and returns
+// the cheapest plan under the supplied cardinality estimates. The estimate
+// function receives predicate subsets of q (every predicate whose tables
+// are covered by the node). The query's join graph must connect all its
+// tables; bushy plans are considered.
+func Choose(q *engine.Query, card func(engine.PredSet) float64) (*Plan, error) {
+	tables := q.Tables.Tables()
+	n := len(tables)
+	if n == 0 {
+		return nil, fmt.Errorf("planner: query has no tables")
+	}
+	// Positions within the DP bitmask.
+	pos := make(map[engine.TableID]int, n)
+	for i, t := range tables {
+		pos[t] = i
+	}
+
+	// predsOf[m] = predicates fully covered by the subset mask m.
+	predsOf := func(mask int) engine.PredSet {
+		var ts engine.TableSet
+		for i, t := range tables {
+			if mask&(1<<i) != 0 {
+				ts = ts.Add(t)
+			}
+		}
+		var set engine.PredSet
+		for i, p := range q.Preds {
+			if p.Tables(q.Cat).SubsetOf(ts) {
+				set = set.Add(i)
+			}
+		}
+		return set
+	}
+	// joined reports whether some join predicate connects the two masks.
+	joined := func(a, b int) bool {
+		for _, p := range q.Preds {
+			if !p.IsJoin() || p.SelfJoin(q.Cat) {
+				continue
+			}
+			li, ri := pos[q.Cat.AttrTable(p.Left)], pos[q.Cat.AttrTable(p.Right)]
+			if (a&(1<<li) != 0 && b&(1<<ri) != 0) || (a&(1<<ri) != 0 && b&(1<<li) != 0) {
+				return true
+			}
+		}
+		return false
+	}
+
+	type entry struct {
+		plan *Plan
+		cost float64
+	}
+	best := make([]*entry, 1<<n)
+	for i, t := range tables {
+		mask := 1 << i
+		set := predsOf(mask)
+		best[mask] = &entry{
+			plan: &Plan{Table: t, Preds: set, Rows: card(set)},
+			cost: 0, // scans are mandatory; C_out charges join outputs only
+		}
+	}
+	for mask := 1; mask < 1<<n; mask++ {
+		if best[mask] != nil {
+			continue // leaf
+		}
+		set := predsOf(mask)
+		rows := -1.0
+		var top *entry
+		// Enumerate proper, non-empty sub-splits (each unordered pair once).
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask &^ sub
+			if sub > other {
+				continue
+			}
+			l, r := best[sub], best[other]
+			if l == nil || r == nil || !joined(sub, other) {
+				continue
+			}
+			if rows < 0 {
+				rows = card(set)
+			}
+			cost := l.cost + r.cost + rows
+			if top == nil || cost < top.cost {
+				top = &entry{
+					plan: &Plan{Left: l.plan, Right: r.plan, Preds: set, Rows: rows},
+					cost: cost,
+				}
+			}
+		}
+		best[mask] = top
+	}
+	full := best[1<<n-1]
+	if full == nil {
+		return nil, fmt.Errorf("planner: join graph does not connect all tables of %s", q)
+	}
+	return full.plan, nil
+}
+
+// Cost computes the C_out cost of the plan under the supplied cardinality
+// function (pass exact counts for the true cost of a chosen plan).
+func Cost(p *Plan, card func(engine.PredSet) float64) float64 {
+	if p == nil || p.IsLeaf() {
+		return 0
+	}
+	return Cost(p.Left, card) + Cost(p.Right, card) + card(p.Preds)
+}
+
+// Quality is the plan-quality ratio of a plan chosen under estimates:
+// its true cost divided by the true cost of the plan chosen under exact
+// cardinalities (≥ 1; 1 means the estimates led to a true-optimal plan).
+func Quality(q *engine.Query, chosen *Plan, trueCard func(engine.PredSet) float64) (float64, error) {
+	optimal, err := Choose(q, trueCard)
+	if err != nil {
+		return 0, err
+	}
+	optCost := Cost(optimal, trueCard)
+	gotCost := Cost(chosen, trueCard)
+	if optCost == 0 {
+		if gotCost == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	return gotCost / optCost, nil
+}

@@ -1,0 +1,191 @@
+package planner
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"condsel/internal/core"
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+	"condsel/internal/sit"
+	"condsel/internal/workload"
+)
+
+func testEnv(t *testing.T, joins int) (*datagen.DB, []*engine.Query, *engine.Evaluator) {
+	t.Helper()
+	db := datagen.Generate(datagen.Config{Seed: 17, FactRows: 4000})
+	g := workload.NewGenerator(db, workload.Config{Seed: 17, NumQueries: 6, Joins: joins, Filters: 3})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, queries, engine.NewEvaluator(db.Cat)
+}
+
+func trueCardFn(ev *engine.Evaluator, q *engine.Query) func(engine.PredSet) float64 {
+	return func(set engine.PredSet) float64 {
+		tables := engine.PredsTables(q.Cat, q.Preds, set)
+		return ev.Count(tables, q.Preds, set)
+	}
+}
+
+func TestChooseProducesValidPlan(t *testing.T) {
+	db, queries, ev := testEnv(t, 3)
+	for qi, q := range queries {
+		plan, err := Choose(q, trueCardFn(ev, q))
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		// The root covers all tables and all predicates.
+		if plan.Tables(db.Cat) != q.Tables {
+			t.Fatalf("query %d: plan covers %v, want %v", qi, plan.Tables(db.Cat), q.Tables)
+		}
+		if plan.Preds != q.All() {
+			t.Fatalf("query %d: plan preds %v, want %v", qi, plan.Preds, q.All())
+		}
+		validateTree(t, db.Cat, q, plan)
+		if s := plan.String(q); !strings.Contains(s, "⋈") {
+			t.Fatalf("query %d: plan string %q", qi, s)
+		}
+	}
+}
+
+// validateTree checks structural sanity: leaves are distinct tables, every
+// inner node's children connect through a join predicate.
+func validateTree(t *testing.T, cat *engine.Catalog, q *engine.Query, p *Plan) {
+	t.Helper()
+	if p.IsLeaf() {
+		return
+	}
+	lt, rt := p.Left.Tables(cat), p.Right.Tables(cat)
+	if !lt.Disjoint(rt) {
+		t.Fatalf("children overlap: %v vs %v", lt, rt)
+	}
+	connected := false
+	for _, pr := range q.Preds {
+		if pr.IsJoin() && !pr.SelfJoin(cat) {
+			a, b := cat.AttrTable(pr.Left), cat.AttrTable(pr.Right)
+			if (lt.Has(a) && rt.Has(b)) || (lt.Has(b) && rt.Has(a)) {
+				connected = true
+				break
+			}
+		}
+	}
+	if !connected {
+		t.Fatalf("cartesian join node: %v × %v", lt, rt)
+	}
+	validateTree(t, cat, q, p.Left)
+	validateTree(t, cat, q, p.Right)
+}
+
+// TestChooseMinimizesCost: the DP's plan must be at least as cheap (under
+// the same cardinalities) as the left-deep plan in query order.
+func TestChooseMinimizesCost(t *testing.T) {
+	_, queries, ev := testEnv(t, 4)
+	for qi, q := range queries {
+		card := trueCardFn(ev, q)
+		plan, err := Choose(q, card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chosen := Cost(plan, card)
+		naive := naiveLeftDeep(q, card)
+		if chosen > naive+1e-6 {
+			t.Fatalf("query %d: DP cost %v exceeds naive left-deep %v", qi, chosen, naive)
+		}
+	}
+}
+
+// naiveLeftDeep costs the left-deep plan that joins tables in the order the
+// query's join predicates connect them.
+func naiveLeftDeep(q *engine.Query, card func(engine.PredSet) float64) float64 {
+	cat := q.Cat
+	var joined engine.TableSet
+	var cost float64
+	remaining := q.JoinSet().Indices()
+	for len(remaining) > 0 {
+		for idx, i := range remaining {
+			p := q.Preds[i]
+			lt, rt := cat.AttrTable(p.Left), cat.AttrTable(p.Right)
+			if joined.Empty() || joined.Has(lt) || joined.Has(rt) {
+				joined = joined.Add(lt).Add(rt)
+				var set engine.PredSet
+				for pi, pr := range q.Preds {
+					if pr.Tables(cat).SubsetOf(joined) {
+						set = set.Add(pi)
+					}
+				}
+				cost += card(set)
+				remaining = append(remaining[:idx], remaining[idx+1:]...)
+				break
+			}
+		}
+	}
+	return cost
+}
+
+func TestQualityOfOracleIsOne(t *testing.T) {
+	_, queries, ev := testEnv(t, 3)
+	for qi, q := range queries {
+		card := trueCardFn(ev, q)
+		plan, err := Choose(q, card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio, err := Quality(q, plan, card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ratio-1) > 1e-9 {
+			t.Fatalf("query %d: oracle plan quality %v, want 1", qi, ratio)
+		}
+	}
+}
+
+// TestBetterEstimatesNeverHurtOnAverage: plan quality under GS-Diff with
+// SITs should be at least as good on average as under base-only estimates.
+func TestBetterEstimatesNeverHurtOnAverage(t *testing.T) {
+	db, queries, ev := testEnv(t, 4)
+	b := sit.NewBuilder(db.Cat)
+	sitPool := sit.BuildWorkloadPool(b, queries, 2)
+	basePool := sitPool.MaxJoins(0)
+
+	quality := func(pool *sit.Pool) float64 {
+		var sum float64
+		for _, q := range queries {
+			run := core.NewEstimator(db.Cat, pool, core.Diff{}).NewRun(q)
+			plan, err := Choose(q, run.EstimateCardinality)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio, err := Quality(q, plan, trueCardFn(ev, q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += ratio
+		}
+		return sum / float64(len(queries))
+	}
+	withSits := quality(sitPool)
+	baseOnly := quality(basePool)
+	if withSits > baseOnly*1.05+0.01 {
+		t.Fatalf("SIT-based plans (%v) worse than base-only (%v)", withSits, baseOnly)
+	}
+	if withSits < 1-1e-9 {
+		t.Fatalf("quality ratio below 1: %v", withSits)
+	}
+}
+
+func TestChooseErrors(t *testing.T) {
+	db, _, _ := testEnv(t, 3)
+	cat := db.Cat
+	// Disconnected tables: two filters, no join.
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Filter(cat.MustAttr("customer.hot"), 0, 100),
+		engine.Filter(cat.MustAttr("store.u1"), 0, 100),
+	})
+	if _, err := Choose(q, func(engine.PredSet) float64 { return 1 }); err == nil {
+		t.Fatalf("disconnected query planned")
+	}
+}

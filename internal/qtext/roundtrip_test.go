@@ -1,0 +1,58 @@
+package qtext
+
+import (
+	"testing"
+
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+	"condsel/internal/workload"
+)
+
+// TestRoundTripRandomWorkload: every randomly generated workload query must
+// survive String → Parse with identical semantics (predicates and exact
+// result cardinality).
+func TestRoundTripRandomWorkload(t *testing.T) {
+	db := datagen.Generate(datagen.Config{Seed: 77, FactRows: 2000})
+	g := workload.NewGenerator(db, workload.Config{Seed: 77, NumQueries: 12, Joins: 4, Filters: 3})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := engine.NewEvaluator(db.Cat)
+	for qi, q := range queries {
+		text := q.String()
+		again, err := Parse(db.Cat, text)
+		if err != nil {
+			t.Fatalf("query %d: parse of own rendering %q: %v", qi, text, err)
+		}
+		if engine.PredsKey(q.Preds, q.All()) != engine.PredsKey(again.Preds, again.All()) {
+			t.Fatalf("query %d: predicates changed:\n%s\n%s", qi, q, again)
+		}
+		a := ev.Count(q.Tables, q.Preds, q.All())
+		b := ev.Count(again.Tables, again.Preds, again.All())
+		if a != b {
+			t.Fatalf("query %d: cardinality changed %v → %v", qi, a, b)
+		}
+	}
+}
+
+// TestRoundTripSentinelBounds: one-sided filters use MinValue/MaxValue
+// sentinels; their renderings must parse back to the same bounds.
+func TestRoundTripSentinelBounds(t *testing.T) {
+	c := testCatalog()
+	for _, p := range []engine.Pred{
+		engine.Filter(c.MustAttr("r.a"), engine.MinValue, 7),
+		engine.Filter(c.MustAttr("r.a"), 3, engine.MaxValue),
+		engine.Eq(c.MustAttr("r.b"), -12),
+	} {
+		q := engine.NewQuery(c, []engine.Pred{p})
+		again, err := Parse(c, q.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", q.String(), err)
+		}
+		got := again.Preds[0]
+		if got.Lo != p.Lo || got.Hi != p.Hi {
+			t.Fatalf("%q: bounds [%d,%d] → [%d,%d]", q.String(), p.Lo, p.Hi, got.Lo, got.Hi)
+		}
+	}
+}

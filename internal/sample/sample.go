@@ -1,0 +1,278 @@
+// Package sample implements join synopses (Acharya et al., SIGMOD'99) —
+// the sampling-based alternative to SITs discussed in the paper's related
+// work (§6). A join synopsis for a table r is a uniform sample of r joined
+// with its full foreign-key closure; any SPJ query whose joins follow
+// foreign-key edges rooted at r can be estimated by evaluating its filters
+// directly on the sample, with no independence assumption at all.
+//
+// Unlike the original formulation, closures are materialized as LEFT OUTER
+// joins: every root row appears exactly once, with missing ancestors where
+// a foreign key dangles (the paper's data deliberately violates referential
+// integrity). A query join then requires the sampled path to be present,
+// which keeps estimates unbiased under dangling keys.
+//
+// The experiment harness uses this package as an ablation baseline: join
+// synopses capture arbitrary correlations but pay sampling error on
+// selective predicates and answer only foreign-key-subtree queries, whereas
+// SITs are histogram-accurate and compose through getSelectivity.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+
+	"condsel/internal/engine"
+)
+
+// Edge is one foreign-key edge: Child (the referencing attribute) points to
+// Parent (the referenced key attribute, which must be unique within its
+// table).
+type Edge struct {
+	Child  engine.AttrID
+	Parent engine.AttrID
+}
+
+// Synopses is a set of per-root join synopses over a foreign-key schema.
+type Synopses struct {
+	cat      *engine.Catalog
+	edges    []Edge
+	edgeKeys map[string]int // canonical join-pred key → edge index
+	byRoot   map[engine.TableID]*rootSynopsis
+	SampleN  int
+}
+
+// rootSynopsis is the sampled outer-join closure of one root table: for
+// every sampled root row, the resolved row index in each closure table
+// (missing = -1 where a foreign key on the path dangles).
+type rootSynopsis struct {
+	root   engine.TableID
+	tables []engine.TableID       // closure tables, root first
+	pos    map[engine.TableID]int // table → column in rows
+	rows   [][]int32              // rows[pos][i]; -1 = missing
+	total  float64                // |root| (sampling universe)
+}
+
+// Build constructs join synopses of the given sample size for every table,
+// resolving foreign-key closures through the catalog. Parent attributes
+// must be unique keys. The same seed yields the same samples.
+func Build(cat *engine.Catalog, edges []Edge, sampleSize int, seed int64) (*Synopses, error) {
+	if sampleSize <= 0 {
+		return nil, fmt.Errorf("sample: sample size must be positive")
+	}
+	s := &Synopses{
+		cat:      cat,
+		edges:    edges,
+		edgeKeys: make(map[string]int, len(edges)),
+		byRoot:   make(map[engine.TableID]*rootSynopsis),
+		SampleN:  sampleSize,
+	}
+	// Index parent keys for O(1) FK resolution and validate uniqueness.
+	keyIndex := make(map[engine.AttrID]map[int64]int32, len(edges))
+	outgoing := make(map[engine.TableID][]Edge)
+	for i, e := range edges {
+		s.edgeKeys[engine.Join(e.Child, e.Parent).Key()] = i
+		outgoing[cat.AttrTable(e.Child)] = append(outgoing[cat.AttrTable(e.Child)], e)
+		if _, done := keyIndex[e.Parent]; done {
+			continue
+		}
+		col := cat.AttrColumn(e.Parent)
+		idx := make(map[int64]int32, len(col.Vals))
+		for row, v := range col.Vals {
+			if col.IsNull(row) {
+				continue
+			}
+			if _, dup := idx[v]; dup {
+				return nil, fmt.Errorf("sample: parent key %s is not unique", cat.AttrName(e.Parent))
+			}
+			idx[v] = int32(row)
+		}
+		keyIndex[e.Parent] = idx
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < cat.NumTables(); t++ {
+		root := engine.TableID(t)
+		rs := &rootSynopsis{root: root, pos: make(map[engine.TableID]int)}
+		closure(root, outgoing, cat, &rs.tables)
+		for i, id := range rs.tables {
+			rs.pos[id] = i
+		}
+		n := cat.TableRows(root)
+		rs.total = float64(n)
+
+		size := sampleSize
+		if size > n {
+			size = n
+		}
+		picks := rng.Perm(n)[:size]
+		rs.rows = make([][]int32, len(rs.tables))
+		for k := range rs.rows {
+			rs.rows[k] = make([]int32, size)
+		}
+		for i, rootRow := range picks {
+			rs.rows[0][i] = int32(rootRow)
+			resolve(cat, outgoing, keyIndex, rs, i, root, int32(rootRow))
+		}
+		s.byRoot[root] = rs
+	}
+	return s, nil
+}
+
+// closure appends root and all tables reachable through outgoing edges.
+func closure(t engine.TableID, outgoing map[engine.TableID][]Edge, cat *engine.Catalog, out *[]engine.TableID) {
+	*out = append(*out, t)
+	for _, e := range outgoing[t] {
+		closure(cat.AttrTable(e.Parent), outgoing, cat, out)
+	}
+}
+
+// resolve walks the FK edges of table t for sample tuple i, recording
+// ancestor rows (or -1 when the key dangles or an intermediate is missing).
+func resolve(cat *engine.Catalog, outgoing map[engine.TableID][]Edge,
+	keyIndex map[engine.AttrID]map[int64]int32, rs *rootSynopsis, i int, t engine.TableID, row int32) {
+	for _, e := range outgoing[t] {
+		parentTable := cat.AttrTable(e.Parent)
+		target := rs.pos[parentTable]
+		if row < 0 {
+			rs.rows[target][i] = -1
+			resolve(cat, outgoing, keyIndex, rs, i, parentTable, -1)
+			continue
+		}
+		col := cat.AttrColumn(e.Child)
+		var parentRow int32 = -1
+		if !col.IsNull(int(row)) {
+			if pr, ok := keyIndex[e.Parent][col.Vals[row]]; ok {
+				parentRow = pr
+			}
+		}
+		rs.rows[target][i] = parentRow
+		resolve(cat, outgoing, keyIndex, rs, i, parentTable, parentRow)
+	}
+}
+
+// EstimateCardinality estimates |σ_set| for the predicate subset of q, or
+// reports false when the subset is not answerable by join synopses (its
+// joins must all be foreign-key edges forming a subtree rooted at one of
+// its tables; separable subsets estimate per component).
+func (s *Synopses) EstimateCardinality(q *engine.Query, set engine.PredSet) (float64, bool) {
+	if set.Empty() {
+		return q.Cat.CrossSize(q.Tables), true
+	}
+	comps := engine.Components(q.Cat, q.Preds, set)
+	est := 1.0
+	for _, comp := range comps {
+		v, ok := s.estimateComponent(q, comp)
+		if !ok {
+			return 0, false
+		}
+		est *= v
+	}
+	return est, true
+}
+
+func (s *Synopses) estimateComponent(q *engine.Query, comp engine.PredSet) (float64, bool) {
+	cat := q.Cat
+	tables := engine.PredsTables(cat, q.Preds, comp)
+
+	// Every join must be a known FK edge.
+	var joinEdges []Edge
+	var filters []engine.Pred
+	for _, i := range comp.Indices() {
+		p := q.Preds[i]
+		if p.IsJoin() {
+			idx, ok := s.edgeKeys[p.Key()]
+			if !ok {
+				return 0, false
+			}
+			joinEdges = append(joinEdges, s.edges[idx])
+		} else {
+			filters = append(filters, p)
+		}
+	}
+
+	root, ok := findRoot(cat, tables, joinEdges)
+	if !ok {
+		return 0, false
+	}
+	rs := s.byRoot[root]
+	if rs == nil {
+		return 0, false
+	}
+	for _, t := range tables.Tables() {
+		if _, covered := rs.pos[t]; !covered {
+			return 0, false
+		}
+	}
+
+	n := len(rs.rows[0])
+	if n == 0 {
+		return 0, true
+	}
+	matched := 0
+	for i := 0; i < n; i++ {
+		if s.tupleMatches(cat, rs, i, tables, filters) {
+			matched++
+		}
+	}
+	return float64(matched) / float64(n) * rs.total, true
+}
+
+// tupleMatches checks one sample tuple: all query tables must be present
+// (non-dangling paths) and all filters satisfied.
+func (s *Synopses) tupleMatches(cat *engine.Catalog, rs *rootSynopsis, i int,
+	tables engine.TableSet, filters []engine.Pred) bool {
+	for _, t := range tables.Tables() {
+		if rs.rows[rs.pos[t]][i] < 0 {
+			return false
+		}
+	}
+	for _, f := range filters {
+		t := cat.AttrTable(f.Attr)
+		row := rs.rows[rs.pos[t]][i]
+		col := cat.AttrColumn(f.Attr)
+		if col.IsNull(int(row)) {
+			return false
+		}
+		v := col.Vals[row]
+		if v < f.Lo || v > f.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// findRoot returns the unique table of the set from which every other
+// table is reachable via the given child→parent edges.
+func findRoot(cat *engine.Catalog, tables engine.TableSet, edges []Edge) (engine.TableID, bool) {
+	// parent tables are never roots of a (non-trivial) subtree.
+	var parents engine.TableSet
+	for _, e := range edges {
+		parents = parents.Add(cat.AttrTable(e.Parent))
+	}
+	var root engine.TableID
+	found := false
+	for _, t := range tables.Tables() {
+		if !parents.Has(t) {
+			if found {
+				return 0, false // two candidate roots: not a single subtree
+			}
+			root, found = t, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	// Verify connectivity: every table must be reachable from root.
+	reach := engine.NewTableSet(root)
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			ct, pt := cat.AttrTable(e.Child), cat.AttrTable(e.Parent)
+			if reach.Has(ct) && !reach.Has(pt) {
+				reach = reach.Add(pt)
+				changed = true
+			}
+		}
+	}
+	return root, tables.SubsetOf(reach)
+}

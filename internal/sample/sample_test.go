@@ -1,0 +1,220 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+	"condsel/internal/workload"
+)
+
+func testDB() (*datagen.DB, []Edge) {
+	db := datagen.Generate(datagen.Config{Seed: 9, FactRows: 5000})
+	edges := make([]Edge, len(db.Edges))
+	for i, e := range db.Edges {
+		edges[i] = Edge{Child: e.Child, Parent: e.Parent}
+	}
+	return db, edges
+}
+
+func TestBuildValidation(t *testing.T) {
+	db, edges := testDB()
+	if _, err := Build(db.Cat, edges, 0, 1); err == nil {
+		t.Fatalf("zero sample size accepted")
+	}
+	// Non-unique parent key must be rejected.
+	c := engine.NewCatalog()
+	c.MustAddTable(&engine.Table{Name: "p", Cols: []*engine.Column{
+		{Name: "k", Vals: []int64{1, 1}},
+	}})
+	c.MustAddTable(&engine.Table{Name: "c", Cols: []*engine.Column{
+		{Name: "fk", Vals: []int64{1}},
+	}})
+	bad := []Edge{{Child: c.MustAttr("c.fk"), Parent: c.MustAttr("p.k")}}
+	if _, err := Build(c, bad, 10, 1); err == nil {
+		t.Fatalf("duplicate parent key accepted")
+	}
+}
+
+func TestFullTableSampleIsExact(t *testing.T) {
+	db, edges := testDB()
+	// Sample size ≥ table sizes → sampling the whole relation → exact.
+	s, err := Build(db.Cat, edges, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := engine.NewEvaluator(db.Cat)
+	g := workload.NewGenerator(db, workload.Config{Seed: 2, NumQueries: 10, Joins: 3, Filters: 2})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		est, ok := s.EstimateCardinality(q, q.All())
+		if !ok {
+			t.Fatalf("query %d not answerable: %s", qi, q)
+		}
+		truth := ev.Count(q.Tables, q.Preds, q.All())
+		if math.Abs(est-truth) > 1e-6 {
+			t.Fatalf("query %d: full-sample estimate %v != truth %v\n%s", qi, est, truth, q)
+		}
+	}
+}
+
+func TestSampledEstimateAccuracy(t *testing.T) {
+	db, edges := testDB()
+	s, err := Build(db.Cat, edges, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := engine.NewEvaluator(db.Cat)
+	g := workload.NewGenerator(db, workload.Config{Seed: 5, NumQueries: 10, Joins: 2, Filters: 1,
+		TargetSelectivity: 0.3})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		est, ok := s.EstimateCardinality(q, q.All())
+		if !ok {
+			t.Fatalf("query %d not answerable", qi)
+		}
+		truth := ev.Count(q.Tables, q.Preds, q.All())
+		// Wide filters + 2000-row samples: expect single-digit-percent
+		// relative error plus an absolute slack for small results.
+		if math.Abs(est-truth) > 0.25*truth+50 {
+			t.Fatalf("query %d: estimate %v vs truth %v", qi, est, truth)
+		}
+	}
+}
+
+func TestEstimateSeparableSubset(t *testing.T) {
+	db, edges := testDB()
+	s, err := Build(db.Cat, edges, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Cat
+	// Two disjoint filters: product of per-component estimates.
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Filter(cat.MustAttr("customer.hot"), 5000, 10000),
+		engine.Filter(cat.MustAttr("store.u1"), 0, 5000),
+	})
+	est, ok := s.EstimateCardinality(q, q.All())
+	if !ok {
+		t.Fatalf("separable subset not answerable")
+	}
+	ev := engine.NewEvaluator(cat)
+	truth := ev.Count(q.Tables, q.Preds, q.All())
+	if math.Abs(est-truth) > 1e-6 {
+		t.Fatalf("estimate %v != truth %v", est, truth)
+	}
+}
+
+func TestEstimateEmptySet(t *testing.T) {
+	db, edges := testDB()
+	s, err := Build(db.Cat, edges, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Cat
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Filter(cat.MustAttr("customer.hot"), 0, 10000),
+	})
+	est, ok := s.EstimateCardinality(q, 0)
+	if !ok || est != cat.CrossSize(q.Tables) {
+		t.Fatalf("empty set estimate %v, ok=%v", est, ok)
+	}
+}
+
+func TestUnanswerableQueries(t *testing.T) {
+	db, edges := testDB()
+	s, err := Build(db.Cat, edges, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Cat
+	// A non-FK join is not answerable.
+	q1 := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(cat.MustAttr("customer.hot"), cat.MustAttr("store.u1")),
+	})
+	if _, ok := s.EstimateCardinality(q1, q1.All()); ok {
+		t.Fatalf("non-FK join answered")
+	}
+	// Two children sharing a parent (customer ⋈ region ⋈ …? use two roots):
+	// sales→customer and product→category joined via nothing common is
+	// separable; instead build a "diamond" that has two roots: customer and
+	// store both reference nothing shared — join them through sales edges
+	// omitted. customer→region plus store→city in one component is
+	// impossible without a join; skip — instead test a subtree whose joins
+	// skip an intermediate: sales→customer missing but customer→region
+	// present with sales filter attached is separable anyway. The remaining
+	// unanswerable shape: joins form a path whose root candidate is
+	// ambiguous (two non-parent tables), e.g. sales→customer and
+	// product→category in ONE component cannot occur without a connecting
+	// predicate, so use a cyclic-ish pair: sales→customer and sales→product
+	// plus customer→region gives a proper subtree (answerable). Verify that
+	// one IS answerable as a sanity check of findRoot.
+	q2 := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(cat.MustAttr("sales.customer_fk"), cat.MustAttr("customer.id")),
+		engine.Join(cat.MustAttr("sales.product_fk"), cat.MustAttr("product.id")),
+		engine.Join(cat.MustAttr("customer.region_fk"), cat.MustAttr("region.id")),
+	})
+	if _, ok := s.EstimateCardinality(q2, q2.All()); !ok {
+		t.Fatalf("FK subtree should be answerable")
+	}
+}
+
+// TestDanglingKeysUnbiased: with dangling foreign keys, the outer-join
+// closure must keep estimates unbiased (the full-sample estimate stays
+// exact even though deeper closure levels drop rows).
+func TestDanglingKeysUnbiased(t *testing.T) {
+	db := datagen.Generate(datagen.Config{Seed: 4, FactRows: 3000, DanglingFrac: 0.2})
+	edges := make([]Edge, len(db.Edges))
+	for i, e := range db.Edges {
+		edges[i] = Edge{Child: e.Child, Parent: e.Parent}
+	}
+	s, err := Build(db.Cat, edges, 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Cat
+	ev := engine.NewEvaluator(cat)
+	// One-level query: sales ⋈ customer only (brand-level dangling must not
+	// bias it despite being part of sales' closure).
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(cat.MustAttr("sales.customer_fk"), cat.MustAttr("customer.id")),
+		engine.Filter(cat.MustAttr("customer.hot"), 5000, 10000),
+	})
+	est, ok := s.EstimateCardinality(q, q.All())
+	if !ok {
+		t.Fatalf("not answerable")
+	}
+	truth := ev.Count(q.Tables, q.Preds, q.All())
+	if math.Abs(est-truth) > 1e-6 {
+		t.Fatalf("dangling bias: estimate %v vs truth %v", est, truth)
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	db, edges := testDB()
+	s1, err := Build(db.Cat, edges, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Build(db.Cat, edges, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Cat
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(cat.MustAttr("sales.customer_fk"), cat.MustAttr("customer.id")),
+		engine.Filter(cat.MustAttr("customer.hot"), 5000, 10000),
+	})
+	a, _ := s1.EstimateCardinality(q, q.All())
+	b, _ := s2.EstimateCardinality(q, q.All())
+	if a != b {
+		t.Fatalf("same seed produced different estimates: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,80 @@
+package sit
+
+import (
+	"sort"
+	"sync"
+
+	"condsel/internal/engine"
+)
+
+// BuildWorkloadPoolParallel builds the same pool as BuildWorkloadPool using
+// the given number of worker goroutines, one join-expression group per
+// task. Each worker owns a private Builder (and therefore evaluator), so
+// workers share only the read-only catalog; the resulting pool is
+// element-wise identical to the sequential build. configure, when non-nil,
+// is applied to every worker's Builder (set Buckets, Kind, ExactDiff).
+func BuildWorkloadPoolParallel(cat *engine.Catalog, queries []*engine.Query, maxJoins, workers int, configure func(*Builder)) *Pool {
+	if workers <= 1 {
+		b := NewBuilder(cat)
+		if configure != nil {
+			configure(b)
+		}
+		return BuildWorkloadPool(b, queries, maxJoins)
+	}
+	specs := WorkloadSpecs(cat, queries, maxJoins)
+
+	type group struct {
+		expr  []engine.Pred
+		attrs []engine.AttrID
+	}
+	byExpr := make(map[string]*group)
+	var keys []string
+	for _, spec := range specs {
+		key := engine.PredsKey(spec.Expr, engine.FullPredSet(len(spec.Expr)))
+		g, ok := byExpr[key]
+		if !ok {
+			g = &group{expr: spec.Expr}
+			byExpr[key] = g
+			keys = append(keys, key)
+		}
+		g.attrs = append(g.attrs, spec.Attr)
+	}
+	// Largest expressions first: they dominate build time, so scheduling
+	// them early balances the workers.
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := byExpr[keys[i]], byExpr[keys[j]]
+		if len(a.expr) != len(b.expr) {
+			return len(a.expr) > len(b.expr)
+		}
+		return keys[i] < keys[j]
+	})
+
+	jobs := make(chan *group)
+	var mu sync.Mutex
+	pool := NewPool(cat)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := NewBuilder(cat)
+			if configure != nil {
+				configure(b)
+			}
+			for g := range jobs {
+				sits := b.BuildGroup(g.expr, g.attrs)
+				mu.Lock()
+				for _, s := range sits {
+					pool.Add(s)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, key := range keys {
+		jobs <- byExpr[key]
+	}
+	close(jobs)
+	wg.Wait()
+	return pool
+}

@@ -1,0 +1,80 @@
+package sit
+
+import (
+	"math/rand"
+	"testing"
+
+	"condsel/internal/engine"
+)
+
+func TestParallelPoolMatchesSequential(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(70)), 300)
+	q1 := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(a["l.oid"], a["o.id"]),
+		engine.Filter(a["o.price"], 0, 500),
+	})
+	q2 := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(a["l.oid"], a["o.id"]),
+		engine.Filter(a["l.qty"], 0, 25),
+	})
+	queries := []*engine.Query{q1, q2}
+
+	seq := BuildWorkloadPool(NewBuilder(cat), queries, 1)
+	par := BuildWorkloadPoolParallel(cat, queries, 1, 4, nil)
+
+	if par.Size() != seq.Size() {
+		t.Fatalf("parallel size %d, sequential %d", par.Size(), seq.Size())
+	}
+	ss, ps := seq.SITs(), par.SITs()
+	for i := range ss {
+		if ss[i].ID() != ps[i].ID() {
+			t.Fatalf("SIT %d identity differs: %q vs %q", i, ss[i].ID(), ps[i].ID())
+		}
+		if ss[i].Diff != ps[i].Diff {
+			t.Fatalf("SIT %d diff differs: %v vs %v", i, ss[i].Diff, ps[i].Diff)
+		}
+		for _, probe := range [][2]int64{{0, 100}, {100, 900}} {
+			a := ss[i].Hist.EstimateRange(probe[0], probe[1])
+			b := ps[i].Hist.EstimateRange(probe[0], probe[1])
+			if a != b {
+				t.Fatalf("SIT %d estimates differ on [%d,%d]: %v vs %v",
+					i, probe[0], probe[1], a, b)
+			}
+		}
+	}
+}
+
+func TestParallelPoolSingleWorkerDelegates(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(71)), 100)
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(a["l.oid"], a["o.id"]),
+		engine.Filter(a["o.price"], 0, 500),
+	})
+	configured := false
+	pool := BuildWorkloadPoolParallel(cat, []*engine.Query{q}, 1, 1, func(b *Builder) {
+		configured = true
+		b.Buckets = 20
+	})
+	if !configured {
+		t.Fatalf("configure not applied on single-worker path")
+	}
+	if pool.Size() == 0 {
+		t.Fatalf("empty pool")
+	}
+}
+
+func TestParallelPoolConfigure(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(72)), 200)
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(a["l.oid"], a["o.id"]),
+		engine.Filter(a["o.price"], 0, 500),
+	})
+	pool := BuildWorkloadPoolParallel(cat, []*engine.Query{q}, 1, 3, func(b *Builder) {
+		b.Buckets = 8
+	})
+	for _, s := range pool.SITs() {
+		if s.Hist.NumBuckets() > 8 {
+			t.Fatalf("configure ignored: %d buckets", s.Hist.NumBuckets())
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package sit
+
+import (
+	"sort"
+
+	"condsel/internal/engine"
+)
+
+// Pool is a set of available SITs with the candidate-matching rules of
+// §3.3. It also counts view-matching calls, the efficiency metric of the
+// paper's Figure 6. A Pool is not safe for concurrent use.
+type Pool struct {
+	Cat *engine.Catalog
+
+	byAttr map[engine.AttrID][]*SIT
+	byID   map[string]*SIT
+
+	// Two-dimensional SITs (§3.3 Example 3), keyed by their (X, Y) pair.
+	by2D   map[[2]engine.AttrID][]*SIT2D
+	byID2D map[string]*SIT2D
+
+	// MatchCalls counts invocations of the view-matching routine
+	// (Candidates). Reset with ResetMatchCalls.
+	MatchCalls int
+}
+
+// NewPool returns an empty pool over the catalog.
+func NewPool(cat *engine.Catalog) *Pool {
+	return &Pool{
+		Cat:    cat,
+		byAttr: make(map[engine.AttrID][]*SIT),
+		byID:   make(map[string]*SIT),
+	}
+}
+
+// Add inserts s unless an identical SIT (same attribute and expression) is
+// already present; it reports whether the SIT was added.
+func (p *Pool) Add(s *SIT) bool {
+	id := s.ID()
+	if _, dup := p.byID[id]; dup {
+		return false
+	}
+	p.byID[id] = s
+	p.byAttr[s.Attr] = append(p.byAttr[s.Attr], s)
+	return true
+}
+
+// Size returns the number of SITs in the pool (base histograms included).
+func (p *Pool) Size() int { return len(p.byID) }
+
+// Base returns the base-table histogram SIT for attr, or nil if absent.
+func (p *Pool) Base(attr engine.AttrID) *SIT {
+	for _, s := range p.byAttr[attr] {
+		if s.IsBase() {
+			return s
+		}
+	}
+	return nil
+}
+
+// OnAttr returns all SITs over attr (base histogram included), in
+// deterministic order.
+func (p *Pool) OnAttr(attr engine.AttrID) []*SIT {
+	out := append([]*SIT(nil), p.byAttr[attr]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// SITs returns every SIT in the pool in deterministic order.
+func (p *Pool) SITs() []*SIT {
+	out := make([]*SIT, 0, len(p.byID))
+	for _, s := range p.byID {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// ResetMatchCalls zeroes the view-matching call counter.
+func (p *Pool) ResetMatchCalls() { p.MatchCalls = 0 }
+
+// Filter returns a new pool holding only the one-dimensional SITs accepted
+// by keep (two-dimensional SITs are not carried over). SITs are shared, not
+// copied; the new pool's match-call counter starts at zero. Experiments use
+// this to derive the nested pools J₀ ⊆ J₁ ⊆ … ⊆ J₇ from one fully built
+// pool.
+func (p *Pool) Filter(keep func(*SIT) bool) *Pool {
+	out := NewPool(p.Cat)
+	for _, s := range p.SITs() {
+		if keep(s) {
+			out.Add(s)
+		}
+	}
+	return out
+}
+
+// MaxJoins returns the sub-pool J_i: SITs (one- and two-dimensional) whose
+// expressions have at most i predicates.
+func (p *Pool) MaxJoins(i int) *Pool {
+	out := p.Filter(func(s *SIT) bool { return s.ExprSize() <= i })
+	for _, s := range p.SITs2D() {
+		if s.ExprSize() <= i {
+			out.Add2D(s)
+		}
+	}
+	return out
+}
+
+// SITs2D returns every two-dimensional SIT in deterministic order.
+func (p *Pool) SITs2D() []*SIT2D {
+	out := make([]*SIT2D, 0, len(p.byID2D))
+	for _, s := range p.byID2D {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Candidates implements the §3.3 candidate rule for approximating
+// Sel(P|Q) where P consists of predicates over attribute attr: it returns
+// the SITs H = SIT(attr|Q') such that Q' ⊆ Q (containment within the
+// conditioning set, under structural predicate identity) and Q' is maximal
+// (no other matching SIT's expression strictly contains it). The base
+// histogram qualifies exactly when no non-empty expression matches. Each
+// invocation counts as one view-matching call.
+func (p *Pool) Candidates(preds []engine.Pred, attr engine.AttrID, q engine.PredSet) []*SIT {
+	p.MatchCalls++
+	var matching []*SIT
+	for _, s := range p.byAttr[attr] {
+		if s.MatchesSubset(preds, q) {
+			matching = append(matching, s)
+		}
+	}
+	// Maximality: drop any SIT whose expression is strictly contained in
+	// another matching SIT's expression.
+	var out []*SIT
+	for _, s := range matching {
+		maximal := true
+		for _, t := range matching {
+			if t != s && s.ExprSubsetOf(t) && t.ExprSize() > s.ExprSize() {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// PoolSpec identifies one SIT to build: an attribute and a connected join
+// expression over base tables.
+type PoolSpec struct {
+	Attr engine.AttrID
+	Expr []engine.Pred
+}
+
+// WorkloadSpecs derives the specification of pool J_maxJoins for a workload,
+// per §5 "Available SITs": every SIT(a|Q) such that Q is a connected subset
+// of some workload query's join predicates with |Q| ≤ maxJoins whose tables
+// include a's table, and a appears (in a filter or join) in the same query.
+// maxJoins = 0 yields base histograms only. Specs are deduplicated.
+func WorkloadSpecs(cat *engine.Catalog, queries []*engine.Query, maxJoins int) []PoolSpec {
+	seen := make(map[string]bool)
+	var specs []PoolSpec
+	add := func(attr engine.AttrID, expr []engine.Pred) {
+		s := NewSIT(cat, attr, expr, nil, 0)
+		if id := s.ID(); !seen[id] {
+			seen[id] = true
+			specs = append(specs, PoolSpec{Attr: attr, Expr: expr})
+		}
+	}
+	for _, q := range queries {
+		attrs := queryAttrs(q)
+		for _, a := range attrs {
+			add(a, nil) // base histogram
+		}
+		if maxJoins == 0 {
+			continue
+		}
+		joinIdxs := q.JoinSet()
+		joinIdxs.Subsets(func(sub engine.PredSet) {
+			if sub.Len() > maxJoins {
+				return
+			}
+			if len(engine.Components(q.Cat, q.Preds, sub)) != 1 {
+				return
+			}
+			tables := engine.PredsTables(q.Cat, q.Preds, sub)
+			expr := make([]engine.Pred, 0, sub.Len())
+			for _, i := range sub.Indices() {
+				expr = append(expr, q.Preds[i])
+			}
+			for _, a := range attrs {
+				if tables.Has(cat.AttrTable(a)) {
+					add(a, expr)
+				}
+			}
+		})
+	}
+	return specs
+}
+
+// BuildWorkloadPool materializes pool J_maxJoins for the workload using the
+// builder, sharing one expression evaluation across all attributes built
+// over it.
+func BuildWorkloadPool(b *Builder, queries []*engine.Query, maxJoins int) *Pool {
+	specs := WorkloadSpecs(b.Cat, queries, maxJoins)
+	pool := NewPool(b.Cat)
+
+	// Group specs by expression so each join result is materialized once.
+	type group struct {
+		expr  []engine.Pred
+		attrs []engine.AttrID
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, spec := range specs {
+		key := engine.PredsKey(spec.Expr, engine.FullPredSet(len(spec.Expr)))
+		g, ok := groups[key]
+		if !ok {
+			g = &group{expr: spec.Expr}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.attrs = append(g.attrs, spec.Attr)
+	}
+	for _, key := range order {
+		g := groups[key]
+		for _, s := range b.BuildGroup(g.expr, g.attrs) {
+			pool.Add(s)
+		}
+	}
+	return pool
+}
+
+// queryAttrs returns the distinct attributes syntactically present in the
+// query's predicates, in first-appearance order.
+func queryAttrs(q *engine.Query) []engine.AttrID {
+	seen := make(map[engine.AttrID]bool)
+	var out []engine.AttrID
+	for _, p := range q.Preds {
+		for _, a := range p.Attrs() {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package sit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+)
+
+// Serialization persists statistics pools as JSON so they can be built once
+// and reused across processes. Attributes are stored by qualified name, so
+// a snapshot loads into any catalog with the same schema.
+
+const snapshotVersion = 1
+
+type poolSnapshot struct {
+	Version int             `json:"version"`
+	SITs    []sitSnapshot   `json:"sits"`
+	SITs2D  []sit2DSnapshot `json:"sits2d,omitempty"`
+}
+
+type sit2DSnapshot struct {
+	X    string         `json:"x"`
+	Y    string         `json:"y"`
+	Expr []predSnapshot `json:"expr,omitempty"`
+	Hist hist2DSnapshot `json:"hist"`
+}
+
+type hist2DSnapshot struct {
+	XBounds   []int64     `json:"xBounds"`
+	YBounds   []int64     `json:"yBounds"`
+	Cells     [][]float64 `json:"cells"`
+	XDistinct []float64   `json:"xDistinct"`
+	Rows      float64     `json:"rows"`
+	TotalRows float64     `json:"totalRows,omitempty"`
+}
+
+type sitSnapshot struct {
+	Attr string         `json:"attr"`
+	Expr []predSnapshot `json:"expr,omitempty"`
+	Diff float64        `json:"diff"`
+	Hist histSnapshot   `json:"hist"`
+}
+
+type predSnapshot struct {
+	Join  bool   `json:"join,omitempty"`
+	Attr  string `json:"attr,omitempty"`
+	Left  string `json:"left,omitempty"`
+	Right string `json:"right,omitempty"`
+	Lo    int64  `json:"lo,omitempty"`
+	Hi    int64  `json:"hi,omitempty"`
+}
+
+type histSnapshot struct {
+	Rows      float64            `json:"rows"`
+	TotalRows float64            `json:"totalRows,omitempty"`
+	Buckets   []histogram.Bucket `json:"buckets"`
+}
+
+// Encode serializes the pool as JSON.
+func (p *Pool) Encode(w io.Writer) error {
+	snap := poolSnapshot{Version: snapshotVersion}
+	for _, s := range p.SITs() {
+		if s.Hist == nil {
+			return fmt.Errorf("sit: cannot serialize SIT %s without histogram", s.Name(p.Cat))
+		}
+		ss := sitSnapshot{
+			Attr: p.Cat.AttrName(s.Attr),
+			Diff: s.Diff,
+			Hist: histSnapshot{
+				Rows:      s.Hist.Rows,
+				TotalRows: s.Hist.TotalRows,
+				Buckets:   s.Hist.Buckets,
+			},
+		}
+		for _, pr := range s.Expr {
+			ss.Expr = append(ss.Expr, snapshotPred(p.Cat, pr))
+		}
+		snap.SITs = append(snap.SITs, ss)
+	}
+	for _, s := range p.SITs2D() {
+		if s.Hist == nil {
+			return fmt.Errorf("sit: cannot serialize 2-D SIT %s without histogram", s.Name(p.Cat))
+		}
+		ss := sit2DSnapshot{
+			X: p.Cat.AttrName(s.X),
+			Y: p.Cat.AttrName(s.Y),
+			Hist: hist2DSnapshot{
+				XBounds:   s.Hist.XBounds,
+				YBounds:   s.Hist.YBounds,
+				Cells:     s.Hist.Cells,
+				XDistinct: s.Hist.XDistinct,
+				Rows:      s.Hist.Rows,
+				TotalRows: s.Hist.TotalRows,
+			},
+		}
+		for _, pr := range s.Expr {
+			ss.Expr = append(ss.Expr, snapshotPred(p.Cat, pr))
+		}
+		snap.SITs2D = append(snap.SITs2D, ss)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}
+
+// ReadPool deserializes a pool against the catalog. Attribute names must
+// resolve in the catalog; histograms are taken as-is.
+func ReadPool(cat *engine.Catalog, r io.Reader) (*Pool, error) {
+	var snap poolSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("sit: decoding pool: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("sit: unsupported pool snapshot version %d", snap.Version)
+	}
+	pool := NewPool(cat)
+	for i, ss := range snap.SITs {
+		attr, err := cat.Attr(ss.Attr)
+		if err != nil {
+			return nil, fmt.Errorf("sit: snapshot entry %d: %w", i, err)
+		}
+		var expr []engine.Pred
+		for _, ps := range ss.Expr {
+			pr, err := restorePred(cat, ps)
+			if err != nil {
+				return nil, fmt.Errorf("sit: snapshot entry %d: %w", i, err)
+			}
+			expr = append(expr, pr)
+		}
+		h := &histogram.Histogram{
+			Rows:      ss.Hist.Rows,
+			TotalRows: ss.Hist.TotalRows,
+			Buckets:   ss.Hist.Buckets,
+		}
+		pool.Add(NewSIT(cat, attr, expr, h, ss.Diff))
+	}
+	for i, ss := range snap.SITs2D {
+		x, err := cat.Attr(ss.X)
+		if err != nil {
+			return nil, fmt.Errorf("sit: 2-D snapshot entry %d: %w", i, err)
+		}
+		y, err := cat.Attr(ss.Y)
+		if err != nil {
+			return nil, fmt.Errorf("sit: 2-D snapshot entry %d: %w", i, err)
+		}
+		var expr []engine.Pred
+		for _, ps := range ss.Expr {
+			pr, err := restorePred(cat, ps)
+			if err != nil {
+				return nil, fmt.Errorf("sit: 2-D snapshot entry %d: %w", i, err)
+			}
+			expr = append(expr, pr)
+		}
+		h := &histogram.Hist2D{
+			XBounds:   ss.Hist.XBounds,
+			YBounds:   ss.Hist.YBounds,
+			Cells:     ss.Hist.Cells,
+			XDistinct: ss.Hist.XDistinct,
+			Rows:      ss.Hist.Rows,
+			TotalRows: ss.Hist.TotalRows,
+		}
+		pool.Add2D(NewSIT2D(cat, x, y, expr, h))
+	}
+	return pool, nil
+}
+
+func snapshotPred(cat *engine.Catalog, p engine.Pred) predSnapshot {
+	if p.IsJoin() {
+		return predSnapshot{
+			Join:  true,
+			Left:  cat.AttrName(p.Left),
+			Right: cat.AttrName(p.Right),
+		}
+	}
+	return predSnapshot{Attr: cat.AttrName(p.Attr), Lo: p.Lo, Hi: p.Hi}
+}
+
+func restorePred(cat *engine.Catalog, ps predSnapshot) (engine.Pred, error) {
+	if ps.Join {
+		l, err := cat.Attr(ps.Left)
+		if err != nil {
+			return engine.Pred{}, err
+		}
+		r, err := cat.Attr(ps.Right)
+		if err != nil {
+			return engine.Pred{}, err
+		}
+		return engine.Join(l, r), nil
+	}
+	a, err := cat.Attr(ps.Attr)
+	if err != nil {
+		return engine.Pred{}, err
+	}
+	return engine.Filter(a, ps.Lo, ps.Hi), nil
+}

@@ -1,0 +1,118 @@
+package sit
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"condsel/internal/engine"
+)
+
+func TestPoolSerializationRoundTrip(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(50)), 300)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Filter(a["o.price"], 0, 500),
+		join,
+	})
+	b := NewBuilder(cat)
+	orig := BuildWorkloadPool(b, []*engine.Query{q}, 1)
+
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadPool(cat, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != orig.Size() {
+		t.Fatalf("size %d after round trip, want %d", restored.Size(), orig.Size())
+	}
+
+	// Every SIT must produce identical estimates after the round trip.
+	origSits := orig.SITs()
+	restSits := restored.SITs()
+	for i := range origSits {
+		o, r := origSits[i], restSits[i]
+		if o.ID() != r.ID() {
+			t.Fatalf("SIT %d identity changed: %q vs %q", i, o.ID(), r.ID())
+		}
+		if o.Diff != r.Diff {
+			t.Fatalf("SIT %d diff changed: %v vs %v", i, o.Diff, r.Diff)
+		}
+		for _, probe := range [][2]int64{{0, 100}, {200, 800}, {-5, 5}} {
+			a := o.Hist.EstimateRange(probe[0], probe[1])
+			b := r.Hist.EstimateRange(probe[0], probe[1])
+			if a != b {
+				t.Fatalf("SIT %d estimate changed on [%d,%d]: %v vs %v",
+					i, probe[0], probe[1], a, b)
+			}
+		}
+	}
+}
+
+func TestReadPoolErrors(t *testing.T) {
+	cat, _ := shopDB(rand.New(rand.NewSource(51)), 50)
+	if _, err := ReadPool(cat, strings.NewReader("{broken")); err == nil {
+		t.Errorf("broken JSON accepted")
+	}
+	if _, err := ReadPool(cat, strings.NewReader(`{"version":99,"sits":[]}`)); err == nil {
+		t.Errorf("future version accepted")
+	}
+	if _, err := ReadPool(cat, strings.NewReader(
+		`{"version":1,"sits":[{"attr":"nope.nope","diff":0,"hist":{"rows":0,"buckets":[]}}]}`)); err == nil {
+		t.Errorf("unknown attribute accepted")
+	}
+	if _, err := ReadPool(cat, strings.NewReader(
+		`{"version":1,"sits":[{"attr":"orders.price","expr":[{"join":true,"left":"zzz.z","right":"orders.id"}],"diff":0,"hist":{"rows":0,"buckets":[]}}]}`)); err == nil {
+		t.Errorf("unknown join attribute accepted")
+	}
+}
+
+func TestWriteToRejectsHistlessSIT(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(52)), 50)
+	pool := NewPool(cat)
+	pool.Add(NewSIT(cat, a["o.price"], nil, nil, 0))
+	var buf bytes.Buffer
+	if err := pool.Encode(&buf); err == nil {
+		t.Fatalf("histogram-less SIT serialized")
+	}
+}
+
+func TestPool2DSerializationRoundTrip(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(53)), 200)
+	b := NewBuilder(cat)
+	pool := NewPool(cat)
+	pool.Add(b.BuildBase(a["o.price"]))
+	s2d, err := b.Build2D(a["o.id"], a["o.price"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Add2D(s2d)
+
+	var buf bytes.Buffer
+	if err := pool.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadPool(cat, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size2D() != 1 {
+		t.Fatalf("Size2D after round trip = %d", restored.Size2D())
+	}
+	orig := pool.SITs2D()[0]
+	rest := restored.SITs2D()[0]
+	if orig.ID() != rest.ID() {
+		t.Fatalf("2-D identity changed: %q vs %q", orig.ID(), rest.ID())
+	}
+	// Derived conditional estimates must survive unchanged.
+	other := b.BuildBase(a["l.oid"])
+	s1, h1 := orig.Hist.JoinOnX(other.Hist)
+	s2, h2 := rest.Hist.JoinOnX(other.Hist)
+	if s1 != s2 || h1.EstimateRange(0, 500) != h2.EstimateRange(0, 500) {
+		t.Fatalf("2-D derivation changed after round trip")
+	}
+}

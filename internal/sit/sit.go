@@ -1,0 +1,117 @@
+// Package sit implements statistics on query expressions (SITs): histograms
+// built over the result of executing a join expression, as introduced in
+// Bruno & Chaudhuri (SIGMOD'02) and exploited by the conditional-selectivity
+// framework of the reproduced paper. It provides the SIT type, a builder
+// that executes expressions and derives the per-SIT diff value (§3.5), and
+// pools with the candidate-matching rules of §3.3 (attribute coverage,
+// expression containment, maximality).
+package sit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+)
+
+// SIT is a statistic on a query expression: a histogram over attribute Attr
+// built on the result of σ_Expr(tables(Expr)^×). An empty Expr denotes an
+// ordinary base-table histogram. Diff is the variation distance between the
+// SIT's distribution and the base distribution of Attr, computed once at
+// build time (§3.5); base histograms have Diff 0 by definition.
+type SIT struct {
+	Attr   engine.AttrID
+	Expr   []engine.Pred // join predicates of the generating expression
+	Tables engine.TableSet
+	Hist   *histogram.Histogram
+	Diff   float64
+
+	exprKeys map[string]bool // canonical predicate keys of Expr
+}
+
+// NewSIT assembles a SIT from its parts, deriving the table set and
+// canonical expression keys.
+func NewSIT(c *engine.Catalog, attr engine.AttrID, expr []engine.Pred, h *histogram.Histogram, diff float64) *SIT {
+	s := &SIT{Attr: attr, Expr: expr, Hist: h, Diff: diff,
+		exprKeys: make(map[string]bool, len(expr))}
+	s.Tables = engine.NewTableSet(c.AttrTable(attr))
+	for _, p := range expr {
+		s.Tables = s.Tables.Union(p.Tables(c))
+		s.exprKeys[p.Key()] = true
+	}
+	return s
+}
+
+// IsBase reports whether the SIT is a plain base-table histogram.
+func (s *SIT) IsBase() bool { return len(s.Expr) == 0 }
+
+// ExprSize returns the number of predicates in the generating expression.
+func (s *SIT) ExprSize() int { return len(s.Expr) }
+
+// ID returns a canonical identity string: attribute plus sorted expression
+// keys. Two SITs with equal IDs are built over the same expression.
+func (s *SIT) ID() string {
+	keys := make([]string, 0, len(s.exprKeys))
+	for k := range s.exprKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("%d|%s", s.Attr, strings.Join(keys, "&"))
+}
+
+// Name renders the SIT in the paper's notation, e.g.
+// "SIT(orders.price | lineitem.oid = orders.id)".
+func (s *SIT) Name(c *engine.Catalog) string {
+	if s.IsBase() {
+		return fmt.Sprintf("H(%s)", c.AttrName(s.Attr))
+	}
+	parts := make([]string, len(s.Expr))
+	for i, p := range s.Expr {
+		parts[i] = p.Format(c)
+	}
+	return fmt.Sprintf("SIT(%s | %s)", c.AttrName(s.Attr), strings.Join(parts, " & "))
+}
+
+// MatchesSubset reports whether every predicate of the SIT's expression
+// appears (structurally) within the predicate subset q of preds. This is
+// the `Q' ⊆ Q` containment test of §3.3.
+func (s *SIT) MatchesSubset(preds []engine.Pred, q engine.PredSet) bool {
+	if len(s.exprKeys) > q.Len() {
+		return false
+	}
+	found := 0
+	for _, i := range q.Indices() {
+		if s.exprKeys[preds[i].Key()] {
+			found++
+		}
+	}
+	return found == len(s.exprKeys)
+}
+
+// ExprSubsetOf reports whether s's expression is a (possibly equal) subset
+// of t's expression.
+func (s *SIT) ExprSubsetOf(t *SIT) bool {
+	if len(s.exprKeys) > len(t.exprKeys) {
+		return false
+	}
+	for k := range s.exprKeys {
+		if !t.exprKeys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchedSet returns the positions within q whose predicates belong to the
+// SIT's expression — the Q' actually covered by the SIT.
+func (s *SIT) MatchedSet(preds []engine.Pred, q engine.PredSet) engine.PredSet {
+	var m engine.PredSet
+	for _, i := range q.Indices() {
+		if s.exprKeys[preds[i].Key()] {
+			m = m.Add(i)
+		}
+	}
+	return m
+}

@@ -1,0 +1,162 @@
+package sit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"condsel/internal/engine"
+)
+
+func TestSIT2DIdentityAndNaming(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(60)), 100)
+	b := NewBuilder(cat)
+	s, err := b.Build2D(a["o.id"], a["o.price"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ExprSize() != 0 {
+		t.Fatalf("base 2-D SIT has expr size %d", s.ExprSize())
+	}
+	if name := s.Name(cat); !strings.Contains(name, "H(orders.id, orders.price)") {
+		t.Fatalf("Name = %q", name)
+	}
+	join := engine.Join(a["l.oid"], a["o.id"])
+	s2, err := b.Build2D(a["o.id"], a["o.price"], []engine.Pred{join})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s2.Name(cat), "SIT(orders.id, orders.price |") {
+		t.Fatalf("Name = %q", s2.Name(cat))
+	}
+	if s.ID() == s2.ID() {
+		t.Fatalf("distinct 2-D SITs share ID")
+	}
+}
+
+func TestBuild2DValidation(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(61)), 50)
+	b := NewBuilder(cat)
+	if _, err := b.Build2D(a["o.price"], a["l.qty"], nil); err == nil {
+		t.Fatalf("cross-table 2-D SIT accepted")
+	}
+}
+
+func TestBuild2DOverExpression(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(62)), 200)
+	b := NewBuilder(cat)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	s, err := b.Build2D(a["o.id"], a["o.price"], []engine.Pred{join})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join result has one tuple per line item; the histogram must see
+	// that many rows.
+	ev := engine.NewEvaluator(cat)
+	want := ev.Count(engine.NewTableSet(0, 1), []engine.Pred{join}, engine.NewPredSet(0))
+	if s.Hist.Rows != want {
+		t.Fatalf("2-D SIT rows %v, want %v", s.Hist.Rows, want)
+	}
+}
+
+func TestPool2DAddAndCandidates(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(63)), 100)
+	b := NewBuilder(cat)
+	pool := NewPool(cat)
+
+	base, err := b.Build2D(a["o.id"], a["o.price"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Add2D(base) {
+		t.Fatalf("first Add2D failed")
+	}
+	if pool.Add2D(base) {
+		t.Fatalf("duplicate Add2D accepted")
+	}
+	if pool.Size2D() != 1 {
+		t.Fatalf("Size2D = %d", pool.Size2D())
+	}
+
+	join := engine.Join(a["l.oid"], a["o.id"])
+	preds := []engine.Pred{join, engine.Filter(a["l.qty"], 0, 10)}
+	got := pool.Candidates2D(preds, a["o.id"], a["o.price"], engine.NewPredSet(1))
+	if len(got) != 1 || got[0] != base {
+		t.Fatalf("Candidates2D = %v", got)
+	}
+	// Wrong attribute pair yields nothing.
+	if got := pool.Candidates2D(preds, a["o.price"], a["o.id"], engine.NewPredSet(1)); len(got) != 0 {
+		t.Fatalf("swapped pair matched: %v", got)
+	}
+}
+
+func TestPool2DMaximality(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(64)), 100)
+	b := NewBuilder(cat)
+	pool := NewPool(cat)
+	join := engine.Join(a["l.oid"], a["o.id"])
+
+	base, _ := b.Build2D(a["o.id"], a["o.price"], nil)
+	over, err := b.Build2D(a["o.id"], a["o.price"], []engine.Pred{join})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Add2D(base)
+	pool.Add2D(over)
+
+	preds := []engine.Pred{join, engine.Filter(a["o.price"], 0, 500)}
+	got := pool.Candidates2D(preds, a["o.id"], a["o.price"], engine.NewPredSet(0))
+	if len(got) != 1 || got[0] != over {
+		t.Fatalf("maximality failed: %d candidates", len(got))
+	}
+	// Without the join in the conditioning set, only the base qualifies.
+	got = pool.Candidates2D(preds, a["o.id"], a["o.price"], engine.NewPredSet(1))
+	if len(got) != 1 || got[0] != base {
+		t.Fatalf("base candidate expected, got %d", len(got))
+	}
+}
+
+func TestMaxJoinsCarries2D(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(65)), 100)
+	b := NewBuilder(cat)
+	pool := NewPool(cat)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	base, _ := b.Build2D(a["o.id"], a["o.price"], nil)
+	over, _ := b.Build2D(a["o.id"], a["o.price"], []engine.Pred{join})
+	pool.Add2D(base)
+	pool.Add2D(over)
+
+	j0 := pool.MaxJoins(0)
+	if j0.Size2D() != 1 {
+		t.Fatalf("J0 should carry only the base 2-D SIT, got %d", j0.Size2D())
+	}
+	j1 := pool.MaxJoins(1)
+	if j1.Size2D() != 2 {
+		t.Fatalf("J1 should carry both 2-D SITs, got %d", j1.Size2D())
+	}
+}
+
+func TestBuild2DBaseSITs(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(66)), 150)
+	b := NewBuilder(cat)
+	pool := NewPool(cat)
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Join(a["l.oid"], a["o.id"]),
+		engine.Filter(a["o.price"], 0, 500),
+		engine.Filter(a["l.qty"], 0, 10),
+	})
+	added, err := Build2DBaseSITs(b, pool, []*engine.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join columns: l.oid, o.id. Filter attrs: o.price (orders), l.qty
+	// (lineitem) → pairs (o.id, o.price) and (l.oid, l.qty).
+	if added != 2 || pool.Size2D() != 2 {
+		t.Fatalf("added %d 2-D SITs (size %d), want 2", added, pool.Size2D())
+	}
+	// Idempotent.
+	again, err := Build2DBaseSITs(b, pool, []*engine.Query{q})
+	if err != nil || again != 0 {
+		t.Fatalf("re-adding created %d SITs, err %v", again, err)
+	}
+}

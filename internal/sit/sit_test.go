@@ -1,0 +1,341 @@
+package sit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+)
+
+// shopDB builds a small correlated star: orders(id, price) and
+// lineitem(oid, qty), where expensive orders have many line items (the
+// paper's §1 motivating skew).
+func shopDB(rng *rand.Rand, nOrders int) (*engine.Catalog, map[string]engine.AttrID) {
+	oid := make([]int64, nOrders)
+	price := make([]int64, nOrders)
+	var liOID, liQty []int64
+	for i := 0; i < nOrders; i++ {
+		oid[i] = int64(i)
+		price[i] = int64(rng.Intn(1000))
+		items := 1
+		if price[i] > 800 { // expensive orders have many line items
+			items = 20
+		}
+		for k := 0; k < items; k++ {
+			liOID = append(liOID, int64(i))
+			liQty = append(liQty, int64(rng.Intn(50)))
+		}
+	}
+	cat := engine.NewCatalog()
+	cat.MustAddTable(&engine.Table{Name: "orders", Cols: []*engine.Column{
+		{Name: "id", Vals: oid},
+		{Name: "price", Vals: price},
+	}})
+	cat.MustAddTable(&engine.Table{Name: "lineitem", Cols: []*engine.Column{
+		{Name: "oid", Vals: liOID},
+		{Name: "qty", Vals: liQty},
+	}})
+	attrs := map[string]engine.AttrID{
+		"o.id":    cat.MustAttr("orders.id"),
+		"o.price": cat.MustAttr("orders.price"),
+		"l.oid":   cat.MustAttr("lineitem.oid"),
+		"l.qty":   cat.MustAttr("lineitem.qty"),
+	}
+	return cat, attrs
+}
+
+func TestSITIdentityAndNaming(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(1)), 50)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	s := NewSIT(cat, a["o.price"], []engine.Pred{join}, &histogram.Histogram{}, 0.5)
+	if s.IsBase() {
+		t.Fatalf("SIT with expression reported as base")
+	}
+	if s.ExprSize() != 1 {
+		t.Fatalf("ExprSize = %d", s.ExprSize())
+	}
+	name := s.Name(cat)
+	if !strings.Contains(name, "SIT(orders.price |") {
+		t.Fatalf("Name = %q", name)
+	}
+	base := NewSIT(cat, a["o.price"], nil, &histogram.Histogram{}, 0)
+	if !base.IsBase() || base.Name(cat) != "H(orders.price)" {
+		t.Fatalf("base SIT misbehaves: %q", base.Name(cat))
+	}
+	if s.ID() == base.ID() {
+		t.Fatalf("distinct SITs share ID")
+	}
+	s2 := NewSIT(cat, a["o.price"], []engine.Pred{engine.Join(a["o.id"], a["l.oid"])}, nil, 0)
+	if s.ID() != s2.ID() {
+		t.Fatalf("structurally equal SITs have different IDs: %q vs %q", s.ID(), s2.ID())
+	}
+}
+
+func TestSITMatching(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(2)), 50)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	filter := engine.Filter(a["o.price"], 0, 500)
+	preds := []engine.Pred{filter, join}
+	s := NewSIT(cat, a["o.price"], []engine.Pred{join}, nil, 0)
+
+	if !s.MatchesSubset(preds, engine.NewPredSet(1)) {
+		t.Errorf("should match {join}")
+	}
+	if !s.MatchesSubset(preds, engine.NewPredSet(0, 1)) {
+		t.Errorf("should match {filter, join}")
+	}
+	if s.MatchesSubset(preds, engine.NewPredSet(0)) {
+		t.Errorf("should not match {filter}")
+	}
+	if got := s.MatchedSet(preds, engine.NewPredSet(0, 1)); got != engine.NewPredSet(1) {
+		t.Errorf("MatchedSet = %v", got)
+	}
+
+	base := NewSIT(cat, a["o.price"], nil, nil, 0)
+	if !base.ExprSubsetOf(s) || s.ExprSubsetOf(base) {
+		t.Errorf("ExprSubsetOf wrong")
+	}
+}
+
+func TestBuilderBaseHistogram(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(3)), 200)
+	b := NewBuilder(cat)
+	s := b.BuildBase(a["o.price"])
+	if !s.IsBase() || s.Diff != 0 {
+		t.Fatalf("base SIT wrong: base=%v diff=%v", s.IsBase(), s.Diff)
+	}
+	if s.Hist.Rows != 200 {
+		t.Fatalf("base hist rows = %v", s.Hist.Rows)
+	}
+	// Cached: second call returns identical histogram.
+	if b.BuildBase(a["o.price"]).Hist != s.Hist {
+		t.Fatalf("base histogram not cached")
+	}
+}
+
+// TestBuilderSITCapturesCorrelation is the core §1 scenario: the
+// distribution of price over lineitem ⋈ orders is heavily shifted towards
+// expensive orders, so the SIT's estimate of price>800 over the join must
+// far exceed the base histogram's, and its diff must be large.
+func TestBuilderSITCapturesCorrelation(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(4)), 500)
+	b := NewBuilder(cat)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	s := b.Build(a["o.price"], []engine.Pred{join})
+
+	base := b.BuildBase(a["o.price"])
+	baseSel := base.Hist.EstimateRange(801, 1000)
+	sitSel := s.Hist.EstimateRange(801, 1000)
+	if sitSel < 3*baseSel {
+		t.Fatalf("SIT should report much higher selectivity over join: base %v, sit %v", baseSel, sitSel)
+	}
+	if s.Diff < 0.3 {
+		t.Fatalf("correlated SIT diff = %v, want substantial", s.Diff)
+	}
+
+	// Ground truth cross-check: the SIT's estimate should be close to the
+	// true conditional selectivity.
+	ev := engine.NewEvaluator(cat)
+	preds := []engine.Pred{join, engine.Filter(a["o.price"], 801, 1000)}
+	truth := ev.ConditionalSelectivity(engine.NewTableSet(0, 1), preds,
+		engine.NewPredSet(1), engine.NewPredSet(0))
+	if rel := abs(sitSel-truth) / truth; rel > 0.15 {
+		t.Fatalf("SIT estimate %v vs truth %v (rel err %.3f)", sitSel, truth, rel)
+	}
+}
+
+// TestBuilderSITIndependentJoinHasLowDiff mirrors Example 4: when the join
+// does not skew the attribute's distribution, diff ≈ 0.
+func TestBuilderSITIndependentJoinHasLowDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1000
+	key := make([]int64, n)
+	val := make([]int64, n)
+	fk := make([]int64, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i)
+		val[i] = int64(rng.Intn(100))
+		fk[i] = int64(i) // 1:1 FK join, preserves distribution exactly
+	}
+	cat := engine.NewCatalog()
+	cat.MustAddTable(&engine.Table{Name: "S", Cols: []*engine.Column{
+		{Name: "k", Vals: key}, {Name: "a", Vals: val},
+	}})
+	cat.MustAddTable(&engine.Table{Name: "T", Cols: []*engine.Column{
+		{Name: "fk", Vals: fk},
+	}})
+	b := NewBuilder(cat)
+	s := b.Build(cat.MustAttr("S.a"),
+		[]engine.Pred{engine.Join(cat.MustAttr("S.k"), cat.MustAttr("T.fk"))})
+	if s.Diff > 0.05 {
+		t.Fatalf("distribution-preserving join should have diff ≈ 0, got %v", s.Diff)
+	}
+}
+
+func TestBuilderExactDiffOption(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(6)), 300)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	approx := NewBuilder(cat)
+	exact := NewBuilder(cat)
+	exact.ExactDiff = true
+	da := approx.Build(a["o.price"], []engine.Pred{join}).Diff
+	de := exact.Build(a["o.price"], []engine.Pred{join}).Diff
+	if abs(da-de) > 0.2 {
+		t.Fatalf("approximated diff %v far from exact %v", da, de)
+	}
+}
+
+func TestBuildGroupSharesEvaluation(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(7)), 200)
+	b := NewBuilder(cat)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	sits := b.BuildGroup([]engine.Pred{join}, []engine.AttrID{a["o.price"], a["l.qty"]})
+	if len(sits) != 2 {
+		t.Fatalf("BuildGroup returned %d SITs", len(sits))
+	}
+	if b.Ev.Evaluations != 1 {
+		t.Fatalf("BuildGroup ran %d evaluations, want 1", b.Ev.Evaluations)
+	}
+	if sits[0].Hist.Empty() || sits[1].Hist.Empty() {
+		t.Fatalf("group-built SITs have empty histograms")
+	}
+}
+
+func TestPoolAddAndDedup(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(8)), 50)
+	p := NewPool(cat)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	s1 := NewSIT(cat, a["o.price"], []engine.Pred{join}, nil, 0)
+	s2 := NewSIT(cat, a["o.price"], []engine.Pred{join}, nil, 0)
+	if !p.Add(s1) {
+		t.Fatalf("first Add failed")
+	}
+	if p.Add(s2) {
+		t.Fatalf("duplicate Add accepted")
+	}
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	base := NewSIT(cat, a["o.price"], nil, nil, 0)
+	p.Add(base)
+	if p.Base(a["o.price"]) != base {
+		t.Fatalf("Base lookup failed")
+	}
+	if p.Base(a["l.qty"]) != nil {
+		t.Fatalf("Base for absent attr should be nil")
+	}
+	if got := len(p.OnAttr(a["o.price"])); got != 2 {
+		t.Fatalf("OnAttr = %d SITs", got)
+	}
+	if got := len(p.SITs()); got != 2 {
+		t.Fatalf("SITs = %d", got)
+	}
+}
+
+// TestPoolCandidatesMaximality reproduces Example 2: with SITs over {},
+// {p1}, {p2} and {p1,p2,p3} available and Q = {p1,p2}, the candidates are
+// exactly SIT(a|p1) and SIT(a|p2).
+func TestPoolCandidatesMaximality(t *testing.T) {
+	cat := engine.NewCatalog()
+	var cols []*engine.Column
+	for _, n := range []string{"a", "x", "y", "z"} {
+		cols = append(cols, &engine.Column{Name: n, Vals: []int64{1, 2}})
+	}
+	cat.MustAddTable(&engine.Table{Name: "R", Cols: cols})
+	for _, n := range []string{"S", "T", "U"} {
+		cat.MustAddTable(&engine.Table{Name: n, Cols: []*engine.Column{{Name: "k", Vals: []int64{1, 2}}}})
+	}
+	ra := cat.MustAttr("R.a")
+	p1 := engine.Join(cat.MustAttr("R.x"), cat.MustAttr("S.k"))
+	p2 := engine.Join(cat.MustAttr("R.y"), cat.MustAttr("T.k"))
+	p3 := engine.Join(cat.MustAttr("R.z"), cat.MustAttr("U.k"))
+
+	pool := NewPool(cat)
+	sBase := NewSIT(cat, ra, nil, nil, 0)
+	s1 := NewSIT(cat, ra, []engine.Pred{p1}, nil, 0)
+	s2 := NewSIT(cat, ra, []engine.Pred{p2}, nil, 0)
+	s123 := NewSIT(cat, ra, []engine.Pred{p1, p2, p3}, nil, 0)
+	for _, s := range []*SIT{sBase, s1, s2, s123} {
+		pool.Add(s)
+	}
+
+	preds := []engine.Pred{p1, p2} // query conditioning set Q = {p1, p2}
+	got := pool.Candidates(preds, ra, engine.FullPredSet(2))
+	if len(got) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(got))
+	}
+	for _, s := range got {
+		if s == sBase || s == s123 {
+			t.Fatalf("non-maximal or over-constrained SIT selected: %s", s.Name(cat))
+		}
+	}
+	if pool.MatchCalls != 1 {
+		t.Fatalf("MatchCalls = %d, want 1", pool.MatchCalls)
+	}
+	pool.ResetMatchCalls()
+	if pool.MatchCalls != 0 {
+		t.Fatalf("ResetMatchCalls failed")
+	}
+
+	// With Q = ∅ only the base histogram qualifies.
+	baseOnly := pool.Candidates(preds, ra, 0)
+	if len(baseOnly) != 1 || baseOnly[0] != sBase {
+		t.Fatalf("empty Q should yield the base histogram")
+	}
+}
+
+func TestWorkloadSpecs(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(9)), 50)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Filter(a["o.price"], 0, 500),
+		join,
+	})
+	specs0 := WorkloadSpecs(cat, []*engine.Query{q}, 0)
+	// Base histograms for the 3 distinct attrs (price, l.oid, o.id).
+	if len(specs0) != 3 {
+		t.Fatalf("J0 specs = %d, want 3", len(specs0))
+	}
+	specs1 := WorkloadSpecs(cat, []*engine.Query{q}, 1)
+	// J1 adds SIT(a|join) for each of the 3 attrs (all tables covered).
+	if len(specs1) != 6 {
+		t.Fatalf("J1 specs = %d, want 6", len(specs1))
+	}
+	// Dedup across repeated queries.
+	specsDup := WorkloadSpecs(cat, []*engine.Query{q, q}, 1)
+	if len(specsDup) != len(specs1) {
+		t.Fatalf("duplicate queries inflate specs: %d vs %d", len(specsDup), len(specs1))
+	}
+}
+
+func TestBuildWorkloadPool(t *testing.T) {
+	cat, a := shopDB(rand.New(rand.NewSource(10)), 200)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	q := engine.NewQuery(cat, []engine.Pred{
+		engine.Filter(a["o.price"], 0, 500),
+		join,
+	})
+	b := NewBuilder(cat)
+	pool := BuildWorkloadPool(b, []*engine.Query{q}, 1)
+	if pool.Size() != 6 {
+		t.Fatalf("pool size = %d, want 6", pool.Size())
+	}
+	// The join expression must have been evaluated exactly once.
+	if b.Ev.Evaluations != 1 {
+		t.Fatalf("evaluations = %d, want 1", b.Ev.Evaluations)
+	}
+	for _, s := range pool.SITs() {
+		if s.Hist == nil {
+			t.Fatalf("pool SIT %s has nil histogram", s.Name(cat))
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

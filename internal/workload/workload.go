@@ -1,0 +1,246 @@
+// Package workload generates the random SPJ workloads of the paper's
+// evaluation (§5 "Workloads"): queries with J join predicates forming a
+// connected subgraph of the snowflake's foreign-key graph and F filter
+// predicates with a target per-predicate selectivity (~0.05), stretched
+// until the query result is non-empty.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+)
+
+// Config controls workload generation.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// NumQueries is the workload size (paper: 100). Default 100.
+	NumQueries int
+	// Joins is J, the number of join predicates per query (paper: 3–7).
+	// Default 3.
+	Joins int
+	// Filters is F, the number of filter predicates per query (paper: 3).
+	// Default 3.
+	Filters int
+	// TargetSelectivity is the intended per-filter selectivity (paper:
+	// ≈0.05). Default 0.05.
+	TargetSelectivity float64
+	// MaxStretch bounds the range-stretch rounds applied to empty-result
+	// queries before giving up and widening filters fully. Default 12.
+	MaxStretch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumQueries == 0 {
+		c.NumQueries = 100
+	}
+	if c.Joins == 0 {
+		c.Joins = 3
+	}
+	if c.Filters == 0 {
+		c.Filters = 3
+	}
+	if c.TargetSelectivity == 0 {
+		c.TargetSelectivity = 0.05
+	}
+	if c.MaxStretch == 0 {
+		c.MaxStretch = 12
+	}
+	return c
+}
+
+// Generator produces random queries over a generated snowflake database.
+// It caches sorted column values for selectivity-targeted range picking and
+// shares an evaluator for the non-empty-result guarantee.
+type Generator struct {
+	db  *datagen.DB
+	cfg Config
+	rng *rand.Rand
+	ev  *engine.Evaluator
+
+	sortedVals map[engine.AttrID][]int64
+}
+
+// NewGenerator returns a generator for the database.
+func NewGenerator(db *datagen.DB, cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{
+		db:         db,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		ev:         engine.NewEvaluator(db.Cat),
+		sortedVals: make(map[engine.AttrID][]int64),
+	}
+}
+
+// Generate returns the full workload.
+func (g *Generator) Generate() ([]*engine.Query, error) {
+	queries := make([]*engine.Query, 0, g.cfg.NumQueries)
+	for i := 0; i < g.cfg.NumQueries; i++ {
+		q, err := g.Query()
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i, err)
+		}
+		queries = append(queries, q)
+	}
+	return queries, nil
+}
+
+// Query generates one random SPJ query with a non-empty result.
+func (g *Generator) Query() (*engine.Query, error) {
+	joins, tables, err := g.randomJoinTree()
+	if err != nil {
+		return nil, err
+	}
+	filters, err := g.randomFilters(tables)
+	if err != nil {
+		return nil, err
+	}
+	preds := append(joins, filters...)
+	q := engine.NewQuery(g.db.Cat, preds)
+	return g.ensureNonEmpty(q, len(joins))
+}
+
+// randomJoinTree picks a connected subgraph with cfg.Joins edges of the
+// database's foreign-key graph, growing outward from a random seed edge.
+func (g *Generator) randomJoinTree() ([]engine.Pred, engine.TableSet, error) {
+	edges := g.db.Edges
+	if g.cfg.Joins > len(edges) {
+		return nil, 0, fmt.Errorf("requested %d joins but schema has %d edges",
+			g.cfg.Joins, len(edges))
+	}
+	cat := g.db.Cat
+	for attempt := 0; attempt < 100; attempt++ {
+		used := make([]bool, len(edges))
+		var tables engine.TableSet
+		var preds []engine.Pred
+
+		first := g.rng.Intn(len(edges))
+		used[first] = true
+		preds = append(preds, edges[first].Pred())
+		tables = edges[first].Pred().Tables(cat)
+
+		for len(preds) < g.cfg.Joins {
+			// Collect unused edges adjacent to the current table set.
+			var adjacent []int
+			for i, e := range edges {
+				if used[i] {
+					continue
+				}
+				et := e.Pred().Tables(cat)
+				if !et.Intersect(tables).Empty() {
+					adjacent = append(adjacent, i)
+				}
+			}
+			if len(adjacent) == 0 {
+				break // dead end: retry with a fresh seed edge
+			}
+			pick := adjacent[g.rng.Intn(len(adjacent))]
+			used[pick] = true
+			preds = append(preds, edges[pick].Pred())
+			tables = tables.Union(edges[pick].Pred().Tables(cat))
+		}
+		if len(preds) == g.cfg.Joins {
+			return preds, tables, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("could not grow a connected %d-join subgraph", g.cfg.Joins)
+}
+
+// randomFilters picks cfg.Filters distinct filterable attributes over the
+// joined tables and gives each a range hitting the target selectivity.
+func (g *Generator) randomFilters(tables engine.TableSet) ([]engine.Pred, error) {
+	var eligible []datagen.FilterAttr
+	for _, fa := range g.db.FilterAttrs {
+		if tables.Has(g.db.Cat.AttrTable(fa.Attr)) {
+			eligible = append(eligible, fa)
+		}
+	}
+	if len(eligible) < g.cfg.Filters {
+		return nil, fmt.Errorf("only %d filterable attributes over joined tables, need %d",
+			len(eligible), g.cfg.Filters)
+	}
+	g.rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+
+	preds := make([]engine.Pred, 0, g.cfg.Filters)
+	for _, fa := range eligible[:g.cfg.Filters] {
+		lo, hi := g.targetRange(fa.Attr)
+		preds = append(preds, engine.Filter(fa.Attr, lo, hi))
+	}
+	return preds, nil
+}
+
+// targetRange picks [lo,hi] covering about TargetSelectivity of the
+// attribute's base rows, via a random window over the sorted values.
+func (g *Generator) targetRange(attr engine.AttrID) (lo, hi int64) {
+	vals := g.sorted(attr)
+	n := len(vals)
+	if n == 0 {
+		return 0, 0
+	}
+	window := int(g.cfg.TargetSelectivity * float64(n))
+	if window < 1 {
+		window = 1
+	}
+	start := 0
+	if n > window {
+		start = g.rng.Intn(n - window)
+	}
+	return vals[start], vals[minInt(start+window, n-1)]
+}
+
+// ensureNonEmpty evaluates the query and progressively stretches the filter
+// ranges (per the paper) until at least one tuple qualifies.
+func (g *Generator) ensureNonEmpty(q *engine.Query, numJoins int) (*engine.Query, error) {
+	for round := 0; ; round++ {
+		count := g.ev.Count(q.Tables, q.Preds, q.All())
+		if count > 0 {
+			return q, nil
+		}
+		if round >= g.cfg.MaxStretch {
+			return nil, fmt.Errorf("query result empty after %d stretch rounds: %s", round, q)
+		}
+		for i := numJoins; i < len(q.Preds); i++ {
+			p := q.Preds[i]
+			vals := g.sorted(p.Attr)
+			width := (p.Hi - p.Lo + 1) / 2
+			if width < 1 {
+				width = 1
+			}
+			p.Lo -= width
+			p.Hi += width
+			if min, max := vals[0], vals[len(vals)-1]; round >= g.cfg.MaxStretch-1 {
+				p.Lo, p.Hi = min, max
+			}
+			q.Preds[i] = p
+		}
+	}
+}
+
+// sorted returns (and caches) the sorted non-NULL values of attr.
+func (g *Generator) sorted(attr engine.AttrID) []int64 {
+	if v, ok := g.sortedVals[attr]; ok {
+		return v
+	}
+	col := g.db.Cat.AttrColumn(attr)
+	v := make([]int64, 0, len(col.Vals))
+	for i, x := range col.Vals {
+		if !col.IsNull(i) {
+			v = append(v, x)
+		}
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	g.sortedVals[attr] = v
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+)
+
+func testDB() *datagen.DB {
+	return datagen.Generate(datagen.Config{Seed: 1, FactRows: 4000})
+}
+
+func TestGenerateWorkloadShape(t *testing.T) {
+	db := testDB()
+	g := NewGenerator(db, Config{Seed: 1, NumQueries: 10, Joins: 3, Filters: 3})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 10 {
+		t.Fatalf("got %d queries", len(queries))
+	}
+	for qi, q := range queries {
+		if q.NumJoins() != 3 {
+			t.Errorf("query %d: %d joins, want 3", qi, q.NumJoins())
+		}
+		if q.NumFilters() != 3 {
+			t.Errorf("query %d: %d filters, want 3", qi, q.NumFilters())
+		}
+		// The join graph must be connected (one component over the joins).
+		if comps := engine.Components(q.Cat, q.Preds, q.JoinSet()); len(comps) != 1 {
+			t.Errorf("query %d: join graph has %d components", qi, len(comps))
+		}
+		// Filters must be over joined tables.
+		joined := engine.PredsTables(q.Cat, q.Preds, q.JoinSet())
+		for _, i := range q.FilterSet().Indices() {
+			at := q.Cat.AttrTable(q.Preds[i].Attr)
+			if !joined.Has(at) {
+				t.Errorf("query %d: filter on un-joined table", qi)
+			}
+		}
+	}
+}
+
+// TestNonEmptyResults: every generated query must return at least one tuple
+// (the paper stretches filter ranges to guarantee this).
+func TestNonEmptyResults(t *testing.T) {
+	db := testDB()
+	g := NewGenerator(db, Config{Seed: 2, NumQueries: 15, Joins: 4, Filters: 3})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := engine.NewEvaluator(db.Cat)
+	for qi, q := range queries {
+		if count := ev.Count(q.Tables, q.Preds, q.All()); count == 0 {
+			t.Errorf("query %d has empty result: %s", qi, q)
+		}
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	db := testDB()
+	q1, err := NewGenerator(db, Config{Seed: 3, NumQueries: 5}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewGenerator(db, Config{Seed: 3, NumQueries: 5}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q1 {
+		if q1[i].String() != q2[i].String() {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestFilterSelectivityNearTarget(t *testing.T) {
+	db := testDB()
+	g := NewGenerator(db, Config{Seed: 4, NumQueries: 20, Joins: 3, Filters: 3,
+		TargetSelectivity: 0.05})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := engine.NewEvaluator(db.Cat)
+	var sum float64
+	var n int
+	for _, q := range queries {
+		for _, i := range q.FilterSet().Indices() {
+			p := q.Preds[i]
+			tables := engine.NewTableSet(q.Cat.AttrTable(p.Attr))
+			sum += ev.Selectivity(tables, q.Preds, engine.NewPredSet(i))
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	// Stretching can push individual filters wider, but the average should
+	// stay in the vicinity of the target.
+	if avg < 0.01 || avg > 0.30 {
+		t.Fatalf("average filter selectivity %.3f too far from target 0.05", avg)
+	}
+}
+
+func TestMaxJoinsBoundedBySchema(t *testing.T) {
+	db := testDB()
+	g := NewGenerator(db, Config{Seed: 5, NumQueries: 3, Joins: 7, Filters: 3})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if q.NumJoins() != 7 {
+			t.Fatalf("7-join query has %d joins", q.NumJoins())
+		}
+	}
+	if _, err := NewGenerator(db, Config{Seed: 6, Joins: 8}).Query(); err == nil {
+		t.Fatalf("expected error for more joins than schema edges")
+	}
+}
+
+func TestAllJoinCountsGenerate(t *testing.T) {
+	db := testDB()
+	for j := 1; j <= 7; j++ {
+		g := NewGenerator(db, Config{Seed: int64(10 + j), NumQueries: 2, Joins: j, Filters: 2})
+		if _, err := g.Generate(); err != nil {
+			t.Errorf("J=%d: %v", j, err)
+		}
+	}
+}

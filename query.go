@@ -1,0 +1,139 @@
+package condsel
+
+import (
+	"fmt"
+
+	"condsel/internal/engine"
+	"condsel/internal/qtext"
+)
+
+// Query is an SPJ query in the paper's canonical form: a conjunction of
+// equi-join and range predicates over the cartesian product of the
+// referenced tables. Build queries with DB.Query.
+type Query struct {
+	db *DB
+	q  *engine.Query
+}
+
+// String renders the query.
+func (q *Query) String() string { return q.q.String() }
+
+// NumPredicates returns the number of predicates (joins plus filters).
+func (q *Query) NumPredicates() int { return len(q.q.Preds) }
+
+// NumJoins returns the number of join predicates.
+func (q *Query) NumJoins() int { return q.q.NumJoins() }
+
+// NumFilters returns the number of filter predicates.
+func (q *Query) NumFilters() int { return q.q.NumFilters() }
+
+// Predicates returns a rendering of each predicate, indexed as accepted by
+// Run.Subset.
+func (q *Query) Predicates() []string {
+	out := make([]string, len(q.q.Preds))
+	for i, p := range q.q.Preds {
+		out[i] = p.Format(q.db.cat)
+	}
+	return out
+}
+
+// QueryBuilder assembles a Query from joins and filters. Errors are
+// deferred to Build so calls chain fluently.
+type QueryBuilder struct {
+	db    *DB
+	preds []engine.Pred
+	err   error
+}
+
+// Query starts a new query over the database.
+func (db *DB) Query() *QueryBuilder { return &QueryBuilder{db: db} }
+
+// Join adds the equi-join predicate left = right, with attributes given as
+// "table.column".
+func (b *QueryBuilder) Join(left, right string) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	la, err := b.db.cat.Attr(left)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	ra, err := b.db.cat.Attr(right)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.preds = append(b.preds, engine.Join(la, ra))
+	return b
+}
+
+// Filter adds the range predicate lo ≤ attr ≤ hi (inclusive).
+func (b *QueryBuilder) Filter(attr string, lo, hi int64) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	a, err := b.db.cat.Attr(attr)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.preds = append(b.preds, engine.Filter(a, lo, hi))
+	return b
+}
+
+// FilterEq adds the equality predicate attr = v.
+func (b *QueryBuilder) FilterEq(attr string, v int64) *QueryBuilder {
+	return b.Filter(attr, v, v)
+}
+
+// FilterAtLeast adds attr ≥ lo.
+func (b *QueryBuilder) FilterAtLeast(attr string, lo int64) *QueryBuilder {
+	return b.Filter(attr, lo, engine.MaxValue)
+}
+
+// FilterAtMost adds attr ≤ hi.
+func (b *QueryBuilder) FilterAtMost(attr string, hi int64) *QueryBuilder {
+	return b.Filter(attr, engine.MinValue, hi)
+}
+
+// Build validates and returns the query.
+func (b *QueryBuilder) Build() (*Query, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.preds) == 0 {
+		return nil, fmt.Errorf("condsel: query needs at least one predicate")
+	}
+	if len(b.preds) >= 64 {
+		return nil, fmt.Errorf("condsel: queries support at most 63 predicates")
+	}
+	return &Query{db: b.db, q: engine.NewQuery(b.db.cat, b.preds)}, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples with
+// program-controlled queries.
+func (b *QueryBuilder) MustBuild() *Query {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseQuery parses a textual query against the database's schema. The
+// grammar accepts an optional SQL-ish prefix and a conjunction of
+// predicates:
+//
+//	[SELECT * FROM t1, t2 WHERE] t1.a = t2.b AND t1.c BETWEEN 5 AND 10 AND t2.d >= 3
+//
+// Supported predicate forms: equi-joins (attr = attr), equality and
+// one-sided comparisons against constants, BETWEEN, and "lo <= attr <= hi"
+// ranges. Parsing a query's own String rendering reproduces the query.
+func (db *DB) ParseQuery(text string) (*Query, error) {
+	q, err := qtext.Parse(db.cat, text)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{db: db, q: q}, nil
+}

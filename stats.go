@@ -1,0 +1,229 @@
+package condsel
+
+import (
+	"fmt"
+	"io"
+
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+	"condsel/internal/sit"
+)
+
+// HistogramKind selects the histogram construction algorithm for base
+// statistics and SITs.
+type HistogramKind int
+
+const (
+	// MaxDiff is the paper's choice: maxDiff(V,A) histograms.
+	MaxDiff HistogramKind = iota
+	// EquiDepth buckets carry roughly equal frequency.
+	EquiDepth
+	// EquiWidth buckets cover equal value ranges.
+	EquiWidth
+)
+
+func (k HistogramKind) internal() histogram.Kind {
+	switch k {
+	case EquiDepth:
+		return histogram.EquiDepth
+	case EquiWidth:
+		return histogram.EquiWidth
+	default:
+		return histogram.MaxDiff
+	}
+}
+
+// StatsOptions tunes statistics construction. The zero value (or nil
+// pointer) selects the paper's setup: 200-bucket maxDiff histograms with
+// histogram-approximated diff values.
+type StatsOptions struct {
+	// Buckets is the per-histogram bucket budget (default 200).
+	Buckets int
+	// Kind is the histogram class (default MaxDiff).
+	Kind HistogramKind
+	// ExactDiff computes each SIT's diff value from raw data instead of
+	// from the two histograms.
+	ExactDiff bool
+	// TwoDim additionally builds, for every workload query, the base 2-D
+	// histograms pairing each join column with each filter attribute of
+	// the same table. The estimator then derives conditional statistics
+	// from them on the fly (the paper's §3.3 Example 3 mechanism) — an
+	// alternative to SITs over join expressions that requires no join
+	// execution at statistics-build time.
+	TwoDim bool
+	// Workers builds SITs with this many goroutines (sequential when ≤ 1).
+	// The resulting pool is identical to a sequential build.
+	Workers int
+}
+
+// Pool is a set of available statistics: base-table histograms and SITs.
+type Pool struct {
+	db      *DB
+	pool    *sit.Pool
+	builder *sit.Builder
+}
+
+func (db *DB) newBuilder(opts *StatsOptions) *sit.Builder {
+	b := sit.NewBuilder(db.cat)
+	b.Ev = db.ev // share the database's memoizing evaluator
+	if opts != nil {
+		b.Buckets = opts.Buckets
+		b.Kind = opts.Kind.internal()
+		b.ExactDiff = opts.ExactDiff
+	}
+	return b
+}
+
+// NewPool returns an empty statistics pool; add histograms and SITs with
+// AddBaseHistogram and AddSIT.
+func (db *DB) NewPool(opts *StatsOptions) *Pool {
+	return &Pool{db: db, pool: sit.NewPool(db.cat), builder: db.newBuilder(opts)}
+}
+
+// BuildStatistics builds the pool J_maxJoinExpr for the given workload:
+// base histograms for every attribute the queries mention, plus SITs over
+// every connected join sub-expression with at most maxJoinExpr predicates
+// (§5 "Available SITs"). maxJoinExpr = 0 yields base histograms only.
+func (db *DB) BuildStatistics(queries []*Query, maxJoinExpr int, opts *StatsOptions) *Pool {
+	b := db.newBuilder(opts)
+	qs := make([]*engine.Query, len(queries))
+	for i, q := range queries {
+		qs[i] = q.q
+	}
+	var pool *sit.Pool
+	if opts != nil && opts.Workers > 1 {
+		pool = sit.BuildWorkloadPoolParallel(db.cat, qs, maxJoinExpr, opts.Workers, func(wb *sit.Builder) {
+			wb.Buckets = opts.Buckets
+			wb.Kind = opts.Kind.internal()
+			wb.ExactDiff = opts.ExactDiff
+		})
+	} else {
+		pool = sit.BuildWorkloadPool(b, qs, maxJoinExpr)
+	}
+	if opts != nil && opts.TwoDim {
+		if _, err := sit.Build2DBaseSITs(b, pool, qs); err != nil {
+			// Construction over base tables cannot fail for valid queries;
+			// surface programming errors loudly.
+			panic(err)
+		}
+	}
+	return &Pool{db: db, pool: pool, builder: b}
+}
+
+// AddBaseHistogram builds and adds the ordinary histogram of the attribute
+// ("table.column"). Adding an already-present statistic is a no-op.
+func (p *Pool) AddBaseHistogram(attr string) error {
+	a, err := p.db.cat.Attr(attr)
+	if err != nil {
+		return err
+	}
+	p.pool.Add(p.builder.BuildBase(a))
+	return nil
+}
+
+// AddSIT builds and adds SIT(attr | joins): the histogram of attr over the
+// result of executing the given equi-joins (each a [left, right] attribute
+// pair). The join expression must be connected and cover attr's table.
+func (p *Pool) AddSIT(attr string, joins ...[2]string) error {
+	a, err := p.db.cat.Attr(attr)
+	if err != nil {
+		return err
+	}
+	if len(joins) == 0 {
+		return p.AddBaseHistogram(attr)
+	}
+	expr := make([]engine.Pred, 0, len(joins))
+	tables := engine.NewTableSet(p.db.cat.AttrTable(a))
+	for _, j := range joins {
+		la, err := p.db.cat.Attr(j[0])
+		if err != nil {
+			return err
+		}
+		ra, err := p.db.cat.Attr(j[1])
+		if err != nil {
+			return err
+		}
+		pred := engine.Join(la, ra)
+		expr = append(expr, pred)
+		tables = tables.Union(pred.Tables(p.db.cat))
+	}
+	comps := engine.Components(p.db.cat, expr, engine.FullPredSet(len(expr)))
+	if len(comps) != 1 {
+		return fmt.Errorf("condsel: SIT expression must be a connected join graph")
+	}
+	if !engine.PredsTables(p.db.cat, expr, comps[0]).Has(p.db.cat.AttrTable(a)) {
+		return fmt.Errorf("condsel: SIT expression must cover %s's table", attr)
+	}
+	p.pool.Add(p.builder.Build(a, expr))
+	return nil
+}
+
+// Add2DHistogram builds and adds the two-dimensional base histogram over
+// (x, y) — typically a join column paired with a filter attribute of the
+// same table — enabling the §3.3 Example 3 derivation of conditional
+// statistics at estimation time.
+func (p *Pool) Add2DHistogram(x, y string) error {
+	xa, err := p.db.cat.Attr(x)
+	if err != nil {
+		return err
+	}
+	ya, err := p.db.cat.Attr(y)
+	if err != nil {
+		return err
+	}
+	s, err := p.builder.Build2D(xa, ya, nil)
+	if err != nil {
+		return err
+	}
+	p.pool.Add2D(s)
+	return nil
+}
+
+// Size returns the number of statistics in the pool (base histograms
+// included; 2-D histograms counted separately by Size2D).
+func (p *Pool) Size() int { return p.pool.Size() }
+
+// Size2D returns the number of two-dimensional histograms in the pool.
+func (p *Pool) Size2D() int { return p.pool.Size2D() }
+
+// Describe lists every statistic in the pool, in the paper's notation,
+// with its diff value (1-D) or grid size (2-D).
+func (p *Pool) Describe() []string {
+	sits := p.pool.SITs()
+	out := make([]string, 0, len(sits)+p.pool.Size2D())
+	for _, s := range sits {
+		out = append(out, fmt.Sprintf("%s  (diff=%.3f)", s.Name(p.db.cat), s.Diff))
+	}
+	for _, s := range p.pool.SITs2D() {
+		out = append(out, fmt.Sprintf("%s  (%d cells)", s.Name(p.db.cat), s.Hist.NumCells()))
+	}
+	return out
+}
+
+// MaxJoins returns the sub-pool containing only statistics whose
+// expressions have at most i join predicates (the paper's J_i pools).
+func (p *Pool) MaxJoins(i int) *Pool {
+	return &Pool{db: p.db, pool: p.pool.MaxJoins(i), builder: p.builder}
+}
+
+// Save serializes the pool as JSON, so statistics can be built once and
+// reloaded with DB.LoadPool.
+func (p *Pool) Save(w io.Writer) error { return p.pool.Encode(w) }
+
+// LoadPool deserializes a pool previously written with Pool.Save. The
+// snapshot's attribute names must resolve against this database's schema.
+func (db *DB) LoadPool(r io.Reader) (*Pool, error) {
+	pool, err := sit.ReadPool(db.cat, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{db: db, pool: pool, builder: db.newBuilder(nil)}, nil
+}
+
+// ViewMatchCalls returns the number of view-matching (candidate lookup)
+// calls issued against the pool — the efficiency metric of the paper's
+// Figure 6.
+func (p *Pool) ViewMatchCalls() int { return p.pool.MatchCalls }
+
+// ResetViewMatchCalls zeroes the view-matching counter.
+func (p *Pool) ResetViewMatchCalls() { p.pool.ResetMatchCalls() }

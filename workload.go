@@ -1,0 +1,62 @@
+package condsel
+
+import (
+	"fmt"
+
+	"condsel/internal/workload"
+)
+
+// WorkloadOptions configures random SPJ workload generation over a
+// generated snowflake database, mirroring the paper's §5 workloads.
+type WorkloadOptions struct {
+	Seed int64
+	// NumQueries is the workload size (default 100).
+	NumQueries int
+	// Joins is the number of join predicates per query (default 3).
+	Joins int
+	// Filters is the number of filter predicates per query (default 3).
+	Filters int
+	// TargetSelectivity is the intended per-filter selectivity
+	// (default 0.05).
+	TargetSelectivity float64
+}
+
+// GenerateWorkload produces random SPJ queries with connected join graphs,
+// selectivity-targeted filters and guaranteed non-empty results. It is only
+// available on databases built with GenerateSnowflake (the generator needs
+// the schema's foreign-key graph).
+func (db *DB) GenerateWorkload(opts WorkloadOptions) ([]*Query, error) {
+	if db.gen == nil {
+		return nil, fmt.Errorf("condsel: GenerateWorkload requires a GenerateSnowflake database")
+	}
+	g := workload.NewGenerator(db.gen, workload.Config{
+		Seed:              opts.Seed,
+		NumQueries:        opts.NumQueries,
+		Joins:             opts.Joins,
+		Filters:           opts.Filters,
+		TargetSelectivity: opts.TargetSelectivity,
+	})
+	qs, err := g.Generate()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Query, len(qs))
+	for i, q := range qs {
+		out[i] = &Query{db: db, q: q}
+	}
+	return out, nil
+}
+
+// SnowflakeJoins returns the foreign-key join edges of a generated
+// snowflake database as [child, parent] attribute-name pairs, for building
+// queries and SIT expressions by hand.
+func (db *DB) SnowflakeJoins() ([][2]string, error) {
+	if db.gen == nil {
+		return nil, fmt.Errorf("condsel: SnowflakeJoins requires a GenerateSnowflake database")
+	}
+	out := make([][2]string, len(db.gen.Edges))
+	for i, e := range db.gen.Edges {
+		out[i] = [2]string{db.cat.AttrName(e.Child), db.cat.AttrName(e.Parent)}
+	}
+	return out, nil
+}
