@@ -3,17 +3,23 @@
 // accuracy scatter (Figure 5), view-matching call counts (Figure 6),
 // average absolute cardinality error per SIT pool and technique
 // (Figure 7), the estimation-time breakdown (Figure 8), the Lemma 1
-// decomposition-count table, the ablation tables A1–A6 and the
-// plan-quality study P1.
+// decomposition-count table, the ablation tables A1–A6, the
+// plan-quality study P1, and the estimation-service throughput benchmark
+// ("est": shared estimator under concurrent load, with or without the
+// cross-query selectivity cache).
 //
 // Usage:
 //
-//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1]
+//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est]
 //	         [-fact N] [-queries N] [-joins 3,5,7] [-maxpool N]
 //	         [-subsets N] [-seed N] [-filtersel F] [-csv FILE]
+//	         [-workers N] [-cache] [-cachecap N] [-rounds N] [-json FILE]
 //
 // With -csv the selected figure's data is additionally written as CSV
-// (single figures only, not the "all"/"ablations" bundles).
+// (single figures only, not the "all"/"ablations" bundles). -fig est
+// always measures the sequential cache-off baseline alongside the
+// requested -workers/-cache configuration and writes both to the -json
+// artifact (default BENCH_estimation.json).
 package main
 
 import (
@@ -38,6 +44,11 @@ func main() {
 		seed      = flag.Int64("seed", 42, "random seed")
 		filterSel = flag.Float64("filtersel", 0, "target filter selectivity (default 0.05; the paper also reports ≈0.5)")
 		csvPath   = flag.String("csv", "", "write the figure's data as CSV to this file")
+		workers   = flag.Int("workers", 1, "estimation goroutines for -fig est")
+		useCache  = flag.Bool("cache", false, "attach the cross-query selectivity cache for -fig est")
+		cacheCap  = flag.Int("cachecap", 0, "cache capacity in entries for -fig est (0 = default)")
+		rounds    = flag.Int("rounds", 3, "workload passes for -fig est")
+		jsonPath  = flag.String("json", "BENCH_estimation.json", "JSON artifact path for -fig est")
 	)
 	flag.Parse()
 
@@ -57,15 +68,22 @@ func main() {
 		FilterSelectivity:  *filterSel,
 	}
 
+	estCfg := bench.EstBenchConfig{
+		Workers:       *workers,
+		Cache:         *useCache,
+		CacheCapacity: *cacheCap,
+		Rounds:        *rounds,
+	}
+
 	start := time.Now()
-	if err := run(*fig, opts, *csvPath); err != nil {
+	if err := run(*fig, opts, *csvPath, estCfg, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(fig string, opts bench.Options, csvPath string) error {
+func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, jsonPath string) error {
 	withCSV := func(write func(*os.File) error) error {
 		if csvPath == "" {
 			return nil
@@ -136,6 +154,21 @@ func run(fig string, opts bench.Options, csvPath string) error {
 		cells := e.PlanQuality()
 		bench.RenderPlanQuality(os.Stdout, cells)
 		return withCSV(func(f *os.File) error { return bench.WritePlanQualityCSV(f, cells) })
+	case "est":
+		e := bench.NewEnv(opts)
+		report := e.EstimationReport(estCfg)
+		bench.RenderEstimation(os.Stdout, report)
+		if jsonPath != "" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := bench.WriteEstimationJSON(f, report); err != nil {
+				return err
+			}
+			fmt.Printf("\nwrote %s\n", jsonPath)
+		}
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}

@@ -40,9 +40,16 @@ func (m Model) String() string { return m.internal().Name() }
 
 // Estimator estimates query cardinalities with the getSelectivity dynamic
 // program over a statistics pool.
+//
+// An Estimator is safe for concurrent use by multiple goroutines once
+// configured: every estimation call builds its own per-query run state, and
+// all shared state (catalog, pool, oracle, attached SelCache) is itself
+// concurrency-safe. Configuration calls (UseCache) must happen before
+// estimation starts. See DESIGN.md "Concurrency and caching".
 type Estimator struct {
-	db  *DB
-	est *core.Estimator
+	db    *DB
+	est   *core.Estimator
+	cache *SelCache
 }
 
 // NewEstimator returns an estimator over the pool using the given error

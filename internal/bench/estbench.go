@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"condsel/internal/core"
+	"condsel/internal/engine"
+	"condsel/internal/selcache"
+)
+
+// EstBenchConfig configures the estimation-service throughput benchmark:
+// the mixed workload is estimated Rounds times over a shared GS-Diff
+// estimator by Workers goroutines, optionally with the cross-query
+// selectivity cache attached.
+type EstBenchConfig struct {
+	Workers       int  // concurrent estimation goroutines (min 1)
+	Cache         bool // attach a cross-query selectivity cache
+	CacheCapacity int  // cache entries (default 65536: a workload pass touches tens of thousands of sub-query sets)
+	Rounds        int  // passes over the mixed workload (default 3)
+	PoolJoins     int  // SIT pool J_i to estimate against (default 2)
+}
+
+func (c EstBenchConfig) withDefaults() EstBenchConfig {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 3
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 65536
+	}
+	if c.PoolJoins == 0 {
+		c.PoolJoins = 2
+	}
+	return c
+}
+
+// EstBenchResult is one benchmark run's measurements, JSON-tagged for the
+// machine-readable BENCH_estimation.json artifact.
+type EstBenchResult struct {
+	Label          string  `json:"label"`
+	Workers        int     `json:"workers"`
+	Cache          bool    `json:"cache"`
+	Queries        int     `json:"queries"` // total estimates issued
+	Rounds         int     `json:"rounds"`
+	Seconds        float64 `json:"seconds"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	P50LatencyMs   float64 `json:"p50_latency_ms"`
+	P99LatencyMs   float64 `json:"p99_latency_ms"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+}
+
+// EstBenchReport pairs a requested configuration with the sequential
+// cache-off baseline measured on the same workload and pool, so the JSON
+// artifact is self-contained evidence of the speedup.
+type EstBenchReport struct {
+	Seed            int64          `json:"seed"`
+	FactRows        int            `json:"fact_rows"`
+	Joins           []int          `json:"workload_joins"`
+	PoolJoins       int            `json:"pool_joins"`
+	QueriesPerRound int            `json:"queries_per_round"`
+	Baseline        EstBenchResult `json:"baseline"`
+	Configured      EstBenchResult `json:"configured"`
+	Speedup         float64        `json:"speedup_vs_baseline"`
+}
+
+// mixedWorkload concatenates the per-J workloads into one query stream.
+func (e *Env) mixedWorkload() []*engine.Query {
+	var qs []*engine.Query
+	for _, j := range e.Opts.Joins {
+		qs = append(qs, e.Workload(j)...)
+	}
+	return qs
+}
+
+// EstimationBench measures estimation throughput and latency for one
+// configuration. The estimator is shared across workers — the benchmark
+// doubles as a load test of the concurrency contract.
+func (e *Env) EstimationBench(cfg EstBenchConfig) EstBenchResult {
+	cfg = cfg.withDefaults()
+	queries := e.mixedWorkload()
+	pool := e.Pool(e.Opts.Joins[len(e.Opts.Joins)-1], cfg.PoolJoins)
+
+	est := core.NewEstimator(e.DB.Cat, pool, core.Diff{})
+	var cache *selcache.Cache[core.CacheEntry]
+	if cfg.Cache {
+		cache = selcache.New[core.CacheEntry](cfg.CacheCapacity)
+		est.Cache = cache
+	}
+
+	n := cfg.Rounds * len(queries)
+	latencies := make([]float64, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := queries[i%len(queries)]
+				t0 := time.Now()
+				est.NewRun(q).EstimateCardinality(q.All())
+				latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+
+	label := fmt.Sprintf("workers=%d cache=%v", cfg.Workers, cfg.Cache)
+	res := EstBenchResult{
+		Label:         label,
+		Workers:       cfg.Workers,
+		Cache:         cfg.Cache,
+		Queries:       n,
+		Rounds:        cfg.Rounds,
+		Seconds:       secs,
+		QueriesPerSec: float64(n) / secs,
+		P50LatencyMs:  percentile(latencies, 0.50),
+		P99LatencyMs:  percentile(latencies, 0.99),
+	}
+	if cache != nil {
+		st := cache.Stats()
+		res.CacheHits = st.Hits
+		res.CacheMisses = st.Misses
+		res.CacheEvictions = st.Evictions
+		res.CacheEntries = st.Entries
+		res.CacheHitRate = st.HitRate()
+	}
+	return res
+}
+
+// EstimationReport runs the sequential cache-off baseline followed by the
+// requested configuration and returns both with the speedup.
+func (e *Env) EstimationReport(cfg EstBenchConfig) EstBenchReport {
+	cfg = cfg.withDefaults()
+	base := cfg
+	base.Workers = 1
+	base.Cache = false
+	baseline := e.EstimationBench(base)
+	baseline.Label = "baseline " + baseline.Label
+	configured := e.EstimationBench(cfg)
+	return EstBenchReport{
+		Seed:            e.Opts.Seed,
+		FactRows:        e.Opts.FactRows,
+		Joins:           e.Opts.Joins,
+		PoolJoins:       cfg.PoolJoins,
+		QueriesPerRound: len(e.mixedWorkload()),
+		Baseline:        baseline,
+		Configured:      configured,
+		Speedup:         configured.QueriesPerSec / baseline.QueriesPerSec,
+	}
+}
+
+// percentile returns the p-quantile (0..1) by nearest-rank over a copy.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+// WriteEstimationJSON writes the report as indented JSON.
+func WriteEstimationJSON(w io.Writer, r EstBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RenderEstimation prints the report as a small table.
+func RenderEstimation(w io.Writer, r EstBenchReport) {
+	fmt.Fprintf(w, "Estimation throughput — %d queries/round over pool J%d (seed %d)\n\n",
+		r.QueriesPerRound, r.PoolJoins, r.Seed)
+	fmt.Fprintf(w, "%-28s %8s %12s %10s %10s %10s\n",
+		"config", "queries", "queries/sec", "p50 ms", "p99 ms", "hit rate")
+	for _, res := range []EstBenchResult{r.Baseline, r.Configured} {
+		hit := "-"
+		if res.Cache {
+			hit = fmt.Sprintf("%.1f%%", 100*res.CacheHitRate)
+		}
+		fmt.Fprintf(w, "%-28s %8d %12.1f %10.3f %10.3f %10s\n",
+			res.Label, res.Queries, res.QueriesPerSec, res.P50LatencyMs, res.P99LatencyMs, hit)
+	}
+	fmt.Fprintf(w, "\nspeedup vs baseline: %.2fx\n", r.Speedup)
+}

@@ -63,14 +63,14 @@ func (e *Env) Fig6() []Fig6Row {
 			for _, set := range subs {
 				run.GetSelectivity(set)
 			}
-			gsTotal += float64(pool.MatchCalls)
+			gsTotal += float64(pool.MatchCalls())
 
 			pool.ResetMatchCalls()
 			g := gvm.NewEstimator(e.DB.Cat, pool)
 			for _, set := range subs {
 				g.EstimateSelectivity(q, set)
 			}
-			gvmTotal += float64(pool.MatchCalls)
+			gvmTotal += float64(pool.MatchCalls())
 		}
 		n := float64(len(queries))
 		rows = append(rows, Fig6Row{J: j, GSCalls: gsTotal / n, GVMCalls: gvmTotal / n})

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+
+	"condsel/internal/engine"
+	"condsel/internal/sit"
+)
+
+// CacheEntry is the position-independent form of a Result, suitable for
+// sharing across queries through Estimator.Cache. Factor predicate sets are
+// stored as sorted structural predicate signatures instead of positional
+// bitsets, because the same structural predicate set can sit at different
+// positions in different queries. Sel, Err and the canonical chain key are
+// position-independent by construction (see chainKey), so a decoded entry is
+// bit-identical to what the run would have computed itself.
+type CacheEntry struct {
+	Sel, Err float64
+	Key      string
+	Factors  []CacheFactor
+}
+
+// CacheFactor mirrors Factor with structural predicate signatures.
+type CacheFactor struct {
+	P, Q     []string // sorted engine.Pred.Key() signatures
+	Sel, Err float64
+	SITs     []*sit.SIT
+}
+
+// cacheKey builds the canonical cache key for the predicate set: error-model
+// name, pool generation (globally unique per pool content — see
+// sit.Pool.Generation), and the structural predicate-set signature. The
+// generation component guarantees entries can never be served across
+// different pools or across mutations of the same pool.
+func (r *Run) cacheKey(set engine.PredSet) string {
+	return r.Est.Model.Name() + "|g" +
+		strconv.FormatUint(r.Est.Pool.Generation(), 10) + "|" +
+		engine.PredsKey(r.Query.Preds, set)
+}
+
+// cacheGet looks the predicate set up in the estimator's cross-query cache
+// and decodes a hit back into positional form for this run's query.
+func (r *Run) cacheGet(set engine.PredSet) (*Result, bool) {
+	if r.Est.Cache == nil || set.Empty() {
+		return nil, false
+	}
+	e, ok := r.Est.Cache.Get(r.cacheKey(set))
+	if !ok {
+		return nil, false
+	}
+	// Positions of each structural signature within set, ascending.
+	byKey := make(map[string][]int, set.Len())
+	for _, i := range set.Indices() {
+		k := r.Query.Preds[i].Key()
+		byKey[k] = append(byKey[k], i)
+	}
+	res := &Result{Sel: e.Sel, Err: e.Err, key: e.Key}
+	if len(e.Factors) > 0 {
+		res.Factors = make([]Factor, 0, len(e.Factors))
+		for _, f := range e.Factors {
+			p, okP := decodeSet(byKey, f.P)
+			q, okQ := decodeSet(byKey, f.Q)
+			if !okP || !okQ {
+				// Defensive: a malformed entry (impossible under the keying
+				// scheme) is treated as a miss rather than served wrong.
+				return nil, false
+			}
+			res.Factors = append(res.Factors, Factor{P: p, Q: q, Sel: f.Sel, Err: f.Err, SITs: f.SITs})
+		}
+	}
+	return res, true
+}
+
+// cachePut publishes a freshly computed result under its canonical key.
+func (r *Run) cachePut(set engine.PredSet, res *Result) {
+	if r.Est.Cache == nil || set.Empty() {
+		return
+	}
+	e := CacheEntry{Sel: res.Sel, Err: res.Err, Key: res.key}
+	if len(res.Factors) > 0 {
+		e.Factors = make([]CacheFactor, 0, len(res.Factors))
+		for _, f := range res.Factors {
+			e.Factors = append(e.Factors, CacheFactor{
+				P:   encodeSet(r.Query.Preds, f.P),
+				Q:   encodeSet(r.Query.Preds, f.Q),
+				Sel: f.Sel, Err: f.Err, SITs: f.SITs,
+			})
+		}
+	}
+	r.Est.Cache.Put(r.cacheKey(set), e)
+}
+
+// encodeSet renders a positional predicate set as its sorted structural
+// signatures (duplicates preserved).
+func encodeSet(preds []engine.Pred, s engine.PredSet) []string {
+	keys := make([]string, 0, s.Len())
+	for _, i := range s.Indices() {
+		keys = append(keys, preds[i].Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// decodeSet maps structural signatures back to positions of the current
+// query. Duplicate signatures take successive positions in ascending order;
+// since duplicated predicates are structurally identical, any assignment
+// yields the same semantics.
+func decodeSet(byKey map[string][]int, keys []string) (engine.PredSet, bool) {
+	var out engine.PredSet
+	taken := make(map[string]int, len(keys))
+	for _, k := range keys {
+		positions := byKey[k]
+		n := taken[k]
+		if n >= len(positions) {
+			return 0, false
+		}
+		out = out.Add(positions[n])
+		taken[k] = n + 1
+	}
+	return out, true
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"condsel/internal/engine"
@@ -32,6 +33,13 @@ const (
 // Estimator estimates selectivities and cardinalities of SPJ queries using
 // a pool of SITs, an error model, and the getSelectivity algorithm. Create
 // one Run per query; runs share nothing but the estimator's configuration.
+//
+// An Estimator is safe for concurrent use once configured: NewRun may be
+// called from many goroutines, and the shared state reachable from a Run —
+// the catalog, the pool (atomic match counter), the oracle evaluator
+// (mutex-guarded memo) and the optional cache (sharded locks) — is itself
+// concurrency-safe. Mutating the configuration fields concurrently with
+// estimation is not supported. A Run is single-goroutine state.
 type Estimator struct {
 	Cat   *engine.Catalog
 	Pool  *sit.Pool
@@ -49,6 +57,24 @@ type Estimator struct {
 	// precisely a chain of singleton factors the DP explores anyway, so
 	// both modes return identical results (verified by property tests).
 	Exhaustive bool
+
+	// Cache, when non-nil, shares getSelectivity results across runs (and
+	// across queries): on a memo miss a run first consults the cache under
+	// the entry's canonical key — error-model name, pool generation, and
+	// the structural predicate-set signature — and publishes every freshly
+	// computed result back. Entries are position-independent (see
+	// CacheEntry), so a hit returns bit-identical estimates to a cold
+	// computation. The cache is safe for concurrent use; see
+	// internal/selcache.
+	Cache SelCache
+}
+
+// SelCache is the cross-query result cache consumed by Run. It is satisfied
+// by *selcache.Cache[CacheEntry]; core depends only on this interface so the
+// cache implementation stays free-standing.
+type SelCache interface {
+	Get(key string) (CacheEntry, bool)
+	Put(key string, v CacheEntry)
 }
 
 // NewEstimator returns an estimator over the catalog, pool and error model.
@@ -101,7 +127,10 @@ type Result struct {
 	// key canonically identifies the chosen decomposition chain; equal-
 	// error candidates tie-break on it. Singleton-head chains sort before
 	// multi-predicate heads, so the winner is always a chain both search
-	// modes explore, keeping them in exact agreement.
+	// modes explore, keeping them in exact agreement. Keys are built from
+	// structural predicate signatures (not positions), making the chosen
+	// decomposition — and so the whole Result — shareable across queries
+	// through the cross-query cache.
 	key string
 }
 
@@ -153,8 +182,13 @@ func (r *Run) GetSelectivity(set engine.PredSet) *Result {
 	if res, ok := r.memo[set]; ok {
 		return res
 	}
+	if res, ok := r.cacheGet(set); ok {
+		r.memo[set] = res
+		return res
+	}
 	res := r.compute(set)
 	r.memo[set] = res
+	r.cachePut(set, res)
 	return res
 }
 
@@ -166,15 +200,20 @@ func (r *Run) compute(set engine.PredSet) *Result {
 	comps := engine.Components(q.Cat, q.Preds, set)
 	if len(comps) > 1 {
 		// Lines 4-7: separable — solve the standard decomposition's
-		// components independently and merge.
+		// components independently and merge. Component keys are sorted so
+		// the merged key is canonical regardless of the components' predicate
+		// positions (they feed tie-breaks higher up the DP).
 		res := &Result{Sel: 1, Err: 0}
+		subKeys := make([]string, 0, len(comps))
 		for _, comp := range comps {
 			sub := r.GetSelectivity(comp)
 			res.Sel *= sub.Sel
 			res.Err += sub.Err
 			res.Factors = append(res.Factors, sub.Factors...)
-			res.key += "[" + sub.key + "]"
+			subKeys = append(subKeys, "["+sub.key+"]")
 		}
+		sort.Strings(subKeys)
+		res.key = strings.Join(subKeys, "")
 		return res
 	}
 
@@ -182,15 +221,17 @@ func (r *Run) compute(set engine.PredSet) *Result {
 	// Sel(set) = Sel(P'|Q)·Sel(Q) and keep the most accurate. Equal-score
 	// decompositions are common (the same SITs chosen in a different
 	// order); ties break on the canonical chain key, which selects the
-	// chain with the smallest head indices — the same winner in both
-	// search modes.
+	// chain with the smallest head predicate signature — the same winner
+	// in both search modes and for either positional layout of the same
+	// structural predicate set (which is what lets results be shared
+	// across queries through the selectivity cache).
 	best := &Result{Err: math.Inf(1)}
 	try := func(pp engine.PredSet) {
 		qq := set.Minus(pp)
 		resQ := r.GetSelectivity(qq)
 		selF, errF, sits := r.ApproxFactor(pp, qq)
 		cand := errF + resQ.Err
-		key := chainKey(pp, resQ.key)
+		key := chainKey(q.Preds, pp, resQ.key)
 		tol := 1e-9 * (1 + math.Abs(best.Err))
 		if math.IsInf(best.Err, 1) || cand < best.Err-tol ||
 			(cand <= best.Err+tol && key < best.key) {
@@ -211,13 +252,29 @@ func (r *Run) compute(set engine.PredSet) *Result {
 }
 
 // chainKey encodes a decomposition chain for canonical tie-breaking:
-// singleton heads ("0" prefix, zero-padded index) sort before multi-
-// predicate heads ("1" prefix), then the remainder chain's key follows.
-func chainKey(pp engine.PredSet, rest string) string {
+// singleton heads ("0" prefix) sort before multi-predicate heads ("1"
+// prefix), then the remainder chain's key follows. Heads are identified by
+// their structural predicate signature rather than their position within
+// the query, so the winning chain — and therefore the whole Result — is a
+// pure function of the structural predicate set, the pool and the error
+// model. That position independence is what makes Results shareable across
+// queries via the cross-query selectivity cache.
+//
+// Among equal-error singleton heads, join predicates ("a" class) win over
+// filters ("b" class): the head factor carries the largest conditioning set,
+// and conditioning joins on filters (rather than the reverse) is where SITs
+// pay off — the same preference the workload's joins-first predicate layout
+// gave the old positional tie-break.
+func chainKey(preds []engine.Pred, pp engine.PredSet, rest string) string {
 	if pp.Len() == 1 {
-		return fmt.Sprintf("0%02d.%s", pp.Indices()[0], rest)
+		p := preds[pp.Indices()[0]]
+		class := "b"
+		if p.IsJoin() {
+			class = "a"
+		}
+		return "0" + class + p.Key() + "." + rest
 	}
-	return fmt.Sprintf("1%016x.%s", uint64(pp), rest)
+	return "1" + engine.PredsKey(preds, pp) + "." + rest
 }
 
 // EstimateCardinality returns the estimated cardinality of the sub-query

@@ -269,7 +269,7 @@ func bruteBestKeyed(r *Run, set engine.PredSet) (sel, err float64, key string) {
 		selQ, errQ, keyQ := bruteBestKeyed(r, qq)
 		selF, errF, _ := r.ApproxFactor(pp, qq)
 		cand, candSel := errF+errQ, selF*selQ
-		candKey := chainKey(pp, keyQ)
+		candKey := chainKey(r.Query.Preds, pp, keyQ)
 		tol := 1e-9 * (1 + math.Abs(best))
 		if math.IsInf(best, 1) || cand < best-tol || (cand <= best+tol && candKey < bestKey) {
 			best, bestSel, bestKey = cand, candSel, candKey
@@ -337,16 +337,16 @@ func TestMemoServesSubqueries(t *testing.T) {
 	est := NewEstimator(f.cat, pool, NInd{})
 	r := est.NewRun(f.query)
 	r.GetSelectivity(f.query.All())
-	calls := pool.MatchCalls
+	calls := pool.MatchCalls()
 	full := f.query.All()
 	for set := engine.PredSet(1); set <= full; set++ {
 		if set.SubsetOf(full) {
 			r.GetSelectivity(set)
 		}
 	}
-	if pool.MatchCalls != calls {
+	if pool.MatchCalls() != calls {
 		t.Fatalf("sub-query requests triggered %d extra view-matching calls",
-			pool.MatchCalls-calls)
+			pool.MatchCalls()-calls)
 	}
 }
 

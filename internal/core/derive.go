@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"condsel/internal/engine"
 	"condsel/internal/histogram"
 	"condsel/internal/sit"
@@ -49,6 +51,10 @@ func (r *Run) derivedCandidates(attr engine.AttrID, cond engine.PredSet) []*sit.
 			}
 		}
 	}
+	// Order structurally (by ID) so tie-breaking among equal-score derived
+	// candidates does not depend on the join predicates' positions within
+	// the query — required for position-independent, cacheable results.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out
 }
 

@@ -12,6 +12,11 @@ import (
 // randomCase builds a random small database, a random SPJ query over it and
 // the J1 pool for that query.
 func randomCase(rng *rand.Rand) (*engine.Catalog, *engine.Query, *sit.Pool) {
+	return randomCaseJ(rng, 1)
+}
+
+// randomCaseJ is randomCase with a caller-chosen maximum SIT join count.
+func randomCaseJ(rng *rand.Rand, maxJoins int) (*engine.Catalog, *engine.Query, *sit.Pool) {
 	cat := engine.NewCatalog()
 	names := []string{"R", "S", "T"}
 	nTables := 2 + rng.Intn(2)
@@ -50,7 +55,7 @@ func randomCase(rng *rand.Rand) (*engine.Catalog, *engine.Query, *sit.Pool) {
 	}
 	q := engine.NewQuery(cat, preds)
 	b := sit.NewBuilder(cat)
-	pool := sit.BuildWorkloadPool(b, []*engine.Query{q}, 1)
+	pool := sit.BuildWorkloadPool(b, []*engine.Query{q}, maxJoins)
 	return cat, q, pool
 }
 
@@ -105,6 +110,107 @@ func TestPropertyRandomQueries(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestPropertyMemoDeterminism: two independent Runs over the same query
+// produce identical Results in full — selectivity, error AND the chosen
+// decomposition (factor chain with its statistics), via Explain's complete
+// rendering. This is the determinism the cross-query cache relies on.
+func TestPropertyMemoDeterminism(t *testing.T) {
+	const seed = 777
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 40; trial++ {
+		cat, q, pool := randomCase(rng)
+		for _, model := range []ErrorModel{NInd{}, Diff{}} {
+			est := NewEstimator(cat, pool, model)
+			r1, r2 := est.NewRun(q), est.NewRun(q)
+			full := q.All()
+			// Visit subsets in opposite orders so the two memos are
+			// populated along different paths.
+			for set := engine.PredSet(1); set <= full; set++ {
+				if !set.SubsetOf(full) {
+					continue
+				}
+				rev := full ^ set // complement-order visit for r2
+				if rev != 0 {
+					r2.GetSelectivity(rev)
+				}
+			}
+			for set := engine.PredSet(1); set <= full; set++ {
+				if !set.SubsetOf(full) {
+					continue
+				}
+				a, b := r1.GetSelectivity(set), r2.GetSelectivity(set)
+				if a.Sel != b.Sel || a.Err != b.Err {
+					t.Fatalf("seed %d trial %d %s: runs disagree on %v: (%v,%v) vs (%v,%v)",
+						seed, trial, model.Name(), set, a.Sel, a.Err, b.Sel, b.Err)
+				}
+				if ea, eb := r1.Explain(set), r2.Explain(set); ea != eb {
+					t.Fatalf("seed %d trial %d %s: decompositions differ for %v:\n%s\nvs\n%s",
+						seed, trial, model.Name(), set, ea, eb)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyNIndMonotonicity: under the nInd model, adding SITs to the
+// pool never increases the chosen decomposition's error for any sub-query.
+// Checked two ways: along the nested pool ladder J0 ⊂ J1 ⊂ J2, and SIT by
+// SIT — replaying the J2 pool's statistics one at a time onto a base-only
+// pool with the error re-checked after every single addition.
+func TestPropertyNIndMonotonicity(t *testing.T) {
+	const seed = 2026
+	rng := rand.New(rand.NewSource(seed))
+
+	errsFor := func(cat *engine.Catalog, q *engine.Query, p *sit.Pool) map[engine.PredSet]float64 {
+		run := NewEstimator(cat, p, NInd{}).NewRun(q)
+		out := make(map[engine.PredSet]float64)
+		full := q.All()
+		for set := engine.PredSet(1); set <= full; set++ {
+			if set.SubsetOf(full) {
+				out[set] = run.GetSelectivity(set).Err
+			}
+		}
+		return out
+	}
+	checkNoWorse := func(t *testing.T, trial int, before, after map[engine.PredSet]float64, what string) {
+		t.Helper()
+		for set, b := range before {
+			if a := after[set]; a > b+1e-6 {
+				t.Fatalf("seed %d trial %d: nInd error for %v rose %v -> %v after %s",
+					seed, trial, set, b, a, what)
+			}
+		}
+	}
+
+	for trial := 0; trial < 12; trial++ {
+		cat, q, pool := randomCaseJ(rng, 2)
+
+		// Pool ladder: each MaxJoins level only adds SITs.
+		prev := errsFor(cat, q, pool.MaxJoins(0))
+		for level := 1; level <= 2; level++ {
+			cur := errsFor(cat, q, pool.MaxJoins(level))
+			checkNoWorse(t, trial, prev, cur, "growing the pool ladder")
+			prev = cur
+		}
+
+		// One SIT at a time: base histograms first, then every join-expression
+		// SIT of the full pool in deterministic order.
+		inc := sit.NewPool(cat)
+		for _, s := range pool.MaxJoins(0).SITs() {
+			inc.Add(s)
+		}
+		before := errsFor(cat, q, inc)
+		for _, s := range pool.SITs() {
+			if !inc.Add(s) {
+				continue // already present (base histogram)
+			}
+			after := errsFor(cat, q, inc)
+			checkNoWorse(t, trial, before, after, "adding SIT "+s.ID())
+			before = after
 		}
 	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Evaluator computes exact cardinalities and value distributions for
@@ -11,13 +12,18 @@ import (
 // Counts of connected predicate components are memoized by structural
 // predicate signature, so evaluating the cardinality of every sub-query of a
 // workload query costs one join evaluation per distinct connected component.
-// An Evaluator is not safe for concurrent use.
+// An Evaluator is safe for concurrent use: the memo table and counters are
+// guarded by a mutex, and joins are evaluated outside the lock (a race
+// between two misses for the same component computes the same value twice,
+// which is harmless because exact counts are deterministic).
 type Evaluator struct {
 	cat *Catalog
 
+	mu         sync.Mutex
 	compCounts map[string]float64
 	// Evaluations counts actual join evaluations (cache misses), for tests
-	// and experiment reporting.
+	// and experiment reporting. Read it only when no concurrent evaluation
+	// is in flight, or through EvaluationCount.
 	Evaluations int
 }
 
@@ -65,15 +71,21 @@ func (e *Evaluator) ConditionalSelectivity(tables TableSet, preds []Pred, p, q P
 }
 
 // componentCount evaluates one connected predicate component exactly,
-// memoizing by structural signature.
+// memoizing by structural signature. The join itself runs outside the lock
+// so concurrent misses on distinct components evaluate in parallel.
 func (e *Evaluator) componentCount(preds []Pred, comp PredSet) float64 {
 	key := PredsKey(preds, comp)
+	e.mu.Lock()
 	if v, ok := e.compCounts[key]; ok {
+		e.mu.Unlock()
 		return v
 	}
+	e.mu.Unlock()
 	res := e.evalComponent(preds, comp)
 	v := float64(res.count())
+	e.mu.Lock()
 	e.compCounts[key] = v
+	e.mu.Unlock()
 	return v
 }
 
@@ -148,7 +160,9 @@ func (r *joinResult) tablePos(id TableID) int {
 // with hash joins, and any remaining (cycle-closing) join predicates are
 // applied as post-filters on already-joined tables.
 func (e *Evaluator) evalComponent(preds []Pred, comp PredSet) *joinResult {
+	e.mu.Lock()
 	e.Evaluations++
+	e.mu.Unlock()
 	c := e.cat
 	idxs := comp.Indices()
 
@@ -323,10 +337,24 @@ func postFilterJoin(c *Catalog, cur *joinResult, jp Pred) *joinResult {
 }
 
 // CacheSize returns the number of memoized component counts.
-func (e *Evaluator) CacheSize() int { return len(e.compCounts) }
+func (e *Evaluator) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.compCounts)
+}
+
+// EvaluationCount returns the number of join evaluations performed so far;
+// unlike reading Evaluations directly, it is safe under concurrency.
+func (e *Evaluator) EvaluationCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Evaluations
+}
 
 // ResetCache clears memoized counts and the evaluation counter.
 func (e *Evaluator) ResetCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.compCounts = make(map[string]float64)
 	e.Evaluations = 0
 }

@@ -1,0 +1,96 @@
+package engine
+
+// Fuzz target for the canonical predicate-set signature that keys the
+// evaluator memo, SIT matching and the cross-query selectivity cache.
+// Whatever predicate multiset the fuzzer assembles, PredsKey must be
+// deterministic, invariant under predicate reordering, and round-trip: the
+// key is exactly the sorted "&"-join of the member predicates' Key()s.
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// predsFromBytes decodes a byte stream into predicates, five bytes each:
+// an even selector byte yields a filter (attr, lo, hi from the next four
+// bytes, with extreme bounds mixed in), an odd one a join.
+func predsFromBytes(data []byte) []Pred {
+	var preds []Pred
+	for len(data) >= 5 && len(preds) < 16 {
+		b0, b1, b2, b3, b4 := data[0], data[1], data[2], data[3], data[4]
+		data = data[5:]
+		if b0%2 == 0 {
+			lo, hi := int64(b2)-128, int64(b3)
+			switch b4 % 4 {
+			case 1:
+				lo = MinValue
+			case 2:
+				hi = MaxValue
+			case 3:
+				lo, hi = int64(b3), int64(b2)-128 // possibly inverted range
+			}
+			preds = append(preds, Filter(AttrID(b1%64), lo, hi))
+		} else {
+			preds = append(preds, Join(AttrID(b1%64), AttrID(b2%64)))
+		}
+	}
+	return preds
+}
+
+func FuzzPredsKey(f *testing.F) {
+	f.Add([]byte{0, 3, 10, 20, 0, 1, 3, 7, 0, 0}, int64(1))
+	f.Add([]byte{1, 5, 5, 0, 0, 1, 5, 5, 0, 0}, int64(2)) // duplicate joins
+	f.Add([]byte{0, 9, 0, 0, 1, 0, 9, 0, 0, 2}, int64(3)) // one-sided ranges
+	f.Add([]byte{}, int64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, permSeed int64) {
+		preds := predsFromBytes(data)
+		n := len(preds)
+		if n == 0 {
+			return
+		}
+		var full PredSet
+		for i := 0; i < n; i++ {
+			full = full.Add(i)
+		}
+		key := PredsKey(preds, full)
+
+		// Deterministic.
+		if again := PredsKey(preds, full); again != key {
+			t.Fatalf("seed %d: PredsKey not deterministic: %q vs %q", permSeed, key, again)
+		}
+		// Round-trip: the key decomposes into the sorted multiset of the
+		// member predicates' canonical keys.
+		want := make([]string, n)
+		for i, p := range preds {
+			want[i] = p.Key()
+		}
+		sort.Strings(want)
+		if got := strings.Split(key, "&"); strings.Join(got, "&") != strings.Join(want, "&") {
+			t.Fatalf("seed %d: key %q does not round-trip to member keys %v", permSeed, key, want)
+		}
+		// Invariant under reordering of the predicate list.
+		perm := rand.New(rand.NewSource(permSeed)).Perm(n)
+		shuffled := make([]Pred, n)
+		for i, j := range perm {
+			shuffled[j] = preds[i]
+		}
+		if got := PredsKey(shuffled, full); got != key {
+			t.Fatalf("seed %d: key changed under permutation: %q vs %q", permSeed, got, key)
+		}
+		// Singleton sets collapse to the predicate's own key; join
+		// canonicalization makes argument order irrelevant.
+		for i, p := range preds {
+			if got := PredsKey(preds, NewPredSet(i)); got != p.Key() {
+				t.Fatalf("singleton key %q != pred key %q", got, p.Key())
+			}
+			if p.IsJoin() {
+				if sw := Join(p.Right, p.Left); sw.Key() != p.Key() {
+					t.Fatalf("join key depends on side order: %q vs %q", sw.Key(), p.Key())
+				}
+			}
+		}
+	})
+}

@@ -193,7 +193,7 @@ func TestGVMRepeatsViewMatchingWork(t *testing.T) {
 			gvmEst.EstimateSelectivity(f.query, set)
 		}
 	}
-	gvmCalls := pool.MatchCalls
+	gvmCalls := pool.MatchCalls()
 
 	pool.ResetMatchCalls()
 	gs := core.NewEstimator(f.cat, pool, core.NInd{})
@@ -203,7 +203,7 @@ func TestGVMRepeatsViewMatchingWork(t *testing.T) {
 			run.GetSelectivity(set)
 		}
 	}
-	gsCalls := pool.MatchCalls
+	gsCalls := pool.MatchCalls()
 
 	if gvmCalls <= gsCalls {
 		t.Fatalf("GVM calls (%d) should exceed GS calls (%d)", gvmCalls, gsCalls)

@@ -1,0 +1,206 @@
+// Package selcache provides a sharded, bounded, concurrency-safe LRU cache
+// for cross-query selectivity reuse.
+//
+// The getSelectivity dynamic program (internal/core) memoizes per query run,
+// so every sub-query of one query is estimated once — but the memo dies with
+// the run. Workloads repeat predicate sets across queries (shared join
+// sub-expressions, repeated filters), and for a fixed SIT pool and error
+// model the chosen decomposition of a predicate set is a pure function of
+// its structural signature. A process-wide cache keyed by
+//
+//	error-model name | pool generation | canonical predicate-set key
+//
+// therefore lets a run seed its memo from earlier queries and publish its
+// own results back, without ever returning a stale or mismatched entry: the
+// pool generation (sit.Pool.Generation) changes on every pool mutation and
+// is unique across pools, so entries built against other pools or older pool
+// contents simply never match.
+//
+// The cache is sharded to keep lock contention low under concurrent
+// estimation; each shard is an independent mutex-guarded LRU list. Counters
+// (hits, misses, evictions) are atomic and exposed via Stats.
+package selcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used when New is given no override. 16
+// shards keep contention negligible for the 16-goroutine stress workloads
+// the package is tested under while wasting little memory on tiny caches.
+const DefaultShards = 16
+
+// Cache is a sharded, bounded LRU mapping string keys to values of type V.
+// All methods are safe for concurrent use.
+type Cache[V any] struct {
+	shards []shard[V]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard[V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a cache holding at most capacity entries, spread over
+// DefaultShards shards (every shard gets at least one slot, so tiny
+// capacities round up). A capacity <= 0 defaults to 4096.
+func New[V any](capacity int) *Cache[V] {
+	return NewSharded[V](capacity, DefaultShards)
+}
+
+// NewSharded returns a cache with an explicit shard count.
+func NewSharded[V any](capacity, shards int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &Cache[V]{shards: make([]shard[V], shards)}
+	for i := range c.shards {
+		c.shards[i] = shard[V]{
+			cap:     perShard,
+			entries: make(map[string]*list.Element, perShard),
+			order:   list.New(),
+		}
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection (FNV-1a, 64 bit).
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return &c.shards[fnv1a(key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for key and whether it was present, marking
+// the entry most recently used on a hit.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.order.MoveToFront(el)
+	v := el.Value.(*entry[V]).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores the value under key, evicting the shard's least recently used
+// entry when the shard is full. Storing an existing key refreshes its value
+// and recency.
+func (c *Cache[V]) Put(key string, val V) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*entry[V]).val = val
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	if s.order.Len() >= s.cap {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*entry[V]).key)
+			c.evictions.Add(1)
+		}
+	}
+	s.entries[key] = s.order.PushFront(&entry[V]{key: key, val: val})
+	s.mu.Unlock()
+}
+
+// Len returns the current number of cached entries across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Shards    int
+	Capacity  int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters and occupancy.
+func (c *Cache[V]) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Shards:    len(c.shards),
+	}
+	for i := range c.shards {
+		st.Capacity += c.shards[i].cap
+	}
+	return st
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache[V]) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*list.Element, s.cap)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}

@@ -2,13 +2,25 @@ package sit
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"condsel/internal/engine"
 )
 
+// poolGen hands out globally unique generation stamps. Every pool mutation
+// (creation, Add, Add2D) takes a fresh stamp, so a pool's Generation
+// uniquely identifies its exact contents across all pools in the process —
+// the property the cross-query selectivity cache keys rely on.
+var poolGen atomic.Uint64
+
 // Pool is a set of available SITs with the candidate-matching rules of
 // §3.3. It also counts view-matching calls, the efficiency metric of the
-// paper's Figure 6. A Pool is not safe for concurrent use.
+// paper's Figure 6.
+//
+// Concurrency: a fully built Pool is safe for concurrent readers (Candidates,
+// Candidates2D, Base, OnAttr, SITs, …) — the match-call counter is atomic and
+// everything else is read-only after construction. Mutations (Add, Add2D)
+// must not race with readers.
 type Pool struct {
 	Cat *engine.Catalog
 
@@ -19,9 +31,12 @@ type Pool struct {
 	by2D   map[[2]engine.AttrID][]*SIT2D
 	byID2D map[string]*SIT2D
 
-	// MatchCalls counts invocations of the view-matching routine
-	// (Candidates). Reset with ResetMatchCalls.
-	MatchCalls int
+	// matchCalls counts invocations of the view-matching routine
+	// (Candidates/Candidates2D). Reset with ResetMatchCalls.
+	matchCalls atomic.Int64
+
+	// gen is the pool's content stamp; see poolGen.
+	gen uint64
 }
 
 // NewPool returns an empty pool over the catalog.
@@ -30,8 +45,15 @@ func NewPool(cat *engine.Catalog) *Pool {
 		Cat:    cat,
 		byAttr: make(map[engine.AttrID][]*SIT),
 		byID:   make(map[string]*SIT),
+		gen:    poolGen.Add(1),
 	}
 }
+
+// Generation returns the pool's content stamp: a process-wide unique value
+// that changes on every mutation. Two pools never share a generation, and a
+// pool's generation after an Add differs from before, so (generation,
+// predicate-set) cache keys can never alias across pools or pool versions.
+func (p *Pool) Generation() uint64 { return p.gen }
 
 // Add inserts s unless an identical SIT (same attribute and expression) is
 // already present; it reports whether the SIT was added.
@@ -42,6 +64,7 @@ func (p *Pool) Add(s *SIT) bool {
 	}
 	p.byID[id] = s
 	p.byAttr[s.Attr] = append(p.byAttr[s.Attr], s)
+	p.gen = poolGen.Add(1)
 	return true
 }
 
@@ -76,8 +99,12 @@ func (p *Pool) SITs() []*SIT {
 	return out
 }
 
+// MatchCalls returns the number of view-matching (candidate lookup) calls
+// since the last reset.
+func (p *Pool) MatchCalls() int { return int(p.matchCalls.Load()) }
+
 // ResetMatchCalls zeroes the view-matching call counter.
-func (p *Pool) ResetMatchCalls() { p.MatchCalls = 0 }
+func (p *Pool) ResetMatchCalls() { p.matchCalls.Store(0) }
 
 // Filter returns a new pool holding only the one-dimensional SITs accepted
 // by keep (two-dimensional SITs are not carried over). SITs are shared, not
@@ -124,7 +151,7 @@ func (p *Pool) SITs2D() []*SIT2D {
 // histogram qualifies exactly when no non-empty expression matches. Each
 // invocation counts as one view-matching call.
 func (p *Pool) Candidates(preds []engine.Pred, attr engine.AttrID, q engine.PredSet) []*SIT {
-	p.MatchCalls++
+	p.matchCalls.Add(1)
 	var matching []*SIT
 	for _, s := range p.byAttr[attr] {
 		if s.MatchesSubset(preds, q) {

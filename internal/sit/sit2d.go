@@ -156,6 +156,7 @@ func (p *Pool) Add2D(s *SIT2D) bool {
 	p.byID2D[id] = s
 	key := [2]engine.AttrID{s.X, s.Y}
 	p.by2D[key] = append(p.by2D[key], s)
+	p.gen = poolGen.Add(1)
 	return true
 }
 
@@ -166,7 +167,7 @@ func (p *Pool) Size2D() int { return len(p.byID2D) }
 // contained in q and maximal, mirroring Candidates. Each invocation counts
 // as one view-matching call.
 func (p *Pool) Candidates2D(preds []engine.Pred, x, y engine.AttrID, q engine.PredSet) []*SIT2D {
-	p.MatchCalls++
+	p.matchCalls.Add(1)
 	var matching []*SIT2D
 	for _, s := range p.by2D[[2]engine.AttrID{x, y}] {
 		if s.MatchesSubset(preds, q) {

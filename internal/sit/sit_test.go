@@ -271,11 +271,11 @@ func TestPoolCandidatesMaximality(t *testing.T) {
 			t.Fatalf("non-maximal or over-constrained SIT selected: %s", s.Name(cat))
 		}
 	}
-	if pool.MatchCalls != 1 {
-		t.Fatalf("MatchCalls = %d, want 1", pool.MatchCalls)
+	if pool.MatchCalls() != 1 {
+		t.Fatalf("MatchCalls = %d, want 1", pool.MatchCalls())
 	}
 	pool.ResetMatchCalls()
-	if pool.MatchCalls != 0 {
+	if pool.MatchCalls() != 0 {
 		t.Fatalf("ResetMatchCalls failed")
 	}
 

@@ -223,7 +223,7 @@ func (db *DB) LoadPool(r io.Reader) (*Pool, error) {
 // ViewMatchCalls returns the number of view-matching (candidate lookup)
 // calls issued against the pool — the efficiency metric of the paper's
 // Figure 6.
-func (p *Pool) ViewMatchCalls() int { return p.pool.MatchCalls }
+func (p *Pool) ViewMatchCalls() int { return p.pool.MatchCalls() }
 
 // ResetViewMatchCalls zeroes the view-matching counter.
 func (p *Pool) ResetViewMatchCalls() { p.pool.ResetMatchCalls() }
