@@ -4,22 +4,27 @@
 // average absolute cardinality error per SIT pool and technique
 // (Figure 7), the estimation-time breakdown (Figure 8), the Lemma 1
 // decomposition-count table, the ablation tables A1–A6, the
-// plan-quality study P1, and the estimation-service throughput benchmark
+// plan-quality study P1, the estimation-service throughput benchmark
 // ("est": shared estimator under concurrent load, with or without the
-// cross-query selectivity cache).
+// cross-query selectivity cache), and the getSelectivity hot-path benchmark
+// ("dp": NoFastPath baseline vs the optimized DP across query sizes, search
+// modes and error models).
 //
 // Usage:
 //
-//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est]
+//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp]
 //	         [-fact N] [-queries N] [-joins 3,5,7] [-maxpool N]
 //	         [-subsets N] [-seed N] [-filtersel F] [-csv FILE]
 //	         [-workers N] [-cache] [-cachecap N] [-rounds N] [-json FILE]
+//	         [-sizes 6,8,10,12] [-iters N]
 //
 // With -csv the selected figure's data is additionally written as CSV
 // (single figures only, not the "all"/"ablations" bundles). -fig est
 // always measures the sequential cache-off baseline alongside the
-// requested -workers/-cache configuration and writes both to the -json
-// artifact (default BENCH_estimation.json).
+// requested -workers/-cache configuration; -fig dp always measures the
+// NoFastPath baseline alongside the optimized estimator over -sizes
+// predicate counts. Both write a -json artifact (defaults:
+// BENCH_estimation.json for est, BENCH_dp.json for dp).
 package main
 
 import (
@@ -35,7 +40,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1")
+		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp")
 		fact      = flag.Int("fact", 20000, "fact table rows")
 		queries   = flag.Int("queries", 25, "queries per workload")
 		joins     = flag.String("joins", "3,5,7", "workload join counts (comma separated)")
@@ -48,7 +53,9 @@ func main() {
 		useCache  = flag.Bool("cache", false, "attach the cross-query selectivity cache for -fig est")
 		cacheCap  = flag.Int("cachecap", 0, "cache capacity in entries for -fig est (0 = default)")
 		rounds    = flag.Int("rounds", 3, "workload passes for -fig est")
-		jsonPath  = flag.String("json", "BENCH_estimation.json", "JSON artifact path for -fig est")
+		jsonPath  = flag.String("json", "", "JSON artifact path for -fig est/dp (default per figure)")
+		sizes     = flag.String("sizes", "6,8,10,12", "query predicate counts for -fig dp")
+		iters     = flag.Int("iters", 0, "timed passes per variant for -fig dp (0 = default)")
 	)
 	flag.Parse()
 
@@ -75,15 +82,38 @@ func main() {
 		Rounds:        *rounds,
 	}
 
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sitbench: bad -sizes: %v\n", err)
+		os.Exit(2)
+	}
+	dpCfg := bench.DPBenchConfig{Sizes: ns, Iters: *iters}
+
 	start := time.Now()
-	if err := run(*fig, opts, *csvPath, estCfg, *jsonPath); err != nil {
+	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, jsonPath string) error {
+func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, jsonPath string) error {
+	withJSON := func(def string, write func(*os.File) error) error {
+		path := jsonPath
+		if path == "" {
+			path = def
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+		return nil
+	}
 	withCSV := func(write func(*os.File) error) error {
 		if csvPath == "" {
 			return nil
@@ -158,17 +188,16 @@ func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchCo
 		e := bench.NewEnv(opts)
 		report := e.EstimationReport(estCfg)
 		bench.RenderEstimation(os.Stdout, report)
-		if jsonPath != "" {
-			f, err := os.Create(jsonPath)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := bench.WriteEstimationJSON(f, report); err != nil {
-				return err
-			}
-			fmt.Printf("\nwrote %s\n", jsonPath)
-		}
+		return withJSON("BENCH_estimation.json", func(f *os.File) error {
+			return bench.WriteEstimationJSON(f, report)
+		})
+	case "dp":
+		e := bench.NewEnv(opts)
+		report := e.DPBench(dpCfg)
+		bench.RenderDP(os.Stdout, report)
+		return withJSON("BENCH_dp.json", func(f *os.File) error {
+			return bench.WriteDPJSON(f, report)
+		})
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"sort"
-	"strconv"
 
 	"condsel/internal/engine"
 	"condsel/internal/sit"
@@ -32,11 +31,10 @@ type CacheFactor struct {
 // name, pool generation (globally unique per pool content — see
 // sit.Pool.Generation), and the structural predicate-set signature. The
 // generation component guarantees entries can never be served across
-// different pools or across mutations of the same pool.
+// different pools or across mutations of the same pool. The model/generation
+// prefix is precomputed per run and the signature interned per subset.
 func (r *Run) cacheKey(set engine.PredSet) string {
-	return r.Est.Model.Name() + "|g" +
-		strconv.FormatUint(r.Est.Pool.Generation(), 10) + "|" +
-		engine.PredsKey(r.Query.Preds, set)
+	return r.cachePrefix + r.predsKey(set)
 }
 
 // cacheGet looks the predicate set up in the estimator's cross-query cache

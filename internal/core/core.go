@@ -14,7 +14,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 
 	"condsel/internal/engine"
@@ -67,6 +69,14 @@ type Estimator struct {
 	// computation. The cache is safe for concurrent use; see
 	// internal/selcache.
 	Cache SelCache
+
+	// NoFastPath disables the run-level hot-path machinery — the factor
+	// memo, the per-query candidate matcher, the component index and the
+	// histogram-join cache (DESIGN.md "Hot path") — and falls back to the
+	// straightforward scans. Estimates are bit-identical either way
+	// (enforced by TestCacheEquivalenceHotPath); the switch exists for
+	// benchmark baselines and equivalence tests.
+	NoFastPath bool
 }
 
 // SelCache is the cross-query result cache consumed by Run. It is satisfied
@@ -152,6 +162,25 @@ type Run struct {
 	memo        map[engine.PredSet]*Result
 	truthMemo   map[truthKey]float64
 	derivedMemo map[string]*sit.SIT // Example 3 derivations, nil until used
+
+	// cachePrefix is the run-constant prefix of cross-query cache keys
+	// (model name + pool generation), built once per run.
+	cachePrefix string
+
+	// Hot-path state (DESIGN.md "Hot path"); all nil/zero when the
+	// estimator sets NoFastPath, which routes every consumer onto the
+	// legacy scans.
+	comps      *engine.CompIndex          // O(1)-amortized connected components
+	matcher    *sit.Matcher               // per-query candidate matcher + cache
+	sideInv    bool                       // model scores depend on sideCond only
+	filterMemo map[factorKey]filterApprox // approxFilter memo
+	joinMemo   map[factorKey]joinApprox   // approxJoin memo
+	joinSels   map[sitPair]float64        // per-run histogram-join selectivities
+	joinPrefix string                     // pool-generation prefix of join-cache keys
+	predKeys   []string                   // Pred.Key() per position, interned
+	headKeys   []string                   // singleton chain-key heads per position
+	multiHeads map[engine.PredSet]string  // multi-predicate chain-key heads
+	predsKeys  map[engine.PredSet]string  // engine.PredsKey per subset, interned
 }
 
 type truthKey struct {
@@ -159,17 +188,56 @@ type truthKey struct {
 	cond engine.PredSet
 }
 
+// sideCondInvariant marks error models whose factor scores depend on the
+// conditioning set only through its side component(s) — the connected
+// component(s) attached to the scored predicate's attribute(s). NInd and
+// Diff qualify; Opt does not (its oracle consults the full conditioning
+// set). The factor memo keys side-invariant models on the reduced set,
+// collapsing exponentially many conditioning sets onto their few distinct
+// side components.
+type sideCondInvariant interface {
+	SideCondInvariant() bool
+}
+
 // NewRun starts a getSelectivity run for one query.
 func (e *Estimator) NewRun(q *engine.Query) *Run {
 	if len(q.Preds) >= 64 {
 		panic("core: queries support at most 63 predicates")
 	}
-	return &Run{
+	r := &Run{
 		Est:       e,
 		Query:     q,
 		memo:      make(map[engine.PredSet]*Result),
 		truthMemo: make(map[truthKey]float64),
 	}
+	gen := strconv.FormatUint(e.Pool.Generation(), 10)
+	r.cachePrefix = e.Model.Name() + "|g" + gen + "|"
+	if e.NoFastPath {
+		return r
+	}
+	n := len(q.Preds)
+	r.comps = engine.NewCompIndex(q.Cat, q.Preds)
+	r.matcher = sit.NewMatcher(e.Pool, q.Preds)
+	if m, ok := e.Model.(sideCondInvariant); ok && m.SideCondInvariant() {
+		r.sideInv = true
+	}
+	r.filterMemo = make(map[factorKey]filterApprox)
+	r.joinMemo = make(map[factorKey]joinApprox)
+	r.joinSels = make(map[sitPair]float64)
+	r.joinPrefix = "g" + gen + "|"
+	r.predKeys = make([]string, n)
+	r.headKeys = make([]string, n)
+	for i, p := range q.Preds {
+		r.predKeys[i] = p.Key()
+		class := "b"
+		if p.IsJoin() {
+			class = "a"
+		}
+		r.headKeys[i] = "0" + class + r.predKeys[i] + "."
+	}
+	r.multiHeads = make(map[engine.PredSet]string)
+	r.predsKeys = make(map[engine.PredSet]string)
+	return r
 }
 
 // GetSelectivity implements Figure 3: it returns the most accurate
@@ -192,12 +260,20 @@ func (r *Run) GetSelectivity(set engine.PredSet) *Result {
 	return res
 }
 
+// components returns set's connected components, via the run's component
+// index on the fast path.
+func (r *Run) components(set engine.PredSet) []engine.PredSet {
+	if r.comps != nil {
+		return r.comps.Components(set)
+	}
+	return engine.Components(r.Query.Cat, r.Query.Preds, set)
+}
+
 func (r *Run) compute(set engine.PredSet) *Result {
 	if set.Empty() {
 		return &Result{Sel: 1, Err: 0}
 	}
-	q := r.Query
-	comps := engine.Components(q.Cat, q.Preds, set)
+	comps := r.components(set)
 	if len(comps) > 1 {
 		// Lines 4-7: separable — solve the standard decomposition's
 		// components independently and merge. Component keys are sorted so
@@ -225,56 +301,126 @@ func (r *Run) compute(set engine.PredSet) *Result {
 	// in both search modes and for either positional layout of the same
 	// structural predicate set (which is what lets results be shared
 	// across queries through the selectivity cache).
+	// Candidate chain keys are compared lazily — head and remainder held as
+	// two segments, concatenated only for the final winner — because ties
+	// are rare relative to the number of candidates tried, and key
+	// construction used to dominate the loop's allocations.
 	best := &Result{Err: math.Inf(1)}
+	var bestHead, bestRest string
 	try := func(pp engine.PredSet) {
 		qq := set.Minus(pp)
 		resQ := r.GetSelectivity(qq)
 		selF, errF, sits := r.ApproxFactor(pp, qq)
 		cand := errF + resQ.Err
-		key := chainKey(q.Preds, pp, resQ.key)
 		tol := 1e-9 * (1 + math.Abs(best.Err))
 		if math.IsInf(best.Err, 1) || cand < best.Err-tol ||
-			(cand <= best.Err+tol && key < best.key) {
+			(cand <= best.Err+tol && concatLess(r.chainHead(pp), resQ.key, bestHead, bestRest)) {
 			factors := make([]Factor, 0, 1+len(resQ.Factors))
 			factors = append(factors, Factor{P: pp, Q: qq, Sel: selF, Err: errF, SITs: sits})
 			factors = append(factors, resQ.Factors...)
-			best = &Result{Sel: selF * resQ.Sel, Err: cand, Factors: factors, key: key}
+			best = &Result{Sel: selF * resQ.Sel, Err: cand, Factors: factors}
+			bestHead, bestRest = r.chainHead(pp), resQ.key
 		}
 	}
 	if r.Est.Exhaustive {
 		set.Subsets(try)
 	} else {
-		for _, i := range set.Indices() {
-			try(engine.NewPredSet(i))
+		for s := uint64(set); s != 0; s &= s - 1 {
+			try(engine.PredSet(1) << uint(bits.TrailingZeros64(s)))
 		}
 	}
+	best.key = bestHead + bestRest
 	return best
 }
 
-// chainKey encodes a decomposition chain for canonical tie-breaking:
-// singleton heads ("0" prefix) sort before multi-predicate heads ("1"
-// prefix), then the remainder chain's key follows. Heads are identified by
-// their structural predicate signature rather than their position within
-// the query, so the winning chain — and therefore the whole Result — is a
-// pure function of the structural predicate set, the pool and the error
-// model. That position independence is what makes Results shareable across
-// queries via the cross-query selectivity cache.
+// chainHead encodes the head factor of a decomposition chain for canonical
+// tie-breaking: singleton heads ("0" prefix) sort before multi-predicate
+// heads ("1" prefix); the remainder chain's key follows the head (see
+// concatLess). Heads are identified by their structural predicate signature
+// rather than their position within the query, so the winning chain — and
+// therefore the whole Result — is a pure function of the structural
+// predicate set, the pool and the error model. That position independence is
+// what makes Results shareable across queries via the cross-query
+// selectivity cache.
 //
 // Among equal-error singleton heads, join predicates ("a" class) win over
 // filters ("b" class): the head factor carries the largest conditioning set,
 // and conditioning joins on filters (rather than the reverse) is where SITs
 // pay off — the same preference the workload's joins-first predicate layout
 // gave the old positional tie-break.
-func chainKey(preds []engine.Pred, pp engine.PredSet, rest string) string {
+//
+// On the fast path heads are interned per run; either way the returned
+// string is byte-identical.
+func (r *Run) chainHead(pp engine.PredSet) string {
+	if r.headKeys != nil {
+		if pp.Len() == 1 {
+			return r.headKeys[bits.TrailingZeros64(uint64(pp))]
+		}
+		if h, ok := r.multiHeads[pp]; ok {
+			return h
+		}
+		h := "1" + r.predsKey(pp) + "."
+		r.multiHeads[pp] = h
+		return h
+	}
+	preds := r.Query.Preds
 	if pp.Len() == 1 {
 		p := preds[pp.Indices()[0]]
 		class := "b"
 		if p.IsJoin() {
 			class = "a"
 		}
-		return "0" + class + p.Key() + "." + rest
+		return "0" + class + p.Key() + "." // singleton head
 	}
-	return "1" + engine.PredsKey(preds, pp) + "." + rest
+	return "1" + engine.PredsKey(preds, pp) + "."
+}
+
+// predsKey returns engine.PredsKey(r.Query.Preds, set), interned per run on
+// the fast path (Pred.Key formats strings; the DP asks for the same subsets
+// repeatedly through cache keys and multi-predicate chain heads).
+func (r *Run) predsKey(set engine.PredSet) string {
+	if r.predsKeys == nil {
+		return engine.PredsKey(r.Query.Preds, set)
+	}
+	if s, ok := r.predsKeys[set]; ok {
+		return s
+	}
+	keys := make([]string, 0, set.Len())
+	for s := uint64(set); s != 0; s &= s - 1 {
+		keys = append(keys, r.predKeys[bits.TrailingZeros64(s)])
+	}
+	sort.Strings(keys)
+	s := strings.Join(keys, "&")
+	r.predsKeys[set] = s
+	return s
+}
+
+// concatLess reports whether a1+a2 < b1+b2 lexicographically, without
+// materializing either concatenation. It lets chain-key tie-breaks compare
+// (head, rest) segment pairs allocation-free.
+func concatLess(a1, a2, b1, b2 string) bool {
+	la, lb := len(a1)+len(a2), len(b1)+len(b2)
+	n := la
+	if lb < n {
+		n = lb
+	}
+	for i := 0; i < n; i++ {
+		var ca, cb byte
+		if i < len(a1) {
+			ca = a1[i]
+		} else {
+			ca = a2[i-len(a1)]
+		}
+		if i < len(b1) {
+			cb = b1[i]
+		} else {
+			cb = b2[i-len(b1)]
+		}
+		if ca != cb {
+			return ca < cb
+		}
+	}
+	return la < lb
 }
 
 // EstimateCardinality returns the estimated cardinality of the sub-query

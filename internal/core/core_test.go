@@ -269,7 +269,7 @@ func bruteBestKeyed(r *Run, set engine.PredSet) (sel, err float64, key string) {
 		selQ, errQ, keyQ := bruteBestKeyed(r, qq)
 		selF, errF, _ := r.ApproxFactor(pp, qq)
 		cand, candSel := errF+errQ, selF*selQ
-		candKey := chainKey(r.Query.Preds, pp, keyQ)
+		candKey := r.chainHead(pp) + keyQ
 		tol := 1e-9 * (1 + math.Abs(best))
 		if math.IsInf(best, 1) || cand < best-tol || (cand <= best+tol && candKey < bestKey) {
 			best, bestSel, bestKey = cand, candSel, candKey

@@ -63,7 +63,7 @@ func (r *Run) derivedCandidates(attr engine.AttrID, cond engine.PredSet) []*sit.
 func (r *Run) bestSideHist(attr engine.AttrID, cond engine.PredSet) *sit.SIT {
 	var best *sit.SIT
 	bestMatched := -1
-	for _, h := range r.Est.Pool.Candidates(r.Query.Preds, attr, cond) {
+	for _, h := range r.candidates(attr, cond) {
 		m := h.MatchedSet(r.Query.Preds, cond).Len()
 		if m > bestMatched {
 			best, bestMatched = h, m

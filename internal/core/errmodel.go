@@ -4,13 +4,13 @@ import (
 	"math"
 
 	"condsel/internal/engine"
-	"condsel/internal/histogram"
 	"condsel/internal/sit"
 )
 
 // ErrorModel scores how accurately a candidate SIT (or SIT pair, for joins)
-// approximates one conditional factor. Scores are non-negative; smaller is
-// better. All models provided here aggregate additively across factors,
+// approximates one conditional factor. Scores are non-negative and finite;
+// smaller is better. All models provided here aggregate additively across
+// factors,
 // making the overall error monotonic and algebraic (Definition 3), which is
 // what licenses the dynamic program's principle of optimality (Theorem 1).
 type ErrorModel interface {
@@ -36,6 +36,11 @@ type NInd struct{}
 
 // Name implements ErrorModel.
 func (NInd) Name() string { return "nInd" }
+
+// SideCondInvariant reports that nInd scores depend on the conditioning set
+// only through its side component(s) — nIndSide reduces cond to
+// sideCond(cond, attr) before anything else (see sideCondInvariant).
+func (NInd) SideCondInvariant() bool { return true }
 
 // FilterError implements ErrorModel.
 func (NInd) FilterError(r *Run, pred int, cond engine.PredSet, h *sit.SIT) float64 {
@@ -64,6 +69,10 @@ type Diff struct{}
 
 // Name implements ErrorModel.
 func (Diff) Name() string { return "Diff" }
+
+// SideCondInvariant reports that Diff scores depend on the conditioning set
+// only through its side component(s), like nInd's (see sideCondInvariant).
+func (Diff) SideCondInvariant() bool { return true }
 
 // FilterError implements ErrorModel.
 func (Diff) FilterError(r *Run, pred int, cond engine.PredSet, h *sit.SIT) float64 {
@@ -108,9 +117,13 @@ func (Opt) FilterError(r *Run, pred int, cond engine.PredSet, h *sit.SIT) float6
 	return logErr(est, r.trueConditional(pred, cond))
 }
 
-// JoinError implements ErrorModel.
+// JoinError implements ErrorModel. Note that Opt is NOT side-invariant: the
+// oracle truth depends on the full conditioning set, so its factor memo keys
+// on cond verbatim. The candidate pair's join estimate goes through the
+// run's histogram-join cache — it is the same join scanJoin would time for
+// the winning pair.
 func (Opt) JoinError(r *Run, pred int, cond engine.PredSet, hl, hr *sit.SIT) float64 {
-	est := histogram.Join(hl.Hist, hr.Hist).Selectivity
+	est := r.joinSelectivity(hl, hr)
 	return logErr(est, r.trueConditional(pred, cond))
 }
 

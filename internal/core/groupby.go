@@ -60,7 +60,7 @@ func (r *Run) EstimateGroups(attr engine.AttrID, set engine.PredSet) float64 {
 // informative distribution). The base histogram qualifies when nothing
 // better matches; nil means no statistics exist for attr.
 func (r *Run) bestGroupSIT(attr engine.AttrID, set engine.PredSet) *sit.SIT {
-	cands := r.Est.Pool.Candidates(r.Query.Preds, attr, set)
+	cands := r.candidates(attr, set)
 	var best *sit.SIT
 	bestMatched := -1
 	for _, h := range cands {

@@ -1,0 +1,103 @@
+package engine
+
+import "math/bits"
+
+// CompIndex answers connected-component queries over subsets of one query's
+// predicate slice using precomputed adjacency bitmasks, memoizing per subset.
+// It exists for the getSelectivity hot path: the dynamic program asks for the
+// components of every predicate subset it visits (and error models ask for
+// the component containing a given table), so the per-call union-find of
+// Components — with its maps and per-predicate table scans — dominates the
+// decomposition-analysis time. A CompIndex pays the adjacency construction
+// once per query and then answers each distinct subset once, by bitmask
+// flood-fill, returning the memoized slices on every later request.
+//
+// Results are exactly those of Components (same partition, same order —
+// components ascend by smallest member, which is the order the peeling loop
+// discovers them in). Callers must treat returned slices as read-only.
+//
+// A CompIndex is single-goroutine state, like the run memo it serves.
+type CompIndex struct {
+	adj    []PredSet  // adj[i]: predicates sharing a table with predicate i
+	tables []TableSet // tables[i]: tables referenced by predicate i
+	memo   map[PredSet]compEntry
+}
+
+// compEntry caches one subset's partition alongside each component's table
+// set (sideways lookups by table would otherwise rescan the predicates).
+type compEntry struct {
+	sets   []PredSet
+	tables []TableSet
+}
+
+// NewCompIndex builds the adjacency index for the predicate slice.
+func NewCompIndex(c *Catalog, preds []Pred) *CompIndex {
+	n := len(preds)
+	ci := &CompIndex{
+		adj:    make([]PredSet, n),
+		tables: make([]TableSet, n),
+		memo:   make(map[PredSet]compEntry),
+	}
+	for i := range preds {
+		ci.tables[i] = preds[i].Tables(c)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !ci.tables[i].Disjoint(ci.tables[j]) {
+				ci.adj[i] = ci.adj[i].Add(j)
+				ci.adj[j] = ci.adj[j].Add(i)
+			}
+		}
+	}
+	return ci
+}
+
+// entry returns (computing and memoizing) the subset's partition.
+func (ci *CompIndex) entry(set PredSet) compEntry {
+	if e, ok := ci.memo[set]; ok {
+		return e
+	}
+	var e compEntry
+	for rest := set; rest != 0; {
+		seed := PredSet(1) << uint(bits.TrailingZeros64(uint64(rest)))
+		comp, frontier := seed, seed
+		var tabs TableSet
+		for frontier != 0 {
+			var next PredSet
+			for f := uint64(frontier); f != 0; f &= f - 1 {
+				j := bits.TrailingZeros64(f)
+				tabs = tabs.Union(ci.tables[j])
+				next = next.Union(ci.adj[j])
+			}
+			next = next.Intersect(set).Minus(comp)
+			comp = comp.Union(next)
+			frontier = next
+		}
+		e.sets = append(e.sets, comp)
+		e.tables = append(e.tables, tabs)
+		rest = rest.Minus(comp)
+	}
+	ci.memo[set] = e
+	return e
+}
+
+// Components returns the connected components of the subset, identical to
+// Components(cat, preds, set) in value and order. The returned slice is
+// shared with the memo; callers must not modify it.
+func (ci *CompIndex) Components(set PredSet) []PredSet {
+	return ci.entry(set).sets
+}
+
+// ComponentWith returns the component of set whose referenced tables include
+// t, or the empty set when no component touches t. This is the "side
+// condition" lookup of the error models: predicates in table-disjoint
+// components cannot influence an attribute of t.
+func (ci *CompIndex) ComponentWith(set PredSet, t TableID) PredSet {
+	e := ci.entry(set)
+	for k, comp := range e.sets {
+		if e.tables[k].Has(t) {
+			return comp
+		}
+	}
+	return 0
+}

@@ -37,6 +37,58 @@ type Pool struct {
 
 	// gen is the pool's content stamp; see poolGen.
 	gen uint64
+
+	// idx caches the per-attribute candidate index for the current
+	// generation; see poolIndex. Stale indexes (generation mismatch) are
+	// rebuilt on demand, so mutations need no explicit invalidation.
+	idx atomic.Pointer[poolIndex]
+}
+
+// poolIndex is the pre-built per-attribute candidate index: for every
+// attribute, the attribute's SITs in canonical (ID) order together with the
+// precomputed strict-superset relation among their expressions. Candidate
+// lookups then reduce to a matching pass plus a maximality check against the
+// precomputed supersets — no per-call sorting and no quadratic containment
+// scan. The index is immutable once built and keyed by the pool generation,
+// so concurrent readers of a stale index simply rebuild it (idempotent; the
+// last writer wins).
+type poolIndex struct {
+	gen    uint64
+	byAttr map[engine.AttrID]*attrIndex
+}
+
+// attrIndex indexes one attribute's SITs.
+type attrIndex struct {
+	sits []*SIT // sorted by ID — the order Candidates must return
+
+	// supersets[k] lists positions j within sits such that sits[k]'s
+	// expression is a strict subset of sits[j]'s (the §3.3 maximality
+	// relation: k is dropped whenever any of supersets[k] also matches).
+	supersets [][]int32
+}
+
+// index returns the candidate index for the pool's current contents,
+// (re)building it when the generation moved.
+func (p *Pool) index() *poolIndex {
+	if ix := p.idx.Load(); ix != nil && ix.gen == p.gen {
+		return ix
+	}
+	ix := &poolIndex{gen: p.gen, byAttr: make(map[engine.AttrID]*attrIndex, len(p.byAttr))}
+	for attr, sits := range p.byAttr {
+		ai := &attrIndex{sits: append([]*SIT(nil), sits...)}
+		sort.Slice(ai.sits, func(i, j int) bool { return ai.sits[i].ID() < ai.sits[j].ID() })
+		ai.supersets = make([][]int32, len(ai.sits))
+		for k, s := range ai.sits {
+			for j, t := range ai.sits {
+				if j != k && s.ExprSubsetOf(t) && t.ExprSize() > s.ExprSize() {
+					ai.supersets[k] = append(ai.supersets[k], int32(j))
+				}
+			}
+		}
+		ix.byAttr[attr] = ai
+	}
+	p.idx.Store(ix)
+	return ix
 }
 
 // NewPool returns an empty pool over the catalog.
@@ -84,9 +136,11 @@ func (p *Pool) Base(attr engine.AttrID) *SIT {
 // OnAttr returns all SITs over attr (base histogram included), in
 // deterministic order.
 func (p *Pool) OnAttr(attr engine.AttrID) []*SIT {
-	out := append([]*SIT(nil), p.byAttr[attr]...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
-	return out
+	ai := p.index().byAttr[attr]
+	if ai == nil {
+		return nil
+	}
+	return append([]*SIT(nil), ai.sits...)
 }
 
 // SITs returns every SIT in the pool in deterministic order.
@@ -152,28 +206,37 @@ func (p *Pool) SITs2D() []*SIT2D {
 // invocation counts as one view-matching call.
 func (p *Pool) Candidates(preds []engine.Pred, attr engine.AttrID, q engine.PredSet) []*SIT {
 	p.matchCalls.Add(1)
-	var matching []*SIT
-	for _, s := range p.byAttr[attr] {
-		if s.MatchesSubset(preds, q) {
-			matching = append(matching, s)
-		}
+	ai := p.index().byAttr[attr]
+	if ai == nil {
+		return nil
 	}
-	// Maximality: drop any SIT whose expression is strictly contained in
-	// another matching SIT's expression.
+	matched := make([]bool, len(ai.sits))
+	for k, s := range ai.sits {
+		matched[k] = s.MatchesSubset(preds, q)
+	}
+	return ai.maximal(matched)
+}
+
+// maximal returns the matched SITs that survive the §3.3 maximality rule
+// (no other matched SIT's expression strictly contains theirs), in the
+// index's canonical ID order.
+func (ai *attrIndex) maximal(matched []bool) []*SIT {
 	var out []*SIT
-	for _, s := range matching {
-		maximal := true
-		for _, t := range matching {
-			if t != s && s.ExprSubsetOf(t) && t.ExprSize() > s.ExprSize() {
-				maximal = false
+	for k, ok := range matched {
+		if !ok {
+			continue
+		}
+		keep := true
+		for _, j := range ai.supersets[k] {
+			if matched[j] {
+				keep = false
 				break
 			}
 		}
-		if maximal {
-			out = append(out, s)
+		if keep {
+			out = append(out, ai.sits[k])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out
 }
 

@@ -29,6 +29,7 @@ type SIT struct {
 	Diff   float64
 
 	exprKeys map[string]bool // canonical predicate keys of Expr
+	id       string          // canonical identity, precomputed (ID is hot)
 }
 
 // NewSIT assembles a SIT from its parts, deriving the table set and
@@ -41,6 +42,12 @@ func NewSIT(c *engine.Catalog, attr engine.AttrID, expr []engine.Pred, h *histog
 		s.Tables = s.Tables.Union(p.Tables(c))
 		s.exprKeys[p.Key()] = true
 	}
+	keys := make([]string, 0, len(s.exprKeys))
+	for k := range s.exprKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.id = fmt.Sprintf("%d|%s", s.Attr, strings.Join(keys, "&"))
 	return s
 }
 
@@ -51,15 +58,10 @@ func (s *SIT) IsBase() bool { return len(s.Expr) == 0 }
 func (s *SIT) ExprSize() int { return len(s.Expr) }
 
 // ID returns a canonical identity string: attribute plus sorted expression
-// keys. Two SITs with equal IDs are built over the same expression.
-func (s *SIT) ID() string {
-	keys := make([]string, 0, len(s.exprKeys))
-	for k := range s.exprKeys {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return fmt.Sprintf("%d|%s", s.Attr, strings.Join(keys, "&"))
-}
+// keys. Two SITs with equal IDs are built over the same expression. The
+// string is precomputed at construction — the cross-query histogram-join
+// cache keys on it in the estimation hot path.
+func (s *SIT) ID() string { return s.id }
 
 // Name renders the SIT in the paper's notation, e.g.
 // "SIT(orders.price | lineitem.oid = orders.id)".
