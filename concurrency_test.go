@@ -59,6 +59,7 @@ func buildStressWorld(t *testing.T, factRows, numQueries int) *stressWorld {
 // thread-safety proof for the whole estimation stack (core DP, pool
 // candidate matching, histograms, selcache).
 func TestEstimatorConcurrentStress(t *testing.T) {
+	t.Parallel()
 	logSeedOnFailure(t, stressSeed)
 	w := buildStressWorld(t, 3000, 16)
 
@@ -134,6 +135,7 @@ func TestEstimatorConcurrentStress(t *testing.T) {
 // path whose shared state (the exact evaluator's memo) is mutex-guarded —
 // from 16 goroutines on a deliberately tiny database.
 func TestOptModelConcurrentStress(t *testing.T) {
+	t.Parallel()
 	logSeedOnFailure(t, stressSeed)
 	w := buildStressWorld(t, 600, 6)
 	est := w.db.NewEstimator(w.pool, condsel.Opt).UseCache(condsel.NewSelCache(1024))
@@ -168,6 +170,7 @@ func TestOptModelConcurrentStress(t *testing.T) {
 // and Opt — on a cold cache, on a warm cache, and across estimators sharing
 // one cache.
 func TestCacheEquivalenceAllModels(t *testing.T) {
+	t.Parallel()
 	logSeedOnFailure(t, stressSeed)
 	w := buildStressWorld(t, 2000, 12)
 
@@ -213,6 +216,7 @@ func TestCacheEquivalenceAllModels(t *testing.T) {
 // must also be unaffected by the cache when serving a query whose predicate
 // layout matches the one that populated it.
 func TestCacheExplainEquivalence(t *testing.T) {
+	t.Parallel()
 	logSeedOnFailure(t, stressSeed)
 	w := buildStressWorld(t, 2000, 6)
 	plain := w.db.NewEstimator(w.pool, condsel.Diff)
@@ -231,6 +235,7 @@ func TestCacheExplainEquivalence(t *testing.T) {
 // exactly what per-query sequential calls return, in input order, with and
 // without the cache, for several worker counts.
 func TestCardinalityBatchMatchesSequential(t *testing.T) {
+	t.Parallel()
 	logSeedOnFailure(t, stressSeed)
 	w := buildStressWorld(t, 2000, 12)
 	est := w.db.NewEstimator(w.pool, condsel.Diff)

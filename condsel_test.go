@@ -15,6 +15,7 @@ func snowflake(t *testing.T) *condsel.DB {
 }
 
 func TestAddTableAndQuery(t *testing.T) {
+	t.Parallel()
 	db := condsel.NewDB()
 	err := db.AddTable("r",
 		condsel.Column{Name: "a", Values: []int64{1, 2, 3, 4}},
@@ -46,6 +47,7 @@ func TestAddTableAndQuery(t *testing.T) {
 }
 
 func TestQueryBuilderErrors(t *testing.T) {
+	t.Parallel()
 	db := condsel.NewDB()
 	if err := db.AddTable("r", condsel.Column{Name: "a", Values: []int64{1}}); err != nil {
 		t.Fatal(err)
@@ -66,6 +68,7 @@ func TestQueryBuilderErrors(t *testing.T) {
 }
 
 func TestDBIntrospection(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	if len(db.Tables()) != 8 {
 		t.Fatalf("tables = %v", db.Tables())
@@ -86,6 +89,7 @@ func TestDBIntrospection(t *testing.T) {
 }
 
 func TestEndToEndEstimation(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q, err := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -119,6 +123,7 @@ func TestEndToEndEstimation(t *testing.T) {
 }
 
 func TestManualPoolConstruction(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	pool := db.NewPool(nil)
 	if err := pool.AddBaseHistogram("customer.hot"); err != nil {
@@ -156,6 +161,7 @@ func TestManualPoolConstruction(t *testing.T) {
 }
 
 func TestRunSubqueries(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -188,6 +194,7 @@ func TestRunSubqueries(t *testing.T) {
 }
 
 func TestModelsAndGVM(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -230,6 +237,7 @@ func TestModelsAndGVM(t *testing.T) {
 }
 
 func TestCoupledCardinality(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -248,6 +256,7 @@ func TestCoupledCardinality(t *testing.T) {
 }
 
 func TestGenerateWorkload(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	queries, err := db.GenerateWorkload(condsel.WorkloadOptions{Seed: 2, NumQueries: 5, Joins: 3, Filters: 2})
 	if err != nil {
@@ -279,6 +288,7 @@ func TestGenerateWorkload(t *testing.T) {
 }
 
 func TestViewMatchCounter(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -297,6 +307,7 @@ func TestViewMatchCounter(t *testing.T) {
 }
 
 func TestStatsOptions(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -313,6 +324,7 @@ func TestStatsOptions(t *testing.T) {
 }
 
 func TestGroupCount(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -343,6 +355,7 @@ func TestGroupCount(t *testing.T) {
 }
 
 func TestParseQueryPublic(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q, err := db.ParseQuery("sales.customer_fk = customer.id AND customer.hot BETWEEN 9000 AND 10000")
 	if err != nil {
@@ -365,6 +378,7 @@ func TestParseQueryPublic(t *testing.T) {
 }
 
 func TestPoolSaveLoad(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -394,6 +408,7 @@ func TestPoolSaveLoad(t *testing.T) {
 }
 
 func TestTwoDimStatistics(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -439,6 +454,7 @@ func TestTwoDimStatistics(t *testing.T) {
 }
 
 func TestBestPlan(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -464,6 +480,7 @@ func TestBestPlan(t *testing.T) {
 }
 
 func TestParallelStatisticsBuild(t *testing.T) {
+	t.Parallel()
 	db := snowflake(t)
 	q := db.Query().
 		Join("sales.customer_fk", "customer.id").
@@ -482,6 +499,7 @@ func TestParallelStatisticsBuild(t *testing.T) {
 }
 
 func TestExecute(t *testing.T) {
+	t.Parallel()
 	db := condsel.NewDB()
 	if err := db.AddTable("r",
 		condsel.Column{Name: "a", Values: []int64{1, 2, 3}},

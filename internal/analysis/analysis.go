@@ -1,0 +1,223 @@
+// Package analysis is a small static-analysis framework over the standard
+// library's go/ast and go/types, purpose-built for this module's project
+// invariants (bit-identical DP scans, generation-scoped cache keys,
+// lock-ordering discipline, side-component conditioning rules, deterministic
+// estimation code). It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis — an Analyzer with a Name, a Doc and a Run
+// over a type-checked Pass — without importing anything outside the standard
+// library, so the module keeps its zero-dependency go.mod.
+//
+// Analyzers report Diagnostics with file:line positions. A finding can be
+// suppressed at the source line (or the line above it) with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// where the reason is mandatory: an unexplained ignore is itself reported.
+// The cmd/sitlint command loads every package of the module, runs the
+// project suite (see Suite) and exits non-zero when any diagnostic survives
+// suppression.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked package
+// through the Pass and reports findings via Pass.Reportf; it must not retain
+// the Pass after returning.
+type Analyzer interface {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //lint:ignore directives.
+	Name() string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc() string
+	// Run analyzes one package.
+	Run(pass *Pass)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path of the package under analysis
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer string
+	ignores  ignoreIndex
+	diags    *[]Diagnostic
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it and a
+// human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an ignore directive for this
+// analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.covers(p.analyzer, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe shortcut for Pass.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf is a nil-safe shortcut for Pass.Info.ObjectOf.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool // nil means malformed (reported separately)
+	reason    string
+}
+
+// ignoreIndex indexes directives by file so suppression checks are O(1)-ish.
+type ignoreIndex map[string][]ignoreDirective
+
+// covers reports whether a directive for the analyzer sits on the diagnostic
+// line or the line directly above it (the conventional "comment above the
+// offending statement" placement).
+func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
+	for _, d := range ix[pos.Filename] {
+		if d.analyzers == nil || !d.analyzers[analyzer] {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts every //lint:ignore directive of the files. A
+// directive names one analyzer (or a comma-separated list) and must carry a
+// non-empty reason; malformed directives are returned as diagnostics so they
+// fail the lint run instead of silently suppressing nothing.
+func parseIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagnostic) {
+	ix := make(ignoreIndex)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "sitlint",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					if n != "" {
+						names[n] = true
+					}
+				}
+				ix[pos.Filename] = append(ix[pos.Filename], ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: names,
+					reason:    strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return ix, malformed
+}
+
+// Run executes the analyzers over the package and returns the surviving
+// diagnostics sorted by position. Malformed ignore directives are included.
+func Run(pkg *Package, analyzers []Analyzer) []Diagnostic {
+	ignores, diags := parseIgnores(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a.Name(),
+			ignores:  ignores,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// inScope reports whether the package path matches any scope entry. An entry
+// matches as an import-path prefix (at a path-segment boundary) or as a
+// plain substring, which lets one scope list cover both the real packages
+// ("condsel/internal/core") and an analyzer's fixture package
+// ("testdata/src/detmaprange").
+func inScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, s+"/") || strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkWithStack traverses the AST depth-first invoking fn with every node and
+// the stack of its ancestors (outermost first, node excluded).
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		if ok {
+			// Inspect sends a trailing nil only after descending, so the
+			// node is pushed exactly when a matching pop will arrive.
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}

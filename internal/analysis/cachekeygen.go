@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CacheKeyGen checks that every string key handed to the cross-query
+// selectivity cache (internal/selcache, or any interface named SelCache)
+// is derived from the pool generation.
+//
+// Cache entries outlive pool mutations and are shared across pools, so a key
+// that does not incorporate sit.Pool.Generation() can serve a stale or
+// foreign entry — silently, since the cached values are plausible floats.
+// The analyzer runs a package-level taint pass: expressions containing a
+// call to a `Generation() uint64` method are generation-bearing, and the
+// property propagates through assignments (including struct fields), string
+// concatenation, fmt.Sprintf-style calls, and functions whose results are
+// generation-bearing. Every key argument of a Get/Put call on a selcache
+// type must be tainted; fmt.Sprintf or "+"-concatenation keys that never
+// touch the generation are exactly what gets flagged.
+type CacheKeyGen struct {
+	// CachePkg is the import path of the cache package whose Get/Put calls
+	// are checked (the package itself is exempt).
+	CachePkg string
+	// IfaceNames are interface type names whose Get/Put methods are treated
+	// as cache accesses wherever the interface is defined.
+	IfaceNames []string
+}
+
+// NewCacheKeyGen returns the analyzer wired to internal/selcache and the
+// core.SelCache indirection interface.
+func NewCacheKeyGen() *CacheKeyGen {
+	return &CacheKeyGen{
+		CachePkg:   "condsel/internal/selcache",
+		IfaceNames: []string{"SelCache"},
+	}
+}
+
+// Name implements Analyzer.
+func (*CacheKeyGen) Name() string { return "cachekeygen" }
+
+// Doc implements Analyzer.
+func (*CacheKeyGen) Doc() string {
+	return "string keys passed to the selectivity cache must incorporate the pool generation (Pool.Generation)"
+}
+
+// Run implements Analyzer.
+func (a *CacheKeyGen) Run(pass *Pass) {
+	if pass.Path == a.CachePkg {
+		return // the cache implementation itself stores whatever it is given
+	}
+	tainted := a.taintedObjects(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !a.isCacheAccess(pass, sel) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			key := call.Args[0]
+			if t := pass.TypeOf(key); t == nil || !isString(t) {
+				return true
+			}
+			if !a.exprTainted(pass, key, tainted) {
+				pass.Reportf(key.Pos(),
+					"cache key does not incorporate the pool generation; derive it from Pool.Generation() so entries cannot alias across pools or pool versions")
+			}
+			return true
+		})
+	}
+}
+
+// isCacheAccess reports whether sel is a Get/Put selection on a selcache
+// type or on one of the configured cache interfaces.
+func (a *CacheKeyGen) isCacheAccess(pass *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Get" && sel.Sel.Name != "Put" {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == a.CachePkg {
+			return true
+		}
+		for _, name := range a.IfaceNames {
+			if obj.Name() == name {
+				if _, isIface := named.Underlying().(*types.Interface); isIface {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// taintedObjects computes the package's generation-bearing objects to a
+// fixed point: variables and struct fields assigned from generation-bearing
+// expressions, and functions returning them.
+func (a *CacheKeyGen) taintedObjects(pass *Pass) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		mark := func(id *ast.Ident) {
+			obj := pass.ObjectOf(id)
+			if obj != nil && !tainted[obj] {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+		for _, f := range pass.Files {
+			var curFn []types.Object // enclosing function objects, innermost last
+			walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if obj := pass.ObjectOf(n.Name); obj != nil {
+						curFn = append(curFn[:0], obj)
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break
+						}
+						if !a.exprTainted(pass, n.Rhs[i], tainted) {
+							continue
+						}
+						switch lhs := lhs.(type) {
+						case *ast.Ident:
+							mark(lhs)
+						case *ast.SelectorExpr:
+							mark(lhs.Sel)
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range n.Names {
+						if i < len(n.Values) && a.exprTainted(pass, n.Values[i], tainted) {
+							mark(name)
+						}
+					}
+				case *ast.ReturnStmt:
+					if len(curFn) == 0 {
+						break
+					}
+					for _, res := range n.Results {
+						if a.exprTainted(pass, res, tainted) {
+							obj := curFn[len(curFn)-1]
+							if !tainted[obj] {
+								tainted[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return tainted
+}
+
+// exprTainted reports whether the expression mentions a generation source: a
+// Generation() call, a tainted object, or a call to a tainted function.
+func (a *CacheKeyGen) exprTainted(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isGenerationCall(pass, n) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := pass.ObjectOf(n); obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isGenerationCall reports whether the call is a `Generation() uint64`
+// method call — the canonical pool-content stamp.
+func isGenerationCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Generation" {
+		return false
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint64
+}
+
+func isString(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

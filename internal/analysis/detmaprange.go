@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMapRange flags `range` over a map inside the DP and scoring packages.
+//
+// The getSelectivity dynamic program promises bit-identical results between
+// the fast path and the legacy scans, and position-independent tie-breaks
+// across queries; both guarantees die the moment any value that feeds a
+// score, a key or an output ordering is accumulated in Go's randomized map
+// iteration order. Inside the scoped packages a map may only be ranged to
+// *collect* — every statement of the loop body must be an append into a
+// slice (sorted afterwards by convention) or an insert into another map,
+// both of which are order-insensitive. Anything else (arithmetic, calls,
+// nested logic) is flagged; a genuinely order-independent body takes a
+// //lint:ignore detmaprange directive with the argument why.
+type DetMapRange struct {
+	// Scope lists package-path prefixes/substrings the analyzer applies to.
+	Scope []string
+}
+
+// NewDetMapRange returns the analyzer scoped to the module's DP and scoring
+// packages plus its own fixtures.
+func NewDetMapRange() *DetMapRange {
+	return &DetMapRange{Scope: []string{
+		"condsel/internal/core",
+		"condsel/internal/sit",
+		"testdata/src/detmaprange",
+	}}
+}
+
+// Name implements Analyzer.
+func (*DetMapRange) Name() string { return "detmaprange" }
+
+// Doc implements Analyzer.
+func (*DetMapRange) Doc() string {
+	return "ranges over maps in DP/scoring code must only collect (append/insert); anything order-dependent breaks bit-identity"
+}
+
+// Run implements Analyzer.
+func (a *DetMapRange) Run(pass *Pass) {
+	if !inScope(pass.Path, a.Scope) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectOnlyBody(pass, rs.Body) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s has an order-dependent body; collect keys and sort first (iteration order is randomized)",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+}
+
+// collectOnlyBody reports whether every statement of a range body is
+// order-insensitive: `s = append(s, ...)`, `m[k] = v`, or a short-circuit
+// quantifier `if <cond> { return <constant> }` (a conjunction/disjunction
+// over the elements — commutative, so iteration order cannot matter).
+func collectOnlyBody(pass *Pass, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if ifStmt, ok := stmt.(*ast.IfStmt); ok {
+			if constantReturnIf(ifStmt) {
+				continue
+			}
+			return false
+		}
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		switch lhs := as.Lhs[0].(type) {
+		case *ast.Ident:
+			// x = append(x, ...)
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" || len(call.Args) < 2 {
+				return false
+			}
+			dst, ok := call.Args[0].(*ast.Ident)
+			if !ok || pass.ObjectOf(dst) == nil || pass.ObjectOf(dst) != pass.ObjectOf(lhs) {
+				return false
+			}
+		case *ast.IndexExpr:
+			// m[k] = v with m a map
+			t := pass.TypeOf(lhs.X)
+			if t == nil {
+				return false
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// constantReturnIf matches `if <cond> { return <constants> }` with no else:
+// whichever element fires the condition, the function result is the same.
+func constantReturnIf(ifStmt *ast.IfStmt) bool {
+	if ifStmt.Else != nil || ifStmt.Init != nil || len(ifStmt.Body.List) != 1 {
+		return false
+	}
+	ret, ok := ifStmt.Body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		switch r := res.(type) {
+		case *ast.BasicLit:
+		case *ast.Ident:
+			if r.Name != "true" && r.Name != "false" && r.Name != "nil" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

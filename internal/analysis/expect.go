@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fixture expectation matching: analyzer test packages under
+// testdata/src/<analyzer> annotate offending lines with
+//
+//	// want "regexp"
+//
+// (several quoted or backquoted regexps may follow one want). VerifyFixture
+// loads the fixture, runs the analyzers and cross-checks diagnostics against
+// expectations both ways: an expectation with no matching diagnostic on its
+// line fails, and a diagnostic with no matching expectation fails. The
+// returned problem list is empty exactly when the fixture behaves as
+// annotated — the tiny harness the analyzer tests are driven by.
+
+// wantRe extracts the quoted patterns of a want comment.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one want pattern anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// VerifyFixture loads the package in dir, runs the analyzers, and returns a
+// list of mismatches between the diagnostics and the fixture's // want
+// annotations (empty means the fixture passed).
+func VerifyFixture(dir string, analyzers []Analyzer) ([]string, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	expectations, err := parseExpectations(pkg)
+	if err != nil {
+		return nil, err
+	}
+	diags := Run(pkg, analyzers)
+
+	var problems []string
+	for i := range diags {
+		d := &diags[i]
+		found := false
+		for _, e := range expectations {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", e.file, e.line, e.pattern))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// parseExpectations collects the fixture's want annotations.
+func parseExpectations(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns := wantRe.FindAllString(rest, -1)
+				if len(patterns) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, p := range patterns {
+					unquoted, err := unquotePattern(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, p, err)
+					}
+					re, err := regexp.Compile(unquoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, p, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// unquotePattern handles both "..." and `...` pattern spellings.
+func unquotePattern(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	return strconv.Unquote(s)
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NonDet bans nondeterminism sources from non-test estimation code.
+//
+// Estimates must be pure functions of (query, pool, model): the equivalence
+// suite diffs fast-path against legacy runs bit-for-bit and the cross-query
+// cache replays results across queries, so a stray clock read, random draw
+// or scheduling-dependent select silently turns reproducible numbers into
+// flaky ones. In the scoped packages the analyzer flags
+//
+//   - calls to time.Now / time.Since / time.After / time.Tick,
+//   - any import of math/rand or math/rand/v2,
+//   - select statements with a default clause (outcome depends on
+//     goroutine scheduling).
+//
+// Telemetry call sites that intentionally read the clock (e.g. the
+// HistNanos accounting in internal/core/factor.go) carry explicit
+// //lint:ignore nondet directives.
+type NonDet struct {
+	// Scope lists package-path prefixes/substrings the analyzer applies to.
+	Scope []string
+}
+
+// NewNonDet returns the analyzer scoped to the estimation packages (the
+// workload/data generators and the benchmark harness are deliberately
+// excluded: randomness and clocks are their job).
+func NewNonDet() *NonDet {
+	return &NonDet{Scope: []string{
+		"condsel/internal/core",
+		"condsel/internal/sit",
+		"condsel/internal/engine",
+		"condsel/internal/selcache",
+		"condsel/internal/histogram",
+		"condsel/internal/planner",
+		"condsel/internal/cascades",
+		"condsel/internal/feedback",
+		"condsel/internal/gvm",
+		"condsel/internal/qtext",
+		"testdata/src/nondet",
+	}}
+}
+
+// Name implements Analyzer.
+func (*NonDet) Name() string { return "nondet" }
+
+// Doc implements Analyzer.
+func (*NonDet) Doc() string {
+	return "estimation code must be deterministic: no time.Now/Since/After/Tick, no math/rand, no select with default"
+}
+
+// timeFuncs are the clock reads banned in estimation code.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "After": true, "Tick": true}
+
+// Run implements Analyzer.
+func (a *NonDet) Run(pass *Pass) {
+	if !inScope(pass.Path, a.Scope) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"estimation code must not import %s: random draws make estimates irreproducible", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := timePackageFunc(pass, n); fn != "" {
+					pass.Reportf(n.Pos(),
+						"estimation code must not call time.%s: clock reads are nondeterministic (telemetry sites take //lint:ignore nondet <reason>)", fn)
+				}
+			case *ast.SelectStmt:
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						pass.Reportf(n.Pos(),
+							"select with a default clause depends on goroutine scheduling; estimation code must be deterministic")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// timePackageFunc returns the banned time-package function name the call
+// invokes, or "" if it is not one.
+func timePackageFunc(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !timeFuncs[sel.Sel.Name] {
+		return ""
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SideCond enforces the side-component conditioning-set contract around the
+// factor memo (internal/core/factor.go).
+//
+// The DP memoizes per-factor approximations under a *reduced* conditioning
+// set — the side component(s) attached to the scored predicate's
+// attribute(s) — which is only sound for error models whose scores are
+// invariant under that reduction. The contract has two machine-checkable
+// halves:
+//
+//  1. Any named type implementing the ErrorModel interface whose scoring
+//     methods (directly or through package-local helpers) call the side
+//     reduction must declare it by implementing `SideCondInvariant() bool`
+//     with the literal body `return true`. Implementations are identified
+//     with go/types (types.Implements), not by name matching.
+//
+//  2. Inside methods of the DP run type (the type declaring the reduction
+//     method), every call to the reduction must be dominated by an
+//     `if <x>.sideInv { ... }` guard — the run-level bit that was set if
+//     and only if the estimator's model declared the invariance.
+//
+// The analyzer activates only in packages that declare an interface named
+// IfaceName together with a method named ReduceName, so it is inert
+// elsewhere.
+type SideCond struct {
+	IfaceName  string // name of the error-model interface ("ErrorModel")
+	ReduceName string // name of the side reduction method ("sideCond")
+	DeclName   string // name of the opt-in method ("SideCondInvariant")
+	GuardName  string // name of the run-level guard field ("sideInv")
+}
+
+// NewSideCond returns the analyzer wired to internal/core's names.
+func NewSideCond() *SideCond {
+	return &SideCond{
+		IfaceName:  "ErrorModel",
+		ReduceName: "sideCond",
+		DeclName:   "SideCondInvariant",
+		GuardName:  "sideInv",
+	}
+}
+
+// Name implements Analyzer.
+func (*SideCond) Name() string { return "sidecond" }
+
+// Doc implements Analyzer.
+func (*SideCond) Doc() string {
+	return "side-component conditioning-set reduction requires the error model to declare SideCondInvariant() and memo sites to check the sideInv guard"
+}
+
+// Run implements Analyzer.
+func (a *SideCond) Run(pass *Pass) {
+	iface := a.lookupInterface(pass)
+	reduce := a.lookupReduction(pass)
+	if iface == nil || reduce == nil {
+		return
+	}
+	runType := reduce.Type().(*types.Signature).Recv().Type()
+
+	reducers := a.reducerClosure(pass, reduce)
+	a.checkModels(pass, iface, reducers)
+	a.checkGuards(pass, reduce, runType)
+}
+
+// lookupInterface finds the configured interface in the package scope.
+func (a *SideCond) lookupInterface(pass *Pass) *types.Interface {
+	obj := pass.Pkg.Scope().Lookup(a.IfaceName)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// lookupReduction finds the reduction method object (a method named
+// ReduceName on some type declared in this package).
+func (a *SideCond) lookupReduction(pass *Pass) types.Object {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != a.ReduceName {
+				continue
+			}
+			if obj := pass.ObjectOf(fd.Name); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// reducerClosure returns the set of package functions that may invoke the
+// reduction: the reduction itself plus every function whose body calls a
+// member of the set (fixed point over package-local calls).
+func (a *SideCond) reducerClosure(pass *Pass, reduce types.Object) map[types.Object]bool {
+	reducers := map[types.Object]bool{reduce: true}
+	decls := packageFuncDecls(pass)
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range decls {
+			if reducers[obj] {
+				continue
+			}
+			calls := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if calls {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeObject(pass, call); callee != nil && reducers[callee] {
+					calls = true
+				}
+				return true
+			})
+			if calls {
+				reducers[obj] = true
+				changed = true
+			}
+		}
+	}
+	return reducers
+}
+
+// packageFuncDecls maps function objects to their declarations.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.ObjectOf(fd.Name); obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// calleeObject resolves the called function/method object of a call, if any.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// checkModels verifies half 1: every implementation of the interface whose
+// methods reach the reduction declares the invariance.
+func (a *SideCond) checkModels(pass *Pass, iface *types.Interface, reducers map[types.Object]bool) {
+	decls := packageFuncDecls(pass)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		// Does any method of the model reach the reduction?
+		usesReduction := false
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			fd := decls[types.Object(m)]
+			if fd == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if usesReduction {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := calleeObject(pass, call); callee != nil && reducers[callee] {
+						usesReduction = true
+					}
+				}
+				return true
+			})
+		}
+		if !usesReduction {
+			continue
+		}
+		decl := a.declMethod(named)
+		if decl == nil {
+			pass.Reportf(tn.Pos(),
+				"error model %s scores through the %s side reduction but does not declare %s() bool",
+				tn.Name(), a.ReduceName, a.DeclName)
+			continue
+		}
+		if fd := decls[types.Object(decl)]; fd != nil && !returnsLiteralTrue(fd) {
+			pass.Reportf(fd.Pos(),
+				"%s.%s must consist of `return true`; a model that is not side-invariant must not use the %s reduction",
+				tn.Name(), a.DeclName, a.ReduceName)
+		}
+	}
+}
+
+// declMethod returns the model's DeclName method, if present.
+func (a *SideCond) declMethod(named *types.Named) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == a.DeclName {
+			sig := m.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				if b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+					return m
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// returnsLiteralTrue reports whether the function body is exactly
+// `return true`.
+func returnsLiteralTrue(fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	id, ok := ret.Results[0].(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// checkGuards verifies half 2: reduction calls inside methods of the run
+// type must sit under an `if <x>.sideInv` guard.
+func (a *SideCond) checkGuards(pass *Pass, reduce types.Object, runType types.Type) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			obj := pass.ObjectOf(fd.Name)
+			if obj == reduce {
+				continue // the reduction's own definition
+			}
+			// Only methods of the run type are memo sites; model helpers are
+			// covered by checkModels.
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !types.Identical(sig.Recv().Type(), runType) {
+				continue
+			}
+			walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeObject(pass, call); callee != reduce {
+					return true
+				}
+				if !a.guarded(stack) {
+					pass.Reportf(call.Pos(),
+						"%s call in a %s method is not guarded by the %s invariance bit (`if x.%s { ... }`); unguarded reduction corrupts memo keys for models like Opt",
+						a.ReduceName, types.TypeString(runType, types.RelativeTo(pass.Pkg)), a.GuardName, a.GuardName)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// guarded reports whether some enclosing if-condition mentions the guard
+// field by name.
+func (a *SideCond) guarded(stack []ast.Node) bool {
+	for _, n := range stack {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == a.GuardName {
+				found = true
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && id.Name == a.GuardName {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package analysis
+
+// Suite returns the project's analyzer suite in its default configuration —
+// the set cmd/sitlint runs. Later PRs extend it by appending here; a new
+// analyzer is a struct with Name/Doc/Run plus a fixture package under
+// testdata/src/<name>.
+func Suite() []Analyzer {
+	return []Analyzer{
+		NewDetMapRange(),
+		NewCacheKeyGen(),
+		NewLockOrder(),
+		NewSideCond(),
+		NewNonDet(),
+	}
+}

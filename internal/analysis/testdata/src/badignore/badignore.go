@@ -1,0 +1,6 @@
+// Package badignore exercises the framework's handling of malformed
+// suppression directives: an ignore without a reason is itself a finding.
+package badignore
+
+//lint:ignore nondet
+func noReason() {}

@@ -1,0 +1,60 @@
+// Package cachekeygen is the fixture for the cachekeygen analyzer: keys
+// handed to the cross-query selectivity cache must be derived from the pool
+// generation.
+package cachekeygen
+
+import (
+	"fmt"
+
+	"condsel/internal/selcache"
+	"condsel/internal/sit"
+)
+
+var cache = selcache.New[float64](64)
+
+// bad concatenates a key with no generation component.
+func bad(k string) {
+	cache.Put("sel|"+k, 1) // want `does not incorporate the pool generation`
+}
+
+// badSprintf formats a key with no generation component.
+func badSprintf(a, b string) (float64, bool) {
+	return cache.Get(fmt.Sprintf("%s|%s", a, b)) // want `does not incorporate the pool generation`
+}
+
+// good builds the prefix from Pool.Generation directly.
+func good(pool *sit.Pool, k string) {
+	prefix := fmt.Sprintf("g%d|", pool.Generation())
+	cache.Put(prefix+k, 1)
+}
+
+// goodVia routes the generation through a helper function.
+func goodVia(pool *sit.Pool, k string) {
+	cache.Put(keyFor(pool, k), 1)
+}
+
+// goodField routes the generation through a struct field set elsewhere.
+type runState struct {
+	prefix string
+}
+
+func newRunState(pool *sit.Pool) *runState {
+	r := &runState{}
+	r.prefix = keyFor(pool, "")
+	return r
+}
+
+func (r *runState) lookup(k string) (float64, bool) {
+	return cache.Get(r.prefix + k)
+}
+
+// keyFor is a generation-bearing key builder.
+func keyFor(pool *sit.Pool, k string) string {
+	return fmt.Sprintf("g%d|%s", pool.Generation(), k)
+}
+
+// ignored is non-conforming but suppressed with a reason.
+func ignored(k string) {
+	//lint:ignore cachekeygen fixture: demonstrates reasoned suppression
+	cache.Put("static|"+k, 1)
+}

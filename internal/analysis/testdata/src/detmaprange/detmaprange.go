@@ -1,0 +1,72 @@
+// Package detmaprange is the fixture for the detmaprange analyzer: map
+// ranges with order-dependent bodies are flagged; collect-only loops,
+// short-circuit quantifiers and explicitly ignored sites are not.
+package detmaprange
+
+import "sort"
+
+// bad folds values in iteration order — a different hash seed gives a
+// different result.
+func bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `order-dependent body`
+		total = total*31 + v
+	}
+	return total
+}
+
+// badCall invokes arbitrary code per element in iteration order.
+func badCall(m map[string]int, emit func(string)) {
+	for k := range m { // want `order-dependent body`
+		emit(k)
+	}
+}
+
+// collect gathers keys and sorts them: the canonical deterministic pattern.
+func collect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rekey builds another map: insert order cannot be observed.
+func rekey(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k+"!"] = v
+	}
+	return out
+}
+
+// subset is a short-circuit universal quantifier: whichever element fails
+// first, the answer is the same.
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ignored is order-dependent but carries an explicit, reasoned suppression.
+func ignored(m map[string]int) int {
+	total := 0
+	//lint:ignore detmaprange fixture: demonstrates reasoned suppression
+	for _, v := range m {
+		total = total*31 + v
+	}
+	return total
+}
+
+// slices are not maps: never flagged.
+func overSlice(s []int) int {
+	total := 0
+	for _, v := range s {
+		total = total*31 + v
+	}
+	return total
+}

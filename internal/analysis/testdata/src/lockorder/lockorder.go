@@ -1,0 +1,79 @@
+// Package lockorder is the fixture for the lockorder analyzer: held-lock
+// method re-entry and non-atomic access to sync/atomic fields.
+package lockorder
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter guards n with mu and counts snapshots atomically.
+type Counter struct {
+	mu   sync.Mutex
+	n    int
+	hits atomic.Int64
+}
+
+// Incr acquires the mutex.
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// incrLocked is the properly layered variant: callers hold the mutex.
+func (c *Counter) incrLocked() { c.n++ }
+
+// DoubleLock deadlocks: Incr re-acquires the mutex DoubleLock holds.
+func (c *Counter) DoubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Incr() // want `while c.mu is held`
+}
+
+// Transitive deadlocks through a chain: Wrap calls Incr.
+func (c *Counter) Wrap() { c.Incr() }
+
+func (c *Counter) TransitiveDoubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Wrap() // want `while c.mu is held`
+}
+
+// ReleasedFirst is fine: the mutex is released before the call.
+func (c *Counter) ReleasedFirst() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.Incr()
+}
+
+// LayeredLocked is fine: incrLocked never locks.
+func (c *Counter) LayeredLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incrLocked()
+}
+
+// Snapshot uses the atomic field through its methods: fine.
+func (c *Counter) Snapshot() int64 {
+	c.hits.Add(1)
+	return c.hits.Load()
+}
+
+// BadCopy copies the atomic value out, losing atomicity.
+func (c *Counter) BadCopy() int64 {
+	v := c.hits // want `accessed non-atomically`
+	return v.Load()
+}
+
+// ByPointer passes the atomic by address: allowed.
+func (c *Counter) ByPointer(f func(*atomic.Int64)) {
+	f(&c.hits)
+}
+
+// IgnoredCopy is suppressed with a reason.
+func (c *Counter) IgnoredCopy() atomic.Int64 {
+	//lint:ignore lockorder fixture: demonstrates reasoned suppression
+	return c.hits
+}

@@ -1,0 +1,52 @@
+// Package nondet is the fixture for the nondet analyzer: clock reads,
+// math/rand and scheduling-dependent selects in estimation code.
+package nondet
+
+import (
+	"math/rand" // want `must not import math/rand`
+	"time"
+)
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `must not call time.Now`
+}
+
+// elapsed measures a duration.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `must not call time.Since`
+}
+
+// draw consumes the banned import (the import line carries the finding).
+func draw() int { return rand.Int() }
+
+// racySelect falls through on scheduling.
+func racySelect(ch chan int) int {
+	select { // want `select with a default clause`
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+// blockingSelect has no default: deterministic given its inputs.
+func blockingSelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// telemetry demonstrates the sanctioned suppression for timing accounting.
+func telemetry() time.Duration {
+	//lint:ignore nondet fixture: telemetry accounting mirrors core.HistNanos
+	start := time.Now()
+	//lint:ignore nondet fixture: telemetry accounting mirrors core.HistNanos
+	return time.Since(start)
+}
+
+// durations and time arithmetic without clock reads are fine.
+func window(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,77 @@
+// Package sidecond is the fixture for the sidecond analyzer. It mirrors the
+// shape of internal/core: a Run type owning the side-component reduction and
+// an ErrorModel interface with implementations that do or do not declare
+// SideCondInvariant.
+package sidecond
+
+// PredSet stands in for engine.PredSet.
+type PredSet uint64
+
+// Run stands in for core.Run: it owns the reduction and the invariance bit.
+type Run struct {
+	sideInv bool
+}
+
+// sideCond is the side-component reduction.
+func (r *Run) sideCond(cond PredSet) PredSet { return cond & 0xff }
+
+// ErrorModel mirrors core.ErrorModel.
+type ErrorModel interface {
+	Name() string
+	Score(r *Run, cond PredSet) float64
+}
+
+// Declared reduces and declares the invariance: legal.
+type Declared struct{}
+
+func (Declared) Name() string            { return "declared" }
+func (Declared) SideCondInvariant() bool { return true }
+func (Declared) Score(r *Run, cond PredSet) float64 {
+	return float64(r.sideCond(cond))
+}
+
+// Undeclared reduces without declaring: flagged at the type.
+type Undeclared struct{} // want `does not declare SideCondInvariant`
+
+func (Undeclared) Name() string { return "undeclared" }
+func (Undeclared) Score(r *Run, cond PredSet) float64 {
+	return float64(r.sideCond(cond))
+}
+
+// ViaHelper reduces through a package-local helper: still flagged.
+type ViaHelper struct{} // want `does not declare SideCondInvariant`
+
+func (ViaHelper) Name() string                       { return "viahelper" }
+func (ViaHelper) Score(r *Run, cond PredSet) float64 { return reduceScore(r, cond) }
+
+func reduceScore(r *Run, cond PredSet) float64 { return float64(r.sideCond(cond)) }
+
+// Lying declares the invariance but returns false: flagged at the method.
+type Lying struct{}
+
+func (Lying) Name() string { return "lying" }
+
+func (Lying) SideCondInvariant() bool { return false } // want `must consist of .return true.`
+
+func (Lying) Score(r *Run, cond PredSet) float64 {
+	return float64(r.sideCond(cond))
+}
+
+// Full never reduces and owes no declaration: legal.
+type Full struct{}
+
+func (Full) Name() string                       { return "full" }
+func (Full) Score(r *Run, cond PredSet) float64 { return float64(cond) }
+
+// reduceKey is a guarded memo-site reduction on Run: legal.
+func (r *Run) reduceKey(cond PredSet) PredSet {
+	if r.sideInv {
+		cond = r.sideCond(cond)
+	}
+	return cond
+}
+
+// badKey reduces on Run without consulting the guard: flagged.
+func (r *Run) badKey(cond PredSet) PredSet {
+	return r.sideCond(cond) // want `not guarded by the sideInv invariance bit`
+}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestAblationHistogramKind(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.AblationHistogramKind()
 	if len(cells) != 3 { // one J × three kinds
@@ -27,6 +28,7 @@ func TestAblationHistogramKind(t *testing.T) {
 }
 
 func TestAblationBuckets(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.AblationBuckets([]int{20, 200})
 	if len(cells) != 2 {
@@ -39,6 +41,7 @@ func TestAblationBuckets(t *testing.T) {
 }
 
 func TestAblationSynopses(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.AblationSynopses([]int{1 << 20})
 	if len(cells) != 3 { // noSit, GS-Diff, one synopsis size
@@ -61,6 +64,7 @@ func TestAblationSynopses(t *testing.T) {
 }
 
 func TestAblationMemoCoupling(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.AblationMemoCoupling()
 	if len(cells) != 3 {
@@ -74,6 +78,7 @@ func TestAblationMemoCoupling(t *testing.T) {
 }
 
 func TestAblationDiffSource(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.AblationDiffSource()
 	if len(cells) != 2 {
@@ -82,6 +87,7 @@ func TestAblationDiffSource(t *testing.T) {
 }
 
 func TestRunAblations(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	var buf bytes.Buffer
 	e.RunAblations(&buf)
@@ -95,6 +101,7 @@ func TestRunAblations(t *testing.T) {
 }
 
 func TestAblation2D(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.Ablation2D()
 	if len(cells) != 3 {
@@ -115,6 +122,7 @@ func TestAblation2D(t *testing.T) {
 }
 
 func TestPlanQuality(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.PlanQuality()
 	if len(cells) != 4 { // one J × four techniques
@@ -139,6 +147,7 @@ func TestPlanQuality(t *testing.T) {
 }
 
 func TestAblationFeedback(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.AblationFeedback()
 	if len(cells) != 5 {

@@ -23,6 +23,7 @@ func smallEnv() *Env {
 }
 
 func TestEnvWorkloadAndPools(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	w := e.Workload(3)
 	if len(w) != 3 {
@@ -47,6 +48,7 @@ func TestEnvWorkloadAndPools(t *testing.T) {
 }
 
 func TestSubQueriesExhaustiveWhenSmall(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	q := e.Workload(3)[0] // 6 predicates → 63 subsets > cap 48: sampled
 	subs := e.SubQueries(q)
@@ -79,6 +81,7 @@ func TestSubQueriesExhaustiveWhenSmall(t *testing.T) {
 }
 
 func TestFig5ShapesAndDomination(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	points := e.Fig5()
 	if len(points) != 6 { // 2 J values × 3 queries
@@ -123,6 +126,7 @@ func TestFig6GVMCostsMore(t *testing.T) {
 }
 
 func TestFig7ErrorDropsWithPools(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	cells := e.Fig7()
 	get := func(pool int, tech string) float64 {
@@ -164,6 +168,7 @@ func TestFig8TimesPositive(t *testing.T) {
 }
 
 func TestLemma1Table(t *testing.T) {
+	t.Parallel()
 	rows := Lemma1(6)
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
@@ -177,6 +182,7 @@ func TestLemma1Table(t *testing.T) {
 }
 
 func TestRenderAll(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 	var buf bytes.Buffer
 	e.RunAll(&buf)
@@ -190,6 +196,7 @@ func TestRenderAll(t *testing.T) {
 }
 
 func TestTechniquesList(t *testing.T) {
+	t.Parallel()
 	ts := Techniques()
 	if len(ts) != 5 || ts[0] != TechNoSit || ts[4] != TechGSOpt {
 		t.Fatalf("Techniques = %v", ts)

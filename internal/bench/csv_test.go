@@ -7,6 +7,7 @@ import (
 )
 
 func TestCSVWriters(t *testing.T) {
+	t.Parallel()
 	e := smallEnv()
 
 	checks := []struct {
@@ -39,6 +40,7 @@ func TestCSVWriters(t *testing.T) {
 }
 
 func TestFilterSelectivityOption(t *testing.T) {
+	t.Parallel()
 	wide := NewEnv(Options{
 		Seed: 1, FactRows: 1500, QueriesPerWorkload: 2,
 		Joins: []int{2}, MaxPoolJoins: 2, SubsetCap: 32,

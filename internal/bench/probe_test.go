@@ -8,6 +8,7 @@ import (
 // TestProbeMediumScale is a manual probe (enable with PROBE=1) that prints
 // the figures at a medium scale for shape inspection.
 func TestProbeMediumScale(t *testing.T) {
+	t.Parallel()
 	if os.Getenv("PROBE") == "" {
 		t.Skip("set PROBE=1 to run")
 	}

@@ -30,6 +30,7 @@ func newEnv(t *testing.T, joins int) *env {
 }
 
 func TestMemoSeeding(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, 3)
 	q := e.queries[0]
 	m, err := NewMemo(q)
@@ -60,6 +61,7 @@ func TestMemoSeeding(t *testing.T) {
 }
 
 func TestExploreGrowsMemo(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, 3)
 	q := e.queries[0]
 	m, err := NewMemo(q)
@@ -97,6 +99,7 @@ func TestExploreGrowsMemo(t *testing.T) {
 }
 
 func TestExploreRespectsCap(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, 5)
 	m, err := NewMemo(e.queries[0])
 	if err != nil {
@@ -114,6 +117,7 @@ func TestExploreRespectsCap(t *testing.T) {
 // subset of the space), and it must coincide with the DP when the memo is
 // explored to fixpoint on a small query.
 func TestCoupledEstimation(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, 3)
 	for _, q := range e.queries {
 		m, err := NewMemo(q)
@@ -142,6 +146,7 @@ func TestCoupledEstimation(t *testing.T) {
 // TestCoupledWithoutExploration: even the seed plan alone must produce a
 // finite estimate (every optimizer request is answerable).
 func TestCoupledWithoutExploration(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, 4)
 	q := e.queries[1]
 	m, err := NewMemo(q)
@@ -159,6 +164,7 @@ func TestCoupledWithoutExploration(t *testing.T) {
 // TestExplorationImprovesAccuracy: exploring more plans can only lower (or
 // keep) the chosen decomposition's error, since decompositions accumulate.
 func TestExplorationImprovesAccuracy(t *testing.T) {
+	t.Parallel()
 	e := newEnv(t, 4)
 	for _, q := range e.queries {
 		m1, err := NewMemo(q)
@@ -181,6 +187,7 @@ func TestExplorationImprovesAccuracy(t *testing.T) {
 }
 
 func TestOpString(t *testing.T) {
+	t.Parallel()
 	if OpScan.String() != "Scan" || OpSelect.String() != "Select" ||
 		OpJoin.String() != "Join" || Op(9).String() != "?" {
 		t.Fatalf("Op.String wrong")

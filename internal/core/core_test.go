@@ -99,6 +99,7 @@ func (f *fixture) trueCard(set engine.PredSet) float64 {
 }
 
 func TestGetSelectivityBasics(t *testing.T) {
+	t.Parallel()
 	f := newFixture(1, 60, 300)
 	est := NewEstimator(f.cat, f.pool(2), NInd{})
 	r := est.NewRun(f.query)
@@ -124,6 +125,7 @@ func TestGetSelectivityBasics(t *testing.T) {
 }
 
 func TestGetSelectivityPanicsOutsideQuery(t *testing.T) {
+	t.Parallel()
 	f := newFixture(2, 20, 50)
 	est := NewEstimator(f.cat, f.pool(0), NInd{})
 	r := est.NewRun(f.query)
@@ -138,6 +140,7 @@ func TestGetSelectivityPanicsOutsideQuery(t *testing.T) {
 // TestSeparableMultiplies: a predicate set with two table-disjoint parts
 // must decompose into the product of the parts.
 func TestSeparableMultiplies(t *testing.T) {
+	t.Parallel()
 	f := newFixture(3, 60, 300)
 	est := NewEstimator(f.cat, f.pool(1), NInd{})
 	r := est.NewRun(f.query)
@@ -158,6 +161,7 @@ func TestSeparableMultiplies(t *testing.T) {
 // must coincide with the classic independence-assumption estimate — the
 // product of per-predicate base-histogram selectivities.
 func TestNoSitEqualsIndependence(t *testing.T) {
+	t.Parallel()
 	f := newFixture(4, 60, 300)
 	pool := f.pool(0)
 	est := NewEstimator(f.cat, pool, NInd{})
@@ -185,6 +189,7 @@ func TestNoSitEqualsIndependence(t *testing.T) {
 // correlated skew, the estimate using SITs over join expressions must be
 // substantially closer to the true cardinality than the base-only estimate.
 func TestSITsImproveCardinalityEstimate(t *testing.T) {
+	t.Parallel()
 	f := newFixture(5, 80, 500)
 	truth := f.trueCard(f.query.All())
 	if truth == 0 {
@@ -205,6 +210,7 @@ func TestSITsImproveCardinalityEstimate(t *testing.T) {
 // paper's full O(3ⁿ) loop must return identical selectivities and errors
 // (see the Exhaustive field's doc comment for why).
 func TestSingletonEqualsExhaustive(t *testing.T) {
+	t.Parallel()
 	for seed := int64(10); seed < 16; seed++ {
 		f := newFixture(seed, 40, 200)
 		for _, model := range []ErrorModel{NInd{}, Diff{}} {
@@ -233,6 +239,7 @@ func TestSingletonEqualsExhaustive(t *testing.T) {
 // minimum over all atomic-decomposition chains computed without memoization
 // and without the separable shortcut.
 func TestDPOptimality(t *testing.T) {
+	t.Parallel()
 	f := newFixture(20, 40, 200)
 	for _, model := range []ErrorModel{NInd{}, Diff{}} {
 		est := NewEstimator(f.cat, f.pool(2), model)
@@ -279,6 +286,7 @@ func bruteBestKeyed(r *Run, set engine.PredSet) (sel, err float64, key string) {
 }
 
 func TestOptModelIsBestAmongModels(t *testing.T) {
+	t.Parallel()
 	f := newFixture(30, 60, 300)
 	pool := f.pool(2)
 	truth := f.trueCard(f.query.All())
@@ -301,6 +309,7 @@ func TestOptModelIsBestAmongModels(t *testing.T) {
 }
 
 func TestExplainMentionsChosenSITs(t *testing.T) {
+	t.Parallel()
 	f := newFixture(40, 60, 300)
 	est := NewEstimator(f.cat, f.pool(2), Diff{})
 	r := est.NewRun(f.query)
@@ -314,6 +323,7 @@ func TestExplainMentionsChosenSITs(t *testing.T) {
 }
 
 func TestFallbackWhenPoolEmpty(t *testing.T) {
+	t.Parallel()
 	f := newFixture(50, 20, 60)
 	est := NewEstimator(f.cat, sit.NewPool(f.cat), NInd{})
 	r := est.NewRun(f.query)
@@ -332,6 +342,7 @@ func TestFallbackWhenPoolEmpty(t *testing.T) {
 // sub-query request must be answered without any further view matching —
 // the §4 integration property.
 func TestMemoServesSubqueries(t *testing.T) {
+	t.Parallel()
 	f := newFixture(60, 40, 200)
 	pool := f.pool(2)
 	est := NewEstimator(f.cat, pool, NInd{})

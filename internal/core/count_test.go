@@ -6,6 +6,7 @@ import (
 )
 
 func TestCountDecompositionsSmall(t *testing.T) {
+	t.Parallel()
 	// T(1)=1; T(2)=3: {Sel(p1,p2)}, {Sel(p1|p2)Sel(p2)}, {Sel(p2|p1)Sel(p1)};
 	// T(3)=13 by the recurrence.
 	want := map[int]int64{0: 1, 1: 1, 2: 3, 3: 13}
@@ -19,6 +20,7 @@ func TestCountDecompositionsSmall(t *testing.T) {
 // TestDecompositionCountBounds verifies Lemma 1:
 // 0.5·(n+1)! ≤ T(n) ≤ 1.5ⁿ·n! for n ≥ 1.
 func TestDecompositionCountBounds(t *testing.T) {
+	t.Parallel()
 	for n := 1; n <= 12; n++ {
 		tn := CountDecompositions(n)
 		lower, upper := DecompositionBounds(n)
@@ -35,6 +37,7 @@ func TestDecompositionCountBounds(t *testing.T) {
 // combinations while the raw decomposition space is Ω(0.5·(n+1)!) — the
 // ratio must grow without bound.
 func TestSearchSpaceCollapse(t *testing.T) {
+	t.Parallel()
 	prev := new(big.Int)
 	for n := 4; n <= 10; n++ {
 		tn := CountDecompositions(n)

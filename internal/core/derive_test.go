@@ -47,6 +47,7 @@ func deriveFixture() (*datagen.DB, *engine.Query) {
 // the derived SIT(hot | sales⋈customer) must pull the estimate of the
 // correlated sub-query far closer to truth than pure independence.
 func TestDerivedSITCapturesCorrelation(t *testing.T) {
+	t.Parallel()
 	db, q := deriveFixture()
 	pool := derivePool(db.Cat, q)
 	if pool.Size2D() == 0 {
@@ -72,6 +73,7 @@ func TestDerivedSITCapturesCorrelation(t *testing.T) {
 // TestDerivedSITCached: repeated factor approximations reuse the derived
 // statistic instead of re-joining histograms.
 func TestDerivedSITCached(t *testing.T) {
+	t.Parallel()
 	db, q := deriveFixture()
 	pool := derivePool(db.Cat, q)
 	est := NewEstimator(db.Cat, pool, Diff{})
@@ -90,6 +92,7 @@ func TestDerivedSITCached(t *testing.T) {
 // TestNoDerivationWithout2D: pools without 2-D SITs never pay the
 // derivation path (and figure reproductions stay unchanged).
 func TestNoDerivationWithout2D(t *testing.T) {
+	t.Parallel()
 	f := newFixture(302, 40, 150)
 	est := NewEstimator(f.cat, f.pool(1), Diff{})
 	r := est.NewRun(f.query)
@@ -104,6 +107,7 @@ func TestNoDerivationWithout2D(t *testing.T) {
 // least as accurate as the derived-only pool's (the stored SIT sees the
 // true join result, the derivation approximates it).
 func TestDerivedVsStoredSIT(t *testing.T) {
+	t.Parallel()
 	db, q := deriveFixture()
 	derived := derivePool(db.Cat, q)
 	b := sit.NewBuilder(db.Cat)

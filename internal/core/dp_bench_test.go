@@ -50,7 +50,7 @@ func dpBenchCaseN(n int) *dpBenchCase {
 	var preds []engine.Pred
 	for ti := 1; ti <= joins; ti++ {
 		preds = append(preds, engine.Join(
-			cat.AttrsOfTable(engine.TableID(ti-1))[0],
+			cat.AttrsOfTable(engine.TableID(ti - 1))[0],
 			cat.AttrsOfTable(engine.TableID(ti))[0]))
 	}
 	for fi := 0; fi < filters; fi++ {

@@ -23,6 +23,7 @@ func modelFixture(t *testing.T) (*fixture, *Run, *sit.SIT, *sit.SIT, *sit.SIT) {
 }
 
 func TestNIndScoring(t *testing.T) {
+	t.Parallel()
 	f, r, base, sitLO, sitBoth := modelFixture(t)
 	m := NInd{}
 	cond := engine.NewPredSet(f.joinLO, f.joinOC) // Q = {L⋈O, O⋈C}
@@ -45,6 +46,7 @@ func TestNIndScoring(t *testing.T) {
 // TestNIndIgnoresDisjointCond: conditioning predicates on tables unrelated
 // to the filter's attribute are not charged (separable decomposition).
 func TestNIndIgnoresDisjointCond(t *testing.T) {
+	t.Parallel()
 	f, r, base, _, _ := modelFixture(t)
 	m := NInd{}
 	// nation filter (customer table) conditioned on the L⋈O join: disjoint.
@@ -55,6 +57,7 @@ func TestNIndIgnoresDisjointCond(t *testing.T) {
 }
 
 func TestDiffScoring(t *testing.T) {
+	t.Parallel()
 	f, r, base, sitLO, sitBoth := modelFixture(t)
 	m := Diff{}
 	cond := engine.NewPredSet(f.joinLO, f.joinOC)
@@ -77,6 +80,7 @@ func TestDiffScoring(t *testing.T) {
 // matching SITs with equal nInd scores, Diff must prefer the one whose
 // expression actually skews the attribute's distribution.
 func TestDiffPrefersCorrelatedSIT(t *testing.T) {
+	t.Parallel()
 	f, r, _, _, _ := modelFixture(t)
 	m := Diff{}
 	preds := f.query.Preds
@@ -94,6 +98,7 @@ func TestDiffPrefersCorrelatedSIT(t *testing.T) {
 }
 
 func TestJoinErrorSumsSides(t *testing.T) {
+	t.Parallel()
 	f, r, _, _, _ := modelFixture(t)
 	m := NInd{}
 	preds := f.query.Preds
@@ -126,6 +131,7 @@ func TestJoinErrorSumsSides(t *testing.T) {
 }
 
 func TestOptModelScoresByTruth(t *testing.T) {
+	t.Parallel()
 	f, r, _, _, _ := modelFixture(t)
 	r.Est.Oracle = f.ev
 	m := Opt{}
@@ -151,6 +157,7 @@ func TestOptModelScoresByTruth(t *testing.T) {
 }
 
 func TestModelNames(t *testing.T) {
+	t.Parallel()
 	if (NInd{}).Name() != "nInd" || (Diff{}).Name() != "Diff" || (Opt{}).Name() != "Opt" {
 		t.Fatalf("model names wrong")
 	}

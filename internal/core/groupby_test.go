@@ -21,6 +21,7 @@ func exactGroups(f *fixture, attr engine.AttrID, set engine.PredSet) float64 {
 }
 
 func TestEstimateGroupsBasics(t *testing.T) {
+	t.Parallel()
 	f := newFixture(200, 80, 400)
 	est := NewEstimator(f.cat, f.pool(2), Diff{})
 	r := est.NewRun(f.query)
@@ -39,6 +40,7 @@ func TestEstimateGroupsBasics(t *testing.T) {
 // TestEstimateGroupsAccuracy: with SITs available, the group estimate for a
 // join-dependent grouping attribute should land near the truth.
 func TestEstimateGroupsAccuracy(t *testing.T) {
+	t.Parallel()
 	f := newFixture(201, 100, 600)
 	est := NewEstimator(f.cat, f.pool(2), Diff{})
 	r := est.NewRun(f.query)
@@ -60,6 +62,7 @@ func TestEstimateGroupsAccuracy(t *testing.T) {
 // TestEstimateGroupsRespectsFilters: a filter over the grouping attribute
 // must cap the group count by the filter's value range.
 func TestEstimateGroupsRespectsFilters(t *testing.T) {
+	t.Parallel()
 	f := newFixture(202, 80, 400)
 	est := NewEstimator(f.cat, f.pool(1), Diff{})
 	r := est.NewRun(f.query)
@@ -75,6 +78,7 @@ func TestEstimateGroupsRespectsFilters(t *testing.T) {
 
 // TestEstimateGroupsEmptyResult: impossible predicates yield zero groups.
 func TestEstimateGroupsEmptyResult(t *testing.T) {
+	t.Parallel()
 	f := newFixture(203, 40, 150)
 	preds := append(append([]engine.Pred{}, f.query.Preds...),
 		engine.Filter(f.price, 5000, 6000)) // outside the domain
@@ -90,6 +94,7 @@ func TestEstimateGroupsEmptyResult(t *testing.T) {
 // TestEstimateGroupsNoStats: the square-root fallback stays within the
 // estimated row count.
 func TestEstimateGroupsNoStats(t *testing.T) {
+	t.Parallel()
 	f := newFixture(204, 40, 150)
 	est := NewEstimator(f.cat, emptyPool(f), NInd{})
 	r := est.NewRun(f.query)
@@ -103,6 +108,7 @@ func TestEstimateGroupsNoStats(t *testing.T) {
 
 // TestCardenasProperties: the correction is monotone in n and bounded by d.
 func TestCardenasProperties(t *testing.T) {
+	t.Parallel()
 	if got := cardenas(1, 100); got != 1 {
 		t.Fatalf("cardenas(1, n) = %v", got)
 	}

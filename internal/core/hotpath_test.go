@@ -19,6 +19,7 @@ import (
 // publishes through a cross-query result cache, so the equivalence covers
 // the full cache stack at once.
 func TestCacheEquivalenceHotPath(t *testing.T) {
+	t.Parallel()
 	shared := selcache.New[CacheEntry](1 << 12)
 
 	check := func(t *testing.T, label string, est *Estimator, q *engine.Query) {
@@ -93,7 +94,7 @@ func disconnectedCase(rng *rand.Rand) (*engine.Catalog, *engine.Query, *sit.Pool
 	joined := 1 + rng.Intn(nTables-2) // tables 0..joined form the chain
 	for ti := 1; ti <= joined; ti++ {
 		preds = append(preds, engine.Join(
-			cat.AttrsOfTable(engine.TableID(ti-1))[rng.Intn(3)],
+			cat.AttrsOfTable(engine.TableID(ti - 1))[rng.Intn(3)],
 			cat.AttrsOfTable(engine.TableID(ti))[rng.Intn(3)]))
 	}
 	for ti := 0; ti < nTables; ti++ {
@@ -115,6 +116,7 @@ func disconnectedCase(rng *rand.Rand) (*engine.Catalog, *engine.Query, *sit.Pool
 // disjoint predicates. Checked against the raw scans (NoFastPath), i.e. the
 // invariant itself rather than the memo that exploits it.
 func TestPropertySideCondInvariance(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(31337))
 	for trial := 0; trial < 30; trial++ {
 		cat, q, pool := disconnectedCase(rng)
@@ -191,6 +193,7 @@ func (m *scriptedModel) JoinError(r *Run, pred int, cond engine.PredSet, hl, hr 
 // TestZeroScoreFirstCandidateWins: a first candidate scoring exactly 0 is
 // chosen, with error 0 — for filters and for join pairs.
 func TestZeroScoreFirstCandidateWins(t *testing.T) {
+	t.Parallel()
 	f := newFixture(5, 50, 240)
 	// J1: SIT(price|joinLO) and SIT(price|joinOC) are incomparable, so a
 	// two-join conditioning set yields two maximal candidates.
@@ -222,6 +225,7 @@ func TestZeroScoreFirstCandidateWins(t *testing.T) {
 // TestConcatLess: segment-pair comparison agrees with comparing the real
 // concatenations, across crafted edge cases and random strings.
 func TestConcatLess(t *testing.T) {
+	t.Parallel()
 	cases := [][4]string{
 		{"", "", "", ""},
 		{"a", "", "", "a"},

@@ -64,6 +64,7 @@ func randomCaseJ(rng *rand.Rand, maxJoins int) (*engine.Catalog, *engine.Query, 
 // errors, memo determinism, separable multiplication, and singleton ≡
 // exhaustive search.
 func TestPropertyRandomQueries(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 60; trial++ {
 		cat, q, pool := randomCase(rng)
@@ -119,6 +120,7 @@ func TestPropertyRandomQueries(t *testing.T) {
 // decomposition (factor chain with its statistics), via Explain's complete
 // rendering. This is the determinism the cross-query cache relies on.
 func TestPropertyMemoDeterminism(t *testing.T) {
+	t.Parallel()
 	const seed = 777
 	rng := rand.New(rand.NewSource(seed))
 	for trial := 0; trial < 40; trial++ {
@@ -162,6 +164,7 @@ func TestPropertyMemoDeterminism(t *testing.T) {
 // SIT — replaying the J2 pool's statistics one at a time onto a base-only
 // pool with the error re-checked after every single addition.
 func TestPropertyNIndMonotonicity(t *testing.T) {
+	t.Parallel()
 	const seed = 2026
 	rng := rand.New(rand.NewSource(seed))
 
@@ -218,6 +221,7 @@ func TestPropertyNIndMonotonicity(t *testing.T) {
 // TestPropertyCardinalityBounds: estimated cardinalities never exceed the
 // cross product and shrink (weakly) as predicates are added along chains.
 func TestPropertyCardinalityBounds(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(123))
 	for trial := 0; trial < 40; trial++ {
 		cat, q, pool := randomCase(rng)
@@ -240,6 +244,7 @@ func TestPropertyCardinalityBounds(t *testing.T) {
 // TestPropertyGroupEstimates: group-count estimates stay within
 // [0, estimated rows] for random grouping attributes.
 func TestPropertyGroupEstimates(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(321))
 	for trial := 0; trial < 40; trial++ {
 		cat, q, pool := randomCase(rng)

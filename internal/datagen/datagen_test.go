@@ -12,6 +12,7 @@ func testCfg() Config {
 }
 
 func TestGenerateSchemaShape(t *testing.T) {
+	t.Parallel()
 	db := Generate(testCfg())
 	if got := db.Cat.NumTables(); got != 8 {
 		t.Fatalf("tables = %d, want 8", got)
@@ -41,6 +42,7 @@ func TestGenerateSchemaShape(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
 	a := Generate(testCfg())
 	b := Generate(testCfg())
 	col1 := a.Cat.TableByName("sales").Column("z1")
@@ -53,6 +55,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	t.Parallel()
 	a := Generate(Config{Seed: 1, FactRows: 2000})
 	b := Generate(Config{Seed: 2, FactRows: 2000})
 	col1 := a.Cat.TableByName("sales").Column("z1")
@@ -69,6 +72,7 @@ func TestGenerateDifferentSeedsDiffer(t *testing.T) {
 }
 
 func TestDanglingForeignKeys(t *testing.T) {
+	t.Parallel()
 	cfg := testCfg()
 	cfg.DanglingFrac = 0.15
 	db := Generate(cfg)
@@ -92,6 +96,7 @@ func TestDanglingForeignKeys(t *testing.T) {
 }
 
 func TestCorrelatedDangling(t *testing.T) {
+	t.Parallel()
 	cfg := testCfg()
 	cfg.CorrelatedDangling = true
 	cfg.DanglingFrac = 0.1
@@ -122,6 +127,7 @@ func TestCorrelatedDangling(t *testing.T) {
 // TestForeignKeySkew: the Zipfian FK draw must concentrate references on
 // low parent keys — the popular-key mechanism behind the paper's skew.
 func TestForeignKeySkew(t *testing.T) {
+	t.Parallel()
 	db := Generate(testCfg())
 	fk := db.Cat.TableByName("sales").Column("customer_fk")
 	nCustomers := db.Cat.TableByName("customer").NumRows()
@@ -145,6 +151,7 @@ func TestForeignKeySkew(t *testing.T) {
 // property: a filter on the customer "hot" attribute selects customers with
 // far more sales than the independence assumption predicts.
 func TestPopularityCorrelationBreaksIndependence(t *testing.T) {
+	t.Parallel()
 	db := Generate(testCfg())
 	cat := db.Cat
 	ev := engine.NewEvaluator(cat)
@@ -166,6 +173,7 @@ func TestPopularityCorrelationBreaksIndependence(t *testing.T) {
 
 // TestZipfColumnSkew: the z1 columns must be recognizably skewed.
 func TestZipfColumnSkew(t *testing.T) {
+	t.Parallel()
 	db := Generate(testCfg())
 	z1 := db.Cat.TableByName("sales").Column("z1")
 	h := histogram.BuildMaxDiff(z1.Vals, 200)
@@ -176,6 +184,7 @@ func TestZipfColumnSkew(t *testing.T) {
 }
 
 func TestSummary(t *testing.T) {
+	t.Parallel()
 	db := Generate(Config{Seed: 3, FactRows: 1000})
 	s := db.Summary()
 	if len(s) == 0 {
@@ -184,6 +193,7 @@ func TestSummary(t *testing.T) {
 }
 
 func TestFKEdgePred(t *testing.T) {
+	t.Parallel()
 	db := Generate(Config{Seed: 4, FactRows: 1000})
 	p := db.Edges[0].Pred()
 	if !p.IsJoin() {

@@ -13,6 +13,7 @@ func twoColTable(name string, a, b []int64) *Table {
 }
 
 func TestCatalogAddAndResolve(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	rID := c.MustAddTable(twoColTable("R", []int64{1, 2, 3}, []int64{4, 5, 6}))
 	sID := c.MustAddTable(twoColTable("S", []int64{7, 8}, []int64{9, 10}))
@@ -43,6 +44,7 @@ func TestCatalogAddAndResolve(t *testing.T) {
 }
 
 func TestCatalogErrors(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	c.MustAddTable(twoColTable("R", []int64{1}, []int64{2}))
 	if _, err := c.AddTable(twoColTable("R", []int64{1}, []int64{2})); err == nil {
@@ -67,6 +69,7 @@ func TestCatalogErrors(t *testing.T) {
 }
 
 func TestCatalogAttrsOfTableAndNames(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	id := c.MustAddTable(twoColTable("R", []int64{1}, []int64{2}))
 	attrs := c.AttrsOfTable(id)
@@ -83,6 +86,7 @@ func TestCatalogAttrsOfTableAndNames(t *testing.T) {
 }
 
 func TestColumnIsNull(t *testing.T) {
+	t.Parallel()
 	col := &Column{Name: "a", Vals: []int64{1, 2}, Null: []bool{false, true}}
 	if col.IsNull(0) || !col.IsNull(1) {
 		t.Fatalf("IsNull wrong with bitmap")

@@ -41,6 +41,7 @@ func compCase(rng *rand.Rand) (*Catalog, []Pred) {
 // subset of many random predicate slices, and ComponentWith agrees with a
 // scan over PredsTables.
 func TestCompIndexMatchesComponents(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 200; trial++ {
 		cat, preds := compCase(rng)

@@ -9,6 +9,7 @@ import (
 // TestCountAgainstBruteForce cross-checks the join-based evaluator against
 // full cartesian-product enumeration on many random tiny databases.
 func TestCountAgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 150; trial++ {
 		db := newTestDB(rng, 3, 3, 6, 6)
@@ -32,6 +33,7 @@ func TestCountAgainstBruteForce(t *testing.T) {
 }
 
 func TestCountEmptySetIsCrossSize(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	db := newTestDB(rng, 3, 2, 5, 4)
 	ev := NewEvaluator(db.cat)
@@ -42,6 +44,7 @@ func TestCountEmptySetIsCrossSize(t *testing.T) {
 }
 
 func TestSelectivityBounds(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 50; trial++ {
 		db := newTestDB(rng, 3, 2, 6, 5)
@@ -59,6 +62,7 @@ func TestSelectivityBounds(t *testing.T) {
 // TestConditionalSelectivityChainRule verifies Property 1 (atomic
 // decomposition) exactly: Sel(P,Q) = Sel(P|Q)·Sel(Q).
 func TestConditionalSelectivityChainRule(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 80; trial++ {
 		db := newTestDB(rng, 3, 2, 6, 4)
@@ -82,6 +86,7 @@ func TestConditionalSelectivityChainRule(t *testing.T) {
 }
 
 func TestConditionalSelectivityEmptyDenominator(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	c.MustAddTable(twoColTable("R", []int64{1, 2}, []int64{1, 2}))
 	ra := c.MustAttr("R.a")
@@ -94,6 +99,7 @@ func TestConditionalSelectivityEmptyDenominator(t *testing.T) {
 }
 
 func TestCountMemoization(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	db := newTestDB(rng, 3, 2, 6, 4)
 	preds := db.randomPreds(rng, 2, 2, 4)
@@ -120,6 +126,7 @@ func TestCountMemoization(t *testing.T) {
 }
 
 func TestCountPanicsOnForeignTables(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	c.MustAddTable(twoColTable("R", []int64{1}, []int64{2}))
 	c.MustAddTable(twoColTable("S", []int64{1}, []int64{2}))
@@ -136,6 +143,7 @@ func TestCountPanicsOnForeignTables(t *testing.T) {
 // TestAttrValuesAgainstBruteForce projects an attribute over the join result
 // and compares with explicit enumeration.
 func TestAttrValuesAgainstBruteForce(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(21))
 	for trial := 0; trial < 60; trial++ {
 		db := newTestDB(rng, 3, 2, 6, 4)
@@ -221,6 +229,7 @@ func bruteAttrValues(c *Catalog, tables TableSet, preds []Pred, set PredSet, att
 }
 
 func TestAttrValuesEmptyExpression(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	c.MustAddTable(&Table{Name: "R", Cols: []*Column{
 		{Name: "a", Vals: []int64{1, 2, 3}, Null: []bool{false, true, false}},
@@ -234,6 +243,7 @@ func TestAttrValuesEmptyExpression(t *testing.T) {
 }
 
 func TestAttrValuesPanicsWhenNotCovered(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	c.MustAddTable(twoColTable("R", []int64{1}, []int64{2}))
 	c.MustAddTable(twoColTable("S", []int64{1}, []int64{2}))
@@ -251,6 +261,7 @@ func TestAttrValuesPanicsWhenNotCovered(t *testing.T) {
 
 // TestJoinWithNullsDrops ensures dangling (NULL) join keys never match.
 func TestJoinWithNullsDrops(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	c.MustAddTable(&Table{Name: "R", Cols: []*Column{
 		{Name: "k", Vals: []int64{1, 2, 3}, Null: []bool{false, true, false}},
@@ -270,6 +281,7 @@ func TestJoinWithNullsDrops(t *testing.T) {
 // TestCyclicJoinGraph exercises the post-filter path for cycle-closing
 // predicates.
 func TestCyclicJoinGraph(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	c.MustAddTable(twoColTable("R", []int64{1, 2}, []int64{1, 2}))
 	c.MustAddTable(twoColTable("S", []int64{1, 2}, []int64{1, 2}))

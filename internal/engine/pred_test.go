@@ -15,6 +15,7 @@ func predTestCatalog() *Catalog {
 }
 
 func TestJoinCanonicalOrder(t *testing.T) {
+	t.Parallel()
 	c := predTestCatalog()
 	ra, sa := c.MustAttr("R.a"), c.MustAttr("S.a")
 	j1 := Join(ra, sa)
@@ -28,6 +29,7 @@ func TestJoinCanonicalOrder(t *testing.T) {
 }
 
 func TestPredTablesAndAttrs(t *testing.T) {
+	t.Parallel()
 	c := predTestCatalog()
 	ra, sb := c.MustAttr("R.a"), c.MustAttr("S.b")
 	f := Filter(ra, 0, 10)
@@ -47,6 +49,7 @@ func TestPredTablesAndAttrs(t *testing.T) {
 }
 
 func TestSelfJoinDetection(t *testing.T) {
+	t.Parallel()
 	c := predTestCatalog()
 	ra, rb := c.MustAttr("R.a"), c.MustAttr("R.b")
 	sa := c.MustAttr("S.a")
@@ -59,6 +62,7 @@ func TestSelfJoinDetection(t *testing.T) {
 }
 
 func TestPredMatches(t *testing.T) {
+	t.Parallel()
 	c := predTestCatalog()
 	ra, rb := c.MustAttr("R.a"), c.MustAttr("R.b")
 	sa := c.MustAttr("S.a")
@@ -90,6 +94,7 @@ func TestPredMatches(t *testing.T) {
 }
 
 func TestPredFormat(t *testing.T) {
+	t.Parallel()
 	c := predTestCatalog()
 	ra := c.MustAttr("R.a")
 	sb := c.MustAttr("S.b")
@@ -111,6 +116,7 @@ func TestPredFormat(t *testing.T) {
 }
 
 func TestPredsKeyStableUnderReorder(t *testing.T) {
+	t.Parallel()
 	c := predTestCatalog()
 	ra, sa := c.MustAttr("R.a"), c.MustAttr("S.a")
 	p1 := []Pred{Filter(ra, 0, 5), Join(ra, sa)}
@@ -123,6 +129,7 @@ func TestPredsKeyStableUnderReorder(t *testing.T) {
 }
 
 func TestFormatPreds(t *testing.T) {
+	t.Parallel()
 	c := predTestCatalog()
 	ra, sa := c.MustAttr("R.a"), c.MustAttr("S.a")
 	preds := []Pred{Filter(ra, 0, 5), Join(ra, sa)}

@@ -25,6 +25,7 @@ func componentsCatalog() (*Catalog, []Pred) {
 }
 
 func TestComponentsSplitsByTables(t *testing.T) {
+	t.Parallel()
 	c, preds := componentsCatalog()
 	comps := Components(c, preds, FullPredSet(5))
 	if len(comps) != 2 {
@@ -39,6 +40,7 @@ func TestComponentsSplitsByTables(t *testing.T) {
 }
 
 func TestComponentsSingletonAndEmpty(t *testing.T) {
+	t.Parallel()
 	c, preds := componentsCatalog()
 	if got := Components(c, preds, 0); got != nil {
 		t.Errorf("empty set components = %v", got)
@@ -50,6 +52,7 @@ func TestComponentsSingletonAndEmpty(t *testing.T) {
 }
 
 func TestSeparable(t *testing.T) {
+	t.Parallel()
 	c, preds := componentsCatalog()
 	if !Separable(c, preds, FullPredSet(5)) {
 		t.Errorf("full set should be separable")
@@ -68,6 +71,7 @@ func TestSeparable(t *testing.T) {
 // TestComponentsPartition checks that Components always yields a disjoint
 // cover of the input set with pairwise-disjoint table sets.
 func TestComponentsPartition(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 200; trial++ {
 		db := newTestDB(rng, 4, 2, 4, 5)
@@ -102,6 +106,7 @@ func TestComponentsPartition(t *testing.T) {
 }
 
 func TestQueryAccessors(t *testing.T) {
+	t.Parallel()
 	c, preds := componentsCatalog()
 	q := NewQuery(c, preds)
 	if q.Tables != NewTableSet(0, 1, 2, 3) {

@@ -5,6 +5,7 @@ import (
 )
 
 func TestTableSetBasics(t *testing.T) {
+	t.Parallel()
 	s := NewTableSet(0, 3, 5)
 	if !s.Has(0) || !s.Has(3) || !s.Has(5) {
 		t.Fatalf("missing members in %v", s)
@@ -28,6 +29,7 @@ func TestTableSetBasics(t *testing.T) {
 }
 
 func TestTableSetAlgebra(t *testing.T) {
+	t.Parallel()
 	a := NewTableSet(0, 1, 2)
 	b := NewTableSet(2, 3)
 	if got := a.Union(b); got != NewTableSet(0, 1, 2, 3) {
@@ -58,6 +60,7 @@ func TestTableSetAlgebra(t *testing.T) {
 }
 
 func TestPredSetBasics(t *testing.T) {
+	t.Parallel()
 	s := NewPredSet(1, 2, 4)
 	if got := s.Len(); got != 3 {
 		t.Fatalf("Len = %d", got)
@@ -74,6 +77,7 @@ func TestPredSetBasics(t *testing.T) {
 }
 
 func TestFullPredSetPanicsBeyond64(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatalf("expected panic for 64 predicates")
@@ -83,6 +87,7 @@ func TestFullPredSetPanicsBeyond64(t *testing.T) {
 }
 
 func TestPredSetSubsetsEnumeratesAll(t *testing.T) {
+	t.Parallel()
 	s := NewPredSet(0, 2, 5)
 	seen := make(map[PredSet]bool)
 	s.Subsets(func(sub PredSet) {
@@ -103,6 +108,7 @@ func TestPredSetSubsetsEnumeratesAll(t *testing.T) {
 }
 
 func TestPredSetIndicesOrder(t *testing.T) {
+	t.Parallel()
 	s := NewPredSet(9, 1, 4)
 	idxs := s.Indices()
 	want := []int{1, 4, 9}

@@ -21,6 +21,7 @@ func viewFixture(t *testing.T) (*Catalog, []Pred) {
 }
 
 func TestMaterializeBasics(t *testing.T) {
+	t.Parallel()
 	c, preds := viewFixture(t)
 	ev := NewEvaluator(c)
 	v := ev.Materialize(preds, NewPredSet(0))
@@ -33,6 +34,7 @@ func TestMaterializeBasics(t *testing.T) {
 }
 
 func TestMaterializePanics(t *testing.T) {
+	t.Parallel()
 	c, preds := viewFixture(t)
 	ev := NewEvaluator(c)
 	for name, set := range map[string]PredSet{
@@ -60,6 +62,7 @@ func TestMaterializePanics(t *testing.T) {
 }
 
 func TestViewAttrValuesSkipsNulls(t *testing.T) {
+	t.Parallel()
 	c, preds := viewFixture(t)
 	ev := NewEvaluator(c)
 	v := ev.Materialize(preds, NewPredSet(0))
@@ -72,6 +75,7 @@ func TestViewAttrValuesSkipsNulls(t *testing.T) {
 }
 
 func TestViewAttrPairs(t *testing.T) {
+	t.Parallel()
 	c, preds := viewFixture(t)
 	ev := NewEvaluator(c)
 	v := ev.Materialize(preds, NewPredSet(0))
@@ -87,6 +91,7 @@ func TestViewAttrPairs(t *testing.T) {
 }
 
 func TestViewTupleValues(t *testing.T) {
+	t.Parallel()
 	c, preds := viewFixture(t)
 	ev := NewEvaluator(c)
 	v := ev.Materialize(preds, NewPredSet(0))
@@ -112,6 +117,7 @@ func TestViewTupleValues(t *testing.T) {
 // TestViewMatchesAttrValuesAPI: the view projection agrees with the
 // evaluator's one-shot AttrValues.
 func TestViewMatchesAttrValuesAPI(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(9))
 	db := newTestDB(rng, 3, 2, 8, 5)
 	preds := db.randomPreds(rng, 1, 2, 5)

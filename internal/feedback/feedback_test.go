@@ -25,6 +25,7 @@ func testEnv(t *testing.T) (*datagen.DB, []*engine.Query, *sit.Pool, *engine.Eva
 // TestObserveMakesRepeatExact: LEO's defining behaviour — after observing a
 // query's true cardinality, re-estimating the same query is exact.
 func TestObserveMakesRepeatExact(t *testing.T) {
+	t.Parallel()
 	db, queries, pool, ev := testEnv(t)
 	for qi, q := range queries {
 		e := New(db.Cat, pool)
@@ -45,6 +46,7 @@ func TestObserveMakesRepeatExact(t *testing.T) {
 // argument: the adjustment that fixes the full query distorts sub-queries,
 // because it is attached to the attribute, not to the query context.
 func TestContextFreeAdjustmentMissesSubqueries(t *testing.T) {
+	t.Parallel()
 	db := datagen.Generate(datagen.Config{Seed: 29, FactRows: 5000})
 	cat := db.Cat
 	// hot is correlated with the join; u1 is not.
@@ -82,6 +84,7 @@ func TestContextFreeAdjustmentMissesSubqueries(t *testing.T) {
 }
 
 func TestObserveIgnoresDegenerateFeedback(t *testing.T) {
+	t.Parallel()
 	db, queries, pool, _ := testEnv(t)
 	e := New(db.Cat, pool)
 	q := queries[0]
@@ -96,6 +99,7 @@ func TestObserveIgnoresDegenerateFeedback(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
+	t.Parallel()
 	db, queries, pool, ev := testEnv(t)
 	e := New(db.Cat, pool)
 	q := queries[0]
@@ -111,6 +115,7 @@ func TestReset(t *testing.T) {
 }
 
 func TestSelectivityBounds(t *testing.T) {
+	t.Parallel()
 	db, queries, pool, ev := testEnv(t)
 	e := New(db.Cat, pool)
 	// Train on everything, then check bounds everywhere.

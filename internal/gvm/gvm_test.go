@@ -80,6 +80,7 @@ func (f *fixture) trueCard(set engine.PredSet) float64 {
 }
 
 func TestGVMBasics(t *testing.T) {
+	t.Parallel()
 	f := newFixture(1, 60, 300)
 	e := NewEstimator(f.cat, f.pool(2))
 	if got := e.EstimateSelectivity(f.query, 0); got != 1 {
@@ -98,6 +99,7 @@ func TestGVMBasics(t *testing.T) {
 // TestGVMBaseOnlyEqualsIndependence: over pool J₀ GVM degenerates to the
 // classic independence estimate, identical to getSelectivity over J₀.
 func TestGVMBaseOnlyEqualsIndependence(t *testing.T) {
+	t.Parallel()
 	f := newFixture(2, 60, 300)
 	pool := f.pool(0)
 	e := NewEstimator(f.cat, pool)
@@ -118,6 +120,7 @@ func TestGVMBaseOnlyEqualsIndependence(t *testing.T) {
 // TestGVMUsesSITs: with SIT pools available, GVM must beat the base-only
 // estimate on the correlated query.
 func TestGVMUsesSITs(t *testing.T) {
+	t.Parallel()
 	f := newFixture(3, 80, 500)
 	truth := f.trueCard(f.query.All())
 	if truth == 0 {
@@ -136,6 +139,7 @@ func TestGVMUsesSITs(t *testing.T) {
 // non-nested SITs available, GVM can apply only one of them, so at least
 // one independence assumption remains that getSelectivity avoids.
 func TestLaminarConflict(t *testing.T) {
+	t.Parallel()
 	f := newFixture(4, 80, 500)
 	preds := f.query.Preds
 	b := sit.NewBuilder(f.cat)
@@ -182,6 +186,7 @@ func TestLaminarConflict(t *testing.T) {
 // triggers far more view-matching calls under GVM than under getSelectivity
 // (the Figure 6 effect), because GVM cannot reuse work across requests.
 func TestGVMRepeatsViewMatchingWork(t *testing.T) {
+	t.Parallel()
 	f := newFixture(5, 60, 300)
 	pool := f.pool(2)
 	full := f.query.All()
@@ -217,6 +222,7 @@ func TestGVMRepeatsViewMatchingWork(t *testing.T) {
 // two-predicate query: selectivity must equal the product of the two
 // per-predicate estimates when no SIT applies.
 func TestGVMSelectivityProductForm(t *testing.T) {
+	t.Parallel()
 	f := newFixture(6, 40, 150)
 	pool := f.pool(0)
 	e := NewEstimator(f.cat, pool)
@@ -235,6 +241,7 @@ func TestGVMSelectivityProductForm(t *testing.T) {
 // TestGVMFallbacks: with an empty pool every predicate falls back to magic
 // selectivities.
 func TestGVMFallbacks(t *testing.T) {
+	t.Parallel()
 	f := newFixture(7, 20, 60)
 	e := NewEstimator(f.cat, sit.NewPool(f.cat))
 	got := e.EstimateSelectivity(f.query, f.query.All())
@@ -247,6 +254,7 @@ func TestGVMFallbacks(t *testing.T) {
 // TestGVMJoinEstimateMatchesHistogramJoin: a single join predicate's
 // estimate equals the histogram join of the base histograms.
 func TestGVMJoinEstimateMatchesHistogramJoin(t *testing.T) {
+	t.Parallel()
 	f := newFixture(8, 40, 150)
 	pool := f.pool(0)
 	e := NewEstimator(f.cat, pool)

@@ -15,6 +15,7 @@ func zipfValues(rng *rand.Rand, n int, s float64, max uint64) []int64 {
 }
 
 func TestBuildEmptyInput(t *testing.T) {
+	t.Parallel()
 	for _, k := range []Kind{MaxDiff, EquiDepth, EquiWidth} {
 		h := Build(k, nil, 10)
 		if !h.Empty() {
@@ -24,6 +25,7 @@ func TestBuildEmptyInput(t *testing.T) {
 }
 
 func TestBuildExactWhenFewDistinct(t *testing.T) {
+	t.Parallel()
 	values := []int64{5, 5, 5, 9, 9, 1}
 	for _, k := range []Kind{MaxDiff, EquiDepth, EquiWidth} {
 		h := Build(k, values, 10)
@@ -47,6 +49,7 @@ func TestBuildExactWhenFewDistinct(t *testing.T) {
 }
 
 func TestBuildRespectsBucketBudget(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	values := make([]int64, 10000)
 	for i := range values {
@@ -66,6 +69,7 @@ func TestBuildRespectsBucketBudget(t *testing.T) {
 }
 
 func TestBuildInvariantsOnSkewedData(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	values := zipfValues(rng, 20000, 1.5, 10000)
 	for _, k := range []Kind{MaxDiff, EquiDepth, EquiWidth} {
@@ -87,6 +91,7 @@ func TestBuildInvariantsOnSkewedData(t *testing.T) {
 // a value whose frequency differs sharply from its neighbours gets its own
 // bucket boundary, making its estimate exact.
 func TestMaxDiffIsolatesHeavyHitters(t *testing.T) {
+	t.Parallel()
 	var values []int64
 	for v := int64(0); v < 100; v++ {
 		values = append(values, v) // uniform background, freq 1
@@ -102,6 +107,7 @@ func TestMaxDiffIsolatesHeavyHitters(t *testing.T) {
 }
 
 func TestMaxDiffDeterministic(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	values := zipfValues(rng, 5000, 1.2, 2000)
 	h1 := Build(MaxDiff, values, 50)
@@ -117,6 +123,7 @@ func TestMaxDiffDeterministic(t *testing.T) {
 }
 
 func TestBuildDoesNotMutateInput(t *testing.T) {
+	t.Parallel()
 	values := []int64{9, 3, 7, 1}
 	Build(MaxDiff, values, 2)
 	want := []int64{9, 3, 7, 1}
@@ -128,6 +135,7 @@ func TestBuildDoesNotMutateInput(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	if MaxDiff.String() != "maxDiff" || EquiDepth.String() != "equiDepth" ||
 		EquiWidth.String() != "equiWidth" || Kind(99).String() != "unknown" {
 		t.Fatalf("Kind.String misbehaves")
@@ -138,6 +146,7 @@ func TestKindString(t *testing.T) {
 // maxDiff histogram on skewed data: estimates must be within a few percent
 // of truth for a spread of ranges.
 func TestRangeEstimateAccuracy(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	values := zipfValues(rng, 50000, 1.3, 5000)
 	h := Build(MaxDiff, values, 200)

@@ -7,6 +7,7 @@ import (
 )
 
 func TestDiffIdenticalIsZero(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(30))
 	values := zipfValues(rng, 5000, 1.3, 1000)
 	h := Build(MaxDiff, values, 100)
@@ -19,6 +20,7 @@ func TestDiffIdenticalIsZero(t *testing.T) {
 }
 
 func TestDiffDisjointIsOne(t *testing.T) {
+	t.Parallel()
 	a := Build(MaxDiff, []int64{1, 2, 3}, 10)
 	b := Build(MaxDiff, []int64{100, 200}, 10)
 	if got := Diff(a, b); !approxEq(got, 1, 1e-9) {
@@ -30,6 +32,7 @@ func TestDiffDisjointIsOne(t *testing.T) {
 }
 
 func TestDiffEmptyCases(t *testing.T) {
+	t.Parallel()
 	e := &Histogram{}
 	h := Build(MaxDiff, []int64{1}, 10)
 	if Diff(e, e) != 0 {
@@ -44,6 +47,7 @@ func TestDiffEmptyCases(t *testing.T) {
 }
 
 func TestDiffSymmetricAndBounded(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(31))
 	prop := func(seedA, seedB int64) bool {
 		ra := rand.New(rand.NewSource(seedA))
@@ -67,6 +71,7 @@ func TestDiffSymmetricAndBounded(t *testing.T) {
 // value, the histogram-approximated diff equals the exact variation
 // distance.
 func TestDiffMatchesExactOnSingletonHistograms(t *testing.T) {
+	t.Parallel()
 	a := []int64{1, 1, 2, 3, 3, 3, 9}
 	b := []int64{1, 2, 2, 2, 4}
 	ha := Build(MaxDiff, a, 100)
@@ -82,6 +87,7 @@ func TestDiffMatchesExactOnSingletonHistograms(t *testing.T) {
 // join-biased version of it should grow with the bias strength — the
 // behaviour the paper's Diff error function relies on (§3.5).
 func TestDiffTracksSkewDivergence(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(32))
 	base := make([]int64, 10000)
 	for i := range base {
@@ -112,6 +118,7 @@ func TestDiffTracksSkewDivergence(t *testing.T) {
 }
 
 func TestDiffExactHalfShift(t *testing.T) {
+	t.Parallel()
 	// Half the mass moves: variation distance 0.5.
 	a := []int64{1, 1, 2, 2}
 	b := []int64{1, 1, 3, 3}

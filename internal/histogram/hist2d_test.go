@@ -18,6 +18,7 @@ func corrPairs(rng *rand.Rand, n int, domain int64) (xs, ys []int64) {
 }
 
 func TestBuild2DBasics(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	xs, ys := corrPairs(rng, 5000, 1000)
 	h, err := Build2D(xs, ys, 16, 16)
@@ -43,6 +44,7 @@ func TestBuild2DBasics(t *testing.T) {
 }
 
 func TestMarginalsMatch1D(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	xs, ys := corrPairs(rng, 8000, 500)
 	h, err := Build2D(xs, ys, 20, 20)
@@ -71,6 +73,7 @@ func TestMarginalsMatch1D(t *testing.T) {
 }
 
 func TestEstimateRangeCount2D(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	xs, ys := corrPairs(rng, 20000, 1000)
 	h, err := Build2D(xs, ys, 24, 24)
@@ -103,6 +106,7 @@ func TestEstimateRangeCount2D(t *testing.T) {
 // a joint histogram — the 2-D estimate of a correlated conjunction must be
 // far closer to truth than the independence product of 1-D estimates.
 func TestEstimate2DBeatsIndependenceOnCorrelatedData(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	xs, ys := corrPairs(rng, 20000, 1000)
 	h, _ := Build2D(xs, ys, 24, 24)
@@ -130,6 +134,7 @@ func TestEstimate2DBeatsIndependenceOnCorrelatedData(t *testing.T) {
 // distribution of a over the join — and verify the derived filter estimate
 // against ground truth computed by brute force.
 func TestJoinOnXExample3(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	// R(x, a): a correlated with x. S(y): y Zipf-ish over x's domain, so
 	// the join skews the distribution of a.
@@ -194,6 +199,7 @@ func TestJoinOnXExample3(t *testing.T) {
 }
 
 func TestJoinOnXEmptyCases(t *testing.T) {
+	t.Parallel()
 	h, _ := Build2D([]int64{1, 2}, []int64{3, 4}, 4, 4)
 	sel, yh := h.JoinOnX(&Histogram{})
 	if sel != 0 || !yh.Empty() {
@@ -207,6 +213,7 @@ func TestJoinOnXEmptyCases(t *testing.T) {
 }
 
 func TestHist2DTotalRowsNormalization(t *testing.T) {
+	t.Parallel()
 	h, _ := Build2D([]int64{1, 1, 2}, []int64{5, 6, 7}, 4, 4)
 	h.TotalRows = 6 // three more rows with NULL x
 	other := Build(MaxDiff, []int64{1, 2, 3}, 4)

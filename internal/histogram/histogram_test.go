@@ -8,6 +8,7 @@ import (
 )
 
 func TestEmptyHistogramBehaviour(t *testing.T) {
+	t.Parallel()
 	var h *Histogram
 	if !h.Empty() {
 		t.Fatalf("nil histogram should be empty")
@@ -28,6 +29,7 @@ func TestEmptyHistogramBehaviour(t *testing.T) {
 }
 
 func TestEstimateRangeSelectivityBounds(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(10))
 	values := zipfValues(rng, 10000, 1.4, 3000)
 	h := Build(MaxDiff, values, 100)
@@ -46,6 +48,7 @@ func TestEstimateRangeSelectivityBounds(t *testing.T) {
 }
 
 func TestEstimateRangeMonotoneInWidth(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	values := zipfValues(rng, 5000, 1.2, 1000)
 	h := Build(MaxDiff, values, 60)
@@ -61,6 +64,7 @@ func TestEstimateRangeMonotoneInWidth(t *testing.T) {
 }
 
 func TestEstimateInvertedRange(t *testing.T) {
+	t.Parallel()
 	h := Build(MaxDiff, []int64{1, 2, 3}, 10)
 	if got := h.EstimateRangeCount(5, 2); got != 0 {
 		t.Fatalf("inverted range count = %v", got)
@@ -68,6 +72,7 @@ func TestEstimateInvertedRange(t *testing.T) {
 }
 
 func TestRestrictPreservesMass(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(12))
 	values := zipfValues(rng, 8000, 1.3, 2000)
 	h := Build(MaxDiff, values, 120)
@@ -88,6 +93,7 @@ func TestRestrictPreservesMass(t *testing.T) {
 }
 
 func TestScale(t *testing.T) {
+	t.Parallel()
 	h := Build(MaxDiff, []int64{1, 1, 2, 3}, 10)
 	up := h.Scale(2)
 	if up.Rows != 8 {
@@ -111,6 +117,7 @@ func TestScale(t *testing.T) {
 }
 
 func TestDistinctTotal(t *testing.T) {
+	t.Parallel()
 	h := Build(MaxDiff, []int64{1, 1, 2, 3, 3, 3}, 10)
 	if got := h.DistinctTotal(); got != 3 {
 		t.Fatalf("DistinctTotal = %v, want 3", got)
@@ -122,6 +129,7 @@ func TestDistinctTotal(t *testing.T) {
 }
 
 func TestHistogramString(t *testing.T) {
+	t.Parallel()
 	e := &Histogram{}
 	if e.String() != "hist{empty}" {
 		t.Fatalf("empty String = %q", e.String())
@@ -135,6 +143,7 @@ func TestHistogramString(t *testing.T) {
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {
+	t.Parallel()
 	cases := []*Histogram{
 		{Rows: 1, Buckets: []Bucket{{Lo: 5, Hi: 2, Count: 1, Distinct: 1}}},
 		{Rows: 2, Buckets: []Bucket{{Lo: 0, Hi: 4, Count: 1, Distinct: 1}, {Lo: 3, Hi: 9, Count: 1, Distinct: 1}}},

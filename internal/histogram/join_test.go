@@ -19,6 +19,7 @@ func trueJoinCard(a, b []int64) float64 {
 }
 
 func TestJoinExactOnSingletonBuckets(t *testing.T) {
+	t.Parallel()
 	a := []int64{1, 1, 2, 3, 3, 3}
 	b := []int64{1, 3, 3, 4}
 	ha := Build(MaxDiff, a, 100) // singleton buckets: exact
@@ -41,6 +42,7 @@ func TestJoinExactOnSingletonBuckets(t *testing.T) {
 }
 
 func TestJoinEmptyInputs(t *testing.T) {
+	t.Parallel()
 	h := Build(MaxDiff, []int64{1, 2}, 10)
 	e := &Histogram{}
 	for _, pair := range [][2]*Histogram{{h, e}, {e, h}, {e, e}} {
@@ -52,6 +54,7 @@ func TestJoinEmptyInputs(t *testing.T) {
 }
 
 func TestJoinDisjointDomains(t *testing.T) {
+	t.Parallel()
 	ha := Build(MaxDiff, []int64{1, 2, 3}, 10)
 	hb := Build(MaxDiff, []int64{100, 200}, 10)
 	res := Join(ha, hb)
@@ -61,6 +64,7 @@ func TestJoinDisjointDomains(t *testing.T) {
 }
 
 func TestJoinSymmetric(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(20))
 	a := zipfValues(rng, 3000, 1.3, 500)
 	b := zipfValues(rng, 2000, 1.1, 500)
@@ -79,6 +83,7 @@ func TestJoinSymmetric(t *testing.T) {
 // TestJoinAccuracy bounds the histogram join estimate against the true join
 // cardinality on skewed foreign-key-like data.
 func TestJoinAccuracy(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(21))
 	// Dimension: keys 0..999 uniform; fact: zipf-distributed foreign keys.
 	dim := make([]int64, 1000)
@@ -96,6 +101,7 @@ func TestJoinAccuracy(t *testing.T) {
 }
 
 func TestJoinedHistogramUsableDownstream(t *testing.T) {
+	t.Parallel()
 	a := []int64{1, 1, 2, 3}
 	b := []int64{1, 2, 2, 3}
 	res := Join(Build(MaxDiff, a, 10), Build(MaxDiff, b, 10))
@@ -111,6 +117,7 @@ func TestJoinedHistogramUsableDownstream(t *testing.T) {
 func MinInt64() int64 { return -1 << 63 }
 
 func TestCoalesceKeepsTotals(t *testing.T) {
+	t.Parallel()
 	h := &Histogram{}
 	for i := 0; i < 2000; i++ {
 		h.Buckets = append(h.Buckets, Bucket{Lo: int64(3 * i), Hi: int64(3*i + 1), Count: 2, Distinct: 1})

@@ -31,6 +31,7 @@ func trueCardFn(ev *engine.Evaluator, q *engine.Query) func(engine.PredSet) floa
 }
 
 func TestChooseProducesValidPlan(t *testing.T) {
+	t.Parallel()
 	db, queries, ev := testEnv(t, 3)
 	for qi, q := range queries {
 		plan, err := Choose(q, trueCardFn(ev, q))
@@ -82,6 +83,7 @@ func validateTree(t *testing.T, cat *engine.Catalog, q *engine.Query, p *Plan) {
 // TestChooseMinimizesCost: the DP's plan must be at least as cheap (under
 // the same cardinalities) as the left-deep plan in query order.
 func TestChooseMinimizesCost(t *testing.T) {
+	t.Parallel()
 	_, queries, ev := testEnv(t, 4)
 	for qi, q := range queries {
 		card := trueCardFn(ev, q)
@@ -126,6 +128,7 @@ func naiveLeftDeep(q *engine.Query, card func(engine.PredSet) float64) float64 {
 }
 
 func TestQualityOfOracleIsOne(t *testing.T) {
+	t.Parallel()
 	_, queries, ev := testEnv(t, 3)
 	for qi, q := range queries {
 		card := trueCardFn(ev, q)
@@ -146,6 +149,7 @@ func TestQualityOfOracleIsOne(t *testing.T) {
 // TestBetterEstimatesNeverHurtOnAverage: plan quality under GS-Diff with
 // SITs should be at least as good on average as under base-only estimates.
 func TestBetterEstimatesNeverHurtOnAverage(t *testing.T) {
+	t.Parallel()
 	db, queries, ev := testEnv(t, 4)
 	b := sit.NewBuilder(db.Cat)
 	sitPool := sit.BuildWorkloadPool(b, queries, 2)
@@ -178,6 +182,7 @@ func TestBetterEstimatesNeverHurtOnAverage(t *testing.T) {
 }
 
 func TestChooseErrors(t *testing.T) {
+	t.Parallel()
 	db, _, _ := testEnv(t, 3)
 	cat := db.Cat
 	// Disconnected tables: two filters, no join.

@@ -20,6 +20,7 @@ func testCatalog() *engine.Catalog {
 }
 
 func TestParseJoinAndFilters(t *testing.T) {
+	t.Parallel()
 	c := testCatalog()
 	q, err := Parse(c, "r.a = s.a AND r.b >= 5")
 	if err != nil {
@@ -41,6 +42,7 @@ func TestParseJoinAndFilters(t *testing.T) {
 }
 
 func TestParseOperatorForms(t *testing.T) {
+	t.Parallel()
 	c := testCatalog()
 	cases := []struct {
 		text   string
@@ -69,6 +71,7 @@ func TestParseOperatorForms(t *testing.T) {
 }
 
 func TestParseSQLPrefix(t *testing.T) {
+	t.Parallel()
 	c := testCatalog()
 	q, err := Parse(c, "SELECT * FROM r, s WHERE r.a = s.a AND r.b <= 5")
 	if err != nil {
@@ -89,6 +92,7 @@ func TestParseSQLPrefix(t *testing.T) {
 
 // TestRoundTrip: parsing a query's own String rendering reproduces it.
 func TestRoundTrip(t *testing.T) {
+	t.Parallel()
 	c := testCatalog()
 	orig, err := Parse(c, "r.a = s.a AND 2 <= r.b <= 5")
 	if err != nil {
@@ -104,6 +108,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestParseFromClauseExtraTables(t *testing.T) {
+	t.Parallel()
 	c := testCatalog()
 	// Declaring both tables but predicating only one keeps the declared set.
 	q, err := Parse(c, "SELECT * FROM r, s WHERE r.a = 1")
@@ -116,6 +121,7 @@ func TestParseFromClauseExtraTables(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
+	t.Parallel()
 	c := testCatalog()
 	cases := []struct {
 		text, wantSub string
@@ -151,6 +157,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestParseEvaluates(t *testing.T) {
+	t.Parallel()
 	c := testCatalog()
 	q, err := Parse(c, "r.a = s.a AND r.b >= 5")
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 // survive String → Parse with identical semantics (predicates and exact
 // result cardinality).
 func TestRoundTripRandomWorkload(t *testing.T) {
+	t.Parallel()
 	db := datagen.Generate(datagen.Config{Seed: 77, FactRows: 2000})
 	g := workload.NewGenerator(db, workload.Config{Seed: 77, NumQueries: 12, Joins: 4, Filters: 3})
 	queries, err := g.Generate()
@@ -39,6 +40,7 @@ func TestRoundTripRandomWorkload(t *testing.T) {
 // TestRoundTripSentinelBounds: one-sided filters use MinValue/MaxValue
 // sentinels; their renderings must parse back to the same bounds.
 func TestRoundTripSentinelBounds(t *testing.T) {
+	t.Parallel()
 	c := testCatalog()
 	for _, p := range []engine.Pred{
 		engine.Filter(c.MustAttr("r.a"), engine.MinValue, 7),

@@ -19,6 +19,7 @@ func testDB() (*datagen.DB, []Edge) {
 }
 
 func TestBuildValidation(t *testing.T) {
+	t.Parallel()
 	db, edges := testDB()
 	if _, err := Build(db.Cat, edges, 0, 1); err == nil {
 		t.Fatalf("zero sample size accepted")
@@ -38,6 +39,7 @@ func TestBuildValidation(t *testing.T) {
 }
 
 func TestFullTableSampleIsExact(t *testing.T) {
+	t.Parallel()
 	db, edges := testDB()
 	// Sample size ≥ table sizes → sampling the whole relation → exact.
 	s, err := Build(db.Cat, edges, 1<<20, 1)
@@ -63,6 +65,7 @@ func TestFullTableSampleIsExact(t *testing.T) {
 }
 
 func TestSampledEstimateAccuracy(t *testing.T) {
+	t.Parallel()
 	db, edges := testDB()
 	s, err := Build(db.Cat, edges, 2000, 3)
 	if err != nil {
@@ -90,6 +93,7 @@ func TestSampledEstimateAccuracy(t *testing.T) {
 }
 
 func TestEstimateSeparableSubset(t *testing.T) {
+	t.Parallel()
 	db, edges := testDB()
 	s, err := Build(db.Cat, edges, 1<<20, 1)
 	if err != nil {
@@ -113,6 +117,7 @@ func TestEstimateSeparableSubset(t *testing.T) {
 }
 
 func TestEstimateEmptySet(t *testing.T) {
+	t.Parallel()
 	db, edges := testDB()
 	s, err := Build(db.Cat, edges, 100, 1)
 	if err != nil {
@@ -129,6 +134,7 @@ func TestEstimateEmptySet(t *testing.T) {
 }
 
 func TestUnanswerableQueries(t *testing.T) {
+	t.Parallel()
 	db, edges := testDB()
 	s, err := Build(db.Cat, edges, 500, 1)
 	if err != nil {
@@ -170,6 +176,7 @@ func TestUnanswerableQueries(t *testing.T) {
 // closure must keep estimates unbiased (the full-sample estimate stays
 // exact even though deeper closure levels drop rows).
 func TestDanglingKeysUnbiased(t *testing.T) {
+	t.Parallel()
 	db := datagen.Generate(datagen.Config{Seed: 4, FactRows: 3000, DanglingFrac: 0.2})
 	edges := make([]Edge, len(db.Edges))
 	for i, e := range db.Edges {
@@ -198,6 +205,7 @@ func TestDanglingKeysUnbiased(t *testing.T) {
 }
 
 func TestDeterministicSampling(t *testing.T) {
+	t.Parallel()
 	db, edges := testDB()
 	s1, err := Build(db.Cat, edges, 300, 7)
 	if err != nil {

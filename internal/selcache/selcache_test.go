@@ -8,6 +8,7 @@ import (
 )
 
 func TestGetPutBasics(t *testing.T) {
+	t.Parallel()
 	c := New[int](64)
 	if _, ok := c.Get("a"); ok {
 		t.Fatalf("empty cache reported a hit")
@@ -37,6 +38,7 @@ func TestGetPutBasics(t *testing.T) {
 }
 
 func TestLRUEvictionOrder(t *testing.T) {
+	t.Parallel()
 	// One shard makes the LRU order observable.
 	c := NewSharded[int](2, 1)
 	c.Put("a", 1)
@@ -58,6 +60,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 }
 
 func TestBoundedUnderChurn(t *testing.T) {
+	t.Parallel()
 	const capacity = 100
 	c := New[int](capacity)
 	for i := 0; i < 10*capacity; i++ {
@@ -73,6 +76,7 @@ func TestBoundedUnderChurn(t *testing.T) {
 }
 
 func TestTinyCapacityRoundsUp(t *testing.T) {
+	t.Parallel()
 	c := New[string](1)
 	c.Put("x", "v")
 	if v, ok := c.Get("x"); !ok || v != "v" {
@@ -81,6 +85,7 @@ func TestTinyCapacityRoundsUp(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
+	t.Parallel()
 	c := New[int](16)
 	c.Put("a", 1)
 	c.Get("a")
@@ -99,6 +104,7 @@ func TestReset(t *testing.T) {
 // -race this is the package's data-race proof. Values are derived from keys
 // so every hit can be validated.
 func TestConcurrentMixed(t *testing.T) {
+	t.Parallel()
 	const seed = 7 // constant seed: failures reproduce with the logged value
 	c := New[int](256)
 	var wg sync.WaitGroup

@@ -26,7 +26,7 @@ func matcherCase(rng *rand.Rand) (*engine.Catalog, []engine.Pred, *Pool) {
 	var preds []engine.Pred
 	for t := 1; t < nTables; t++ {
 		preds = append(preds, engine.Join(
-			cat.AttrsOfTable(engine.TableID(t-1))[rng.Intn(3)],
+			cat.AttrsOfTable(engine.TableID(t - 1))[rng.Intn(3)],
 			cat.AttrsOfTable(engine.TableID(t))[rng.Intn(3)]))
 	}
 	for f := 0; f < 1+rng.Intn(3); f++ {
@@ -44,6 +44,7 @@ func matcherCase(rng *rand.Rand) (*engine.Catalog, []engine.Pred, *Pool) {
 // returns — same SIT pointers in the same order — on cold and cached
 // lookups alike.
 func TestMatcherMatchesPoolCandidates(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 40; trial++ {
 		cat, preds, pool := matcherCase(rng)
@@ -77,6 +78,7 @@ func TestMatcherMatchesPoolCandidates(t *testing.T) {
 // TestMatcherCountsMatchCalls: every Matcher lookup — cached or not — bumps
 // the pool's view-matching counter, preserving the Figure 6 metric.
 func TestMatcherCountsMatchCalls(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(8))
 	cat, preds, pool := matcherCase(rng)
 	m := NewMatcher(pool, preds)

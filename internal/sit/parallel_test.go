@@ -8,6 +8,7 @@ import (
 )
 
 func TestParallelPoolMatchesSequential(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(70)), 300)
 	q1 := engine.NewQuery(cat, []engine.Pred{
 		engine.Join(a["l.oid"], a["o.id"]),
@@ -45,6 +46,7 @@ func TestParallelPoolMatchesSequential(t *testing.T) {
 }
 
 func TestParallelPoolSingleWorkerDelegates(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(71)), 100)
 	q := engine.NewQuery(cat, []engine.Pred{
 		engine.Join(a["l.oid"], a["o.id"]),
@@ -64,6 +66,7 @@ func TestParallelPoolSingleWorkerDelegates(t *testing.T) {
 }
 
 func TestParallelPoolConfigure(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(72)), 200)
 	q := engine.NewQuery(cat, []engine.Pred{
 		engine.Join(a["l.oid"], a["o.id"]),

@@ -74,6 +74,7 @@ func (p *Pool) index() *poolIndex {
 		return ix
 	}
 	ix := &poolIndex{gen: p.gen, byAttr: make(map[engine.AttrID]*attrIndex, len(p.byAttr))}
+	//lint:ignore detmaprange each iteration builds one keyed attrIndex independently (sits re-sorted by ID inside); the output map is order-free
 	for attr, sits := range p.byAttr {
 		ai := &attrIndex{sits: append([]*SIT(nil), sits...)}
 		sort.Slice(ai.sits, func(i, j int) bool { return ai.sits[i].ID() < ai.sits[j].ID() })

@@ -1,0 +1,62 @@
+package sit
+
+import (
+	"math/rand"
+	"testing"
+
+	"condsel/internal/engine"
+	"condsel/internal/histogram"
+)
+
+// TestPoolIndexInsertionOrderIndependence backs the detmaprange suppression
+// on poolIndex construction (Pool.index ranges over the byAttr map): every
+// read surface of the index — OnAttr, SITs, Candidates — must return
+// byte-identical sequences no matter in which order the same SITs were
+// added, i.e. no matter which map iteration order built the index.
+func TestPoolIndexInsertionOrderIndependence(t *testing.T) {
+	t.Parallel()
+	cat, a := shopDB(rand.New(rand.NewSource(7)), 60)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	preds := []engine.Pred{engine.Filter(a["o.price"], 0, 500), join}
+
+	mkSITs := func() []*SIT {
+		return []*SIT{
+			NewSIT(cat, a["o.price"], nil, &histogram.Histogram{}, 0),
+			NewSIT(cat, a["o.price"], []engine.Pred{join}, &histogram.Histogram{}, 0.4),
+			NewSIT(cat, a["l.qty"], nil, &histogram.Histogram{}, 0),
+			NewSIT(cat, a["l.qty"], []engine.Pred{join}, &histogram.Histogram{}, 0.2),
+			NewSIT(cat, a["o.id"], nil, &histogram.Histogram{}, 0),
+		}
+	}
+
+	forward := NewPool(cat)
+	for _, s := range mkSITs() {
+		forward.Add(s)
+	}
+	backward := NewPool(cat)
+	sits := mkSITs()
+	for i := len(sits) - 1; i >= 0; i-- {
+		backward.Add(sits[i])
+	}
+
+	sameIDs := func(name string, x, y []*SIT) {
+		t.Helper()
+		if len(x) != len(y) {
+			t.Fatalf("%s: %d vs %d SITs", name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i].ID() != y[i].ID() {
+				t.Fatalf("%s[%d]: %q vs %q", name, i, x[i].ID(), y[i].ID())
+			}
+		}
+	}
+
+	sameIDs("SITs", forward.SITs(), backward.SITs())
+	for name, attr := range a {
+		sameIDs("OnAttr("+name+")", forward.OnAttr(attr), backward.OnAttr(attr))
+		full := engine.FullPredSet(len(preds))
+		sameIDs("Candidates("+name+")",
+			forward.Candidates(preds, attr, full),
+			backward.Candidates(preds, attr, full))
+	}
+}

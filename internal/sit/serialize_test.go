@@ -10,6 +10,7 @@ import (
 )
 
 func TestPoolSerializationRoundTrip(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(50)), 300)
 	join := engine.Join(a["l.oid"], a["o.id"])
 	q := engine.NewQuery(cat, []engine.Pred{
@@ -54,6 +55,7 @@ func TestPoolSerializationRoundTrip(t *testing.T) {
 }
 
 func TestReadPoolErrors(t *testing.T) {
+	t.Parallel()
 	cat, _ := shopDB(rand.New(rand.NewSource(51)), 50)
 	if _, err := ReadPool(cat, strings.NewReader("{broken")); err == nil {
 		t.Errorf("broken JSON accepted")
@@ -72,6 +74,7 @@ func TestReadPoolErrors(t *testing.T) {
 }
 
 func TestWriteToRejectsHistlessSIT(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(52)), 50)
 	pool := NewPool(cat)
 	pool.Add(NewSIT(cat, a["o.price"], nil, nil, 0))
@@ -82,6 +85,7 @@ func TestWriteToRejectsHistlessSIT(t *testing.T) {
 }
 
 func TestPool2DSerializationRoundTrip(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(53)), 200)
 	b := NewBuilder(cat)
 	pool := NewPool(cat)

@@ -9,6 +9,7 @@ import (
 )
 
 func TestSIT2DIdentityAndNaming(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(60)), 100)
 	b := NewBuilder(cat)
 	s, err := b.Build2D(a["o.id"], a["o.price"], nil)
@@ -35,6 +36,7 @@ func TestSIT2DIdentityAndNaming(t *testing.T) {
 }
 
 func TestBuild2DValidation(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(61)), 50)
 	b := NewBuilder(cat)
 	if _, err := b.Build2D(a["o.price"], a["l.qty"], nil); err == nil {
@@ -43,6 +45,7 @@ func TestBuild2DValidation(t *testing.T) {
 }
 
 func TestBuild2DOverExpression(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(62)), 200)
 	b := NewBuilder(cat)
 	join := engine.Join(a["l.oid"], a["o.id"])
@@ -60,6 +63,7 @@ func TestBuild2DOverExpression(t *testing.T) {
 }
 
 func TestPool2DAddAndCandidates(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(63)), 100)
 	b := NewBuilder(cat)
 	pool := NewPool(cat)
@@ -91,6 +95,7 @@ func TestPool2DAddAndCandidates(t *testing.T) {
 }
 
 func TestPool2DMaximality(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(64)), 100)
 	b := NewBuilder(cat)
 	pool := NewPool(cat)
@@ -117,6 +122,7 @@ func TestPool2DMaximality(t *testing.T) {
 }
 
 func TestMaxJoinsCarries2D(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(65)), 100)
 	b := NewBuilder(cat)
 	pool := NewPool(cat)
@@ -137,6 +143,7 @@ func TestMaxJoinsCarries2D(t *testing.T) {
 }
 
 func TestBuild2DBaseSITs(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(66)), 150)
 	b := NewBuilder(cat)
 	pool := NewPool(cat)

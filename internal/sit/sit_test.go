@@ -47,6 +47,7 @@ func shopDB(rng *rand.Rand, nOrders int) (*engine.Catalog, map[string]engine.Att
 }
 
 func TestSITIdentityAndNaming(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(1)), 50)
 	join := engine.Join(a["l.oid"], a["o.id"])
 	s := NewSIT(cat, a["o.price"], []engine.Pred{join}, &histogram.Histogram{}, 0.5)
@@ -74,6 +75,7 @@ func TestSITIdentityAndNaming(t *testing.T) {
 }
 
 func TestSITMatching(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(2)), 50)
 	join := engine.Join(a["l.oid"], a["o.id"])
 	filter := engine.Filter(a["o.price"], 0, 500)
@@ -100,6 +102,7 @@ func TestSITMatching(t *testing.T) {
 }
 
 func TestBuilderBaseHistogram(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(3)), 200)
 	b := NewBuilder(cat)
 	s := b.BuildBase(a["o.price"])
@@ -120,6 +123,7 @@ func TestBuilderBaseHistogram(t *testing.T) {
 // expensive orders, so the SIT's estimate of price>800 over the join must
 // far exceed the base histogram's, and its diff must be large.
 func TestBuilderSITCapturesCorrelation(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(4)), 500)
 	b := NewBuilder(cat)
 	join := engine.Join(a["l.oid"], a["o.id"])
@@ -149,6 +153,7 @@ func TestBuilderSITCapturesCorrelation(t *testing.T) {
 // TestBuilderSITIndependentJoinHasLowDiff mirrors Example 4: when the join
 // does not skew the attribute's distribution, diff ≈ 0.
 func TestBuilderSITIndependentJoinHasLowDiff(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	n := 1000
 	key := make([]int64, n)
@@ -175,6 +180,7 @@ func TestBuilderSITIndependentJoinHasLowDiff(t *testing.T) {
 }
 
 func TestBuilderExactDiffOption(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(6)), 300)
 	join := engine.Join(a["l.oid"], a["o.id"])
 	approx := NewBuilder(cat)
@@ -188,6 +194,7 @@ func TestBuilderExactDiffOption(t *testing.T) {
 }
 
 func TestBuildGroupSharesEvaluation(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(7)), 200)
 	b := NewBuilder(cat)
 	join := engine.Join(a["l.oid"], a["o.id"])
@@ -204,6 +211,7 @@ func TestBuildGroupSharesEvaluation(t *testing.T) {
 }
 
 func TestPoolAddAndDedup(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(8)), 50)
 	p := NewPool(cat)
 	join := engine.Join(a["l.oid"], a["o.id"])
@@ -238,6 +246,7 @@ func TestPoolAddAndDedup(t *testing.T) {
 // {p1}, {p2} and {p1,p2,p3} available and Q = {p1,p2}, the candidates are
 // exactly SIT(a|p1) and SIT(a|p2).
 func TestPoolCandidatesMaximality(t *testing.T) {
+	t.Parallel()
 	cat := engine.NewCatalog()
 	var cols []*engine.Column
 	for _, n := range []string{"a", "x", "y", "z"} {
@@ -287,6 +296,7 @@ func TestPoolCandidatesMaximality(t *testing.T) {
 }
 
 func TestWorkloadSpecs(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(9)), 50)
 	join := engine.Join(a["l.oid"], a["o.id"])
 	q := engine.NewQuery(cat, []engine.Pred{
@@ -311,6 +321,7 @@ func TestWorkloadSpecs(t *testing.T) {
 }
 
 func TestBuildWorkloadPool(t *testing.T) {
+	t.Parallel()
 	cat, a := shopDB(rand.New(rand.NewSource(10)), 200)
 	join := engine.Join(a["l.oid"], a["o.id"])
 	q := engine.NewQuery(cat, []engine.Pred{

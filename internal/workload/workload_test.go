@@ -12,6 +12,7 @@ func testDB() *datagen.DB {
 }
 
 func TestGenerateWorkloadShape(t *testing.T) {
+	t.Parallel()
 	db := testDB()
 	g := NewGenerator(db, Config{Seed: 1, NumQueries: 10, Joins: 3, Filters: 3})
 	queries, err := g.Generate()
@@ -46,6 +47,7 @@ func TestGenerateWorkloadShape(t *testing.T) {
 // TestNonEmptyResults: every generated query must return at least one tuple
 // (the paper stretches filter ranges to guarantee this).
 func TestNonEmptyResults(t *testing.T) {
+	t.Parallel()
 	db := testDB()
 	g := NewGenerator(db, Config{Seed: 2, NumQueries: 15, Joins: 4, Filters: 3})
 	queries, err := g.Generate()
@@ -61,6 +63,7 @@ func TestNonEmptyResults(t *testing.T) {
 }
 
 func TestDeterministicWorkload(t *testing.T) {
+	t.Parallel()
 	db := testDB()
 	q1, err := NewGenerator(db, Config{Seed: 3, NumQueries: 5}).Generate()
 	if err != nil {
@@ -78,6 +81,7 @@ func TestDeterministicWorkload(t *testing.T) {
 }
 
 func TestFilterSelectivityNearTarget(t *testing.T) {
+	t.Parallel()
 	db := testDB()
 	g := NewGenerator(db, Config{Seed: 4, NumQueries: 20, Joins: 3, Filters: 3,
 		TargetSelectivity: 0.05})
@@ -105,6 +109,7 @@ func TestFilterSelectivityNearTarget(t *testing.T) {
 }
 
 func TestMaxJoinsBoundedBySchema(t *testing.T) {
+	t.Parallel()
 	db := testDB()
 	g := NewGenerator(db, Config{Seed: 5, NumQueries: 3, Joins: 7, Filters: 3})
 	queries, err := g.Generate()
@@ -122,6 +127,7 @@ func TestMaxJoinsBoundedBySchema(t *testing.T) {
 }
 
 func TestAllJoinCountsGenerate(t *testing.T) {
+	t.Parallel()
 	db := testDB()
 	for j := 1; j <= 7; j++ {
 		g := NewGenerator(db, Config{Seed: int64(10 + j), NumQueries: 2, Joins: j, Filters: 2})
