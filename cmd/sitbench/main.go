@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp]
+//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp|robust]
 //	         [-fact N] [-queries N] [-joins 3,5,7] [-maxpool N]
 //	         [-subsets N] [-seed N] [-filtersel F] [-csv FILE]
 //	         [-workers N] [-cache] [-cachecap N] [-rounds N] [-json FILE]
@@ -23,8 +23,12 @@
 // always measures the sequential cache-off baseline alongside the
 // requested -workers/-cache configuration; -fig dp always measures the
 // NoFastPath baseline alongside the optimized estimator over -sizes
-// predicate counts. Both write a -json artifact (defaults:
-// BENCH_estimation.json for est, BENCH_dp.json for dp).
+// predicate counts. -fig robust times the un-armed degradation ladder
+// against the plain estimator (bit-identical answers are asserted, not
+// assumed) and, with -faults (the default), arms each fault-injection
+// point in turn and records which ladder tiers answer. All three write a
+// -json artifact (defaults: BENCH_estimation.json for est, BENCH_dp.json
+// for dp, BENCH_robust.json for robust).
 package main
 
 import (
@@ -40,7 +44,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp")
+		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust")
 		fact      = flag.Int("fact", 20000, "fact table rows")
 		queries   = flag.Int("queries", 25, "queries per workload")
 		joins     = flag.String("joins", "3,5,7", "workload join counts (comma separated)")
@@ -56,6 +60,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "JSON artifact path for -fig est/dp (default per figure)")
 		sizes     = flag.String("sizes", "6,8,10,12", "query predicate counts for -fig dp")
 		iters     = flag.Int("iters", 0, "timed passes per variant for -fig dp (0 = default)")
+		withFault = flag.Bool("faults", true, "for -fig robust: also arm each fault point and record the ladder's tier distribution")
 	)
 	flag.Parse()
 
@@ -88,16 +93,17 @@ func main() {
 		os.Exit(2)
 	}
 	dpCfg := bench.DPBenchConfig{Sizes: ns, Iters: *iters}
+	robustCfg := bench.RobustBenchConfig{Iters: *iters, Faults: *withFault}
 
 	start := time.Now()
-	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, *jsonPath); err != nil {
+	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, jsonPath string) error {
+func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, jsonPath string) error {
 	withJSON := func(def string, write func(*os.File) error) error {
 		path := jsonPath
 		if path == "" {
@@ -197,6 +203,13 @@ func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchCo
 		bench.RenderDP(os.Stdout, report)
 		return withJSON("BENCH_dp.json", func(f *os.File) error {
 			return bench.WriteDPJSON(f, report)
+		})
+	case "robust":
+		e := bench.NewEnv(opts)
+		report := e.RobustBench(robustCfg)
+		bench.RenderRobust(os.Stdout, report)
+		return withJSON("BENCH_robust.json", func(f *os.File) error {
+			return bench.WriteRobustJSON(f, report)
 		})
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

@@ -44,6 +44,11 @@ func TestNonDetFixture(t *testing.T) {
 	testFixture(t, "nondet", []Analyzer{NewNonDet()})
 }
 
+func TestLadderGuardFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "ladderguard", []Analyzer{NewLadderGuard()})
+}
+
 // TestSuiteOnFixture: the full suite (not just the single analyzer) produces
 // findings on a fixture package — the property the CLI's non-zero exit for
 // fixture dirs rests on.

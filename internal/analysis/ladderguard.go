@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LadderGuard enforces the degradation ladder's accountability invariant:
+// estimation code may swallow a panic only if it says why. Every recover()
+// call site must — in its own function literal or an enclosing function
+// declaration — reference an identifier whose name contains
+// "FallbackReason" (the Provenance field, core.RecoverFallbackReason, or a
+// *fallbackReason out-parameter). A recovery that records nothing turns a
+// corrupt-statistics panic into a silently wrong estimate with no trace in
+// the provenance, which is exactly the failure mode the ladder exists to
+// prevent.
+type LadderGuard struct {
+	// Scope lists package-path prefixes/substrings the analyzer applies to.
+	Scope []string
+}
+
+// NewLadderGuard returns the analyzer scoped to the whole module: the only
+// legitimate recover() sites in non-test code are the estimation ladder's
+// guarded entry points, and all of them must report a fallback reason.
+func NewLadderGuard() *LadderGuard {
+	return &LadderGuard{Scope: []string{
+		"condsel",
+		"testdata/src/ladderguard",
+	}}
+}
+
+// Name implements Analyzer.
+func (*LadderGuard) Name() string { return "ladderguard" }
+
+// Doc implements Analyzer.
+func (*LadderGuard) Doc() string {
+	return "every recover() in estimation code must record a FallbackReason (reference Provenance.FallbackReason, core.RecoverFallbackReason or a fallbackReason variable)"
+}
+
+// Run implements Analyzer.
+func (a *LadderGuard) Run(pass *Pass) {
+	if !inScope(pass.Path, a.Scope) {
+		return
+	}
+	for _, f := range pass.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinRecover(pass, call) {
+				return true
+			}
+			// Accept a FallbackReason reference in any enclosing function,
+			// innermost literal to outermost declaration: the deferred
+			// closure may store into a local that the declaring function
+			// copies into the provenance.
+			for i := len(stack) - 1; i >= 0; i-- {
+				switch fn := stack[i].(type) {
+				case *ast.FuncLit:
+					if referencesFallbackReason(fn) {
+						return true
+					}
+				case *ast.FuncDecl:
+					if referencesFallbackReason(fn) {
+						return true
+					}
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"recover() without recording a FallbackReason: a swallowed panic must explain itself (assign Provenance.FallbackReason or defer core.RecoverFallbackReason)")
+			return true
+		})
+	}
+}
+
+// isBuiltinRecover reports whether the call invokes the predeclared recover
+// (not a shadowing local function of the same name).
+func isBuiltinRecover(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "recover" {
+		return false
+	}
+	_, builtin := pass.ObjectOf(id).(*types.Builtin)
+	return builtin
+}
+
+// referencesFallbackReason reports whether any identifier under n — a field
+// selector, variable, parameter or callee name — contains "FallbackReason"
+// (either capitalization).
+func referencesFallbackReason(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && strings.Contains(id.Name, "allbackReason") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

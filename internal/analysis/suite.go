@@ -11,5 +11,6 @@ func Suite() []Analyzer {
 		NewLockOrder(),
 		NewSideCond(),
 		NewNonDet(),
+		NewLadderGuard(),
 	}
 }

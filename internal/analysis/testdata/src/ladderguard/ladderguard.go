@@ -1,0 +1,86 @@
+// Package ladderguard is the fixture for the ladderguard analyzer: recover()
+// call sites that do and do not record a fallback reason.
+package ladderguard
+
+import "fmt"
+
+// provenance mirrors the estimator's Provenance shape.
+type provenance struct {
+	Tier           int
+	FallbackReason string
+}
+
+// guardedInline records the reason inside the deferred literal: compliant.
+func guardedInline() (p provenance) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.FallbackReason = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	mayPanic()
+	return p
+}
+
+// recoverFallbackReason is a named recorder in the style of
+// core.RecoverFallbackReason; its own name carries the reference.
+func recoverFallbackReason(reason *string) {
+	if r := recover(); r != nil {
+		*reason = fmt.Sprintf("panic: %v", r)
+	}
+}
+
+// guardedViaHelper defers the named recorder: compliant at the call site and
+// inside the helper itself.
+func guardedViaHelper() string {
+	var reason string
+	defer recoverFallbackReason(&reason)
+	mayPanic()
+	return reason
+}
+
+// guardedOuter stores into a local inside the closure; the enclosing
+// declaration copies it into the provenance, which satisfies the outer-scope
+// check.
+func guardedOuter() provenance {
+	var p provenance
+	var why string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				why = fmt.Sprintf("panic: %v", r)
+			}
+		}()
+		mayPanic()
+	}()
+	p.FallbackReason = why
+	return p
+}
+
+// silentSwallow recovers and drops the panic on the floor.
+func silentSwallow() (ok bool) {
+	defer func() {
+		if recover() != nil { // want `recover\(\) without recording a FallbackReason`
+			ok = false
+		}
+	}()
+	mayPanic()
+	return true
+}
+
+// directRecover recovers inline in the declaration body without a trace.
+func directRecover() {
+	if recover() != nil { // want `recover\(\) without recording a FallbackReason`
+		return
+	}
+}
+
+// shadowedRecover calls a local function named recover, not the builtin: the
+// analyzer must not fire.
+func shadowedRecover() {
+	recover := func() error { return nil }
+	if recover() != nil {
+		return
+	}
+}
+
+func mayPanic() {}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"condsel/internal/core"
+	"condsel/internal/engine"
+	"condsel/internal/faults"
+	"condsel/internal/robust"
+	"condsel/internal/sit"
+	"condsel/internal/workload"
+)
+
+// RobustBenchConfig configures the degradation-ladder benchmark: the un-armed
+// robust path is timed against the plain estimator (the ladder's contract is
+// bit-identical answers at negligible overhead), and optionally each fault
+// point is armed in turn to record which tiers the ladder lands on.
+type RobustBenchConfig struct {
+	Sizes     []int // total predicate counts (default 6,8,10)
+	Queries   int   // queries measured per size (default 4)
+	Iters     int   // timed passes over those queries per variant (default 3)
+	PoolJoins int   // SIT pool J_i to estimate against (default 2)
+	Faults    bool  // additionally run the armed fault-schedule section
+}
+
+func (c RobustBenchConfig) withDefaults() RobustBenchConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{6, 8, 10}
+	}
+	if c.Queries == 0 {
+		c.Queries = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 3
+	}
+	if c.PoolJoins == 0 {
+		c.PoolJoins = 2
+	}
+	return c
+}
+
+// RobustBenchCell is one query-size measurement of the un-armed robust path
+// against the plain estimator over identical queries and pool.
+type RobustBenchCell struct {
+	N       int `json:"n_preds"`
+	Joins   int `json:"joins"`
+	Filters int `json:"filters"`
+
+	PlainNsPerOp  float64 `json:"plain_ns_per_op"`
+	RobustNsPerOp float64 `json:"robust_ns_per_op"`
+	// OverheadPct is (robust - plain) / plain × 100; the ladder's target is
+	// staying under 2% when nothing fails.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// RobustFaultCell records, for one armed fault schedule, which ladder tiers
+// answered across the workload.
+type RobustFaultCell struct {
+	Fault string `json:"fault"`
+	// TierCounts maps tier name ("full-dp", ...) to how many queries that
+	// tier answered.
+	TierCounts map[string]int `json:"tier_counts"`
+	// Degraded is how many queries any tier below full-dp answered.
+	Degraded int `json:"degraded"`
+}
+
+// RobustBenchReport is the machine-readable BENCH_robust.json artifact.
+type RobustBenchReport struct {
+	Seed      int64 `json:"seed"`
+	FactRows  int   `json:"fact_rows"`
+	Queries   int   `json:"queries_per_size"`
+	Iters     int   `json:"iters"`
+	PoolJoins int   `json:"pool_joins"`
+
+	Cells []RobustBenchCell `json:"cells"`
+	// MaxOverheadPct is the worst un-armed overhead across cells.
+	MaxOverheadPct float64 `json:"max_overhead_pct"`
+
+	Faulted []RobustFaultCell `json:"faulted,omitempty"`
+}
+
+// RobustBench measures the degradation ladder. The un-armed section runs the
+// identical queries through the plain DP and through the ladder (which must
+// take TierFullDP everywhere) and reports the relative overhead; any answer
+// mismatch or degraded tier is a benchmark failure, because un-armed
+// bit-identity is the ladder's contract, enforced here as well as in tests.
+// With cfg.Faults, each injection point is then armed in turn over a fresh
+// pool and the resulting tier distribution recorded.
+func (e *Env) RobustBench(cfg RobustBenchConfig) RobustBenchReport {
+	cfg = cfg.withDefaults()
+	report := RobustBenchReport{
+		Seed:      e.Opts.Seed,
+		FactRows:  e.Opts.FactRows,
+		Queries:   cfg.Queries,
+		Iters:     cfg.Iters,
+		PoolJoins: cfg.PoolJoins,
+	}
+
+	var lastQueries []*engine.Query
+	for _, n := range cfg.Sizes {
+		joins, filters := dpSplit(n)
+		g := workload.NewGenerator(e.DB, workload.Config{
+			Seed:              e.Opts.Seed + int64(9000*n),
+			NumQueries:        cfg.Queries,
+			Joins:             joins,
+			Filters:           filters,
+			TargetSelectivity: e.Opts.FilterSelectivity,
+		})
+		queries, err := g.Generate()
+		if err != nil {
+			panic(fmt.Sprintf("bench: robust workload n=%d: %v", n, err))
+		}
+		lastQueries = queries
+		pool := sit.BuildWorkloadPoolParallel(e.DB.Cat, queries, cfg.PoolJoins,
+			runtime.GOMAXPROCS(0), func(b *sit.Builder) { b.Buckets = e.Opts.Buckets })
+
+		cell := RobustBenchCell{N: n, Joins: joins, Filters: filters}
+		est := core.NewEstimator(e.DB.Cat, pool, core.Diff{})
+		lad := robust.New(est, robust.Config{})
+
+		// Answers must agree before anything is timed.
+		for _, q := range queries {
+			want := est.NewRun(q).GetSelectivity(q.All()).Sel
+			got, prov := lad.Selectivity(nil, q, q.All())
+			if got != want || prov.Tier != robust.TierFullDP {
+				panic(fmt.Sprintf("bench: un-armed ladder diverged (n=%d): %v vs %v, tier %v, reason %q",
+					n, got, want, prov.Tier, prov.FallbackReason))
+			}
+		}
+
+		// Each (query, variant) pair is timed individually every round and
+		// the per-query minimum across rounds is kept: a GC pause or
+		// scheduler hiccup then perturbs one sample of one query instead of
+		// biasing an entire variant's aggregate, so the overhead estimate
+		// converges with far fewer rounds on noisy hosts. The variant order
+		// flips every round — whichever runs second inherits warm CPU and
+		// histogram-join caches, and alternating gives both variants equal
+		// claim to the warm samples the minimum selects.
+		pmin := make([]float64, len(queries))
+		rmin := make([]float64, len(queries))
+		for i := range pmin {
+			pmin[i], rmin[i] = math.Inf(1), math.Inf(1)
+		}
+		timePlain := func(i int, q *engine.Query) {
+			start := time.Now()
+			est.NewRun(q).GetSelectivity(q.All())
+			pmin[i] = math.Min(pmin[i], float64(time.Since(start).Nanoseconds()))
+		}
+		timeRobust := func(i int, q *engine.Query) {
+			start := time.Now()
+			lad.Selectivity(nil, q, q.All())
+			rmin[i] = math.Min(rmin[i], float64(time.Since(start).Nanoseconds()))
+		}
+		for it := 0; it < cfg.Iters; it++ {
+			core.ResetHistJoinCache()
+			for i, q := range queries {
+				if it%2 == 0 {
+					timePlain(i, q)
+					timeRobust(i, q)
+				} else {
+					timeRobust(i, q)
+					timePlain(i, q)
+				}
+			}
+		}
+		for i := range pmin {
+			cell.PlainNsPerOp += pmin[i] / float64(len(queries))
+			cell.RobustNsPerOp += rmin[i] / float64(len(queries))
+		}
+		cell.OverheadPct = 100 * (cell.RobustNsPerOp - cell.PlainNsPerOp) / cell.PlainNsPerOp
+		if cell.OverheadPct > report.MaxOverheadPct {
+			report.MaxOverheadPct = cell.OverheadPct
+		}
+		report.Cells = append(report.Cells, cell)
+	}
+
+	if cfg.Faults {
+		report.Faulted = e.robustFaultSection(cfg, lastQueries)
+	}
+	return report
+}
+
+// robustFaultSection arms each injection point in turn over a fresh pool
+// (fault-driven quarantine mutates pools) and tallies the tier distribution.
+// Schedules are deterministic, so the distribution is reproducible per seed.
+func (e *Env) robustFaultSection(cfg RobustBenchConfig, queries []*engine.Query) []RobustFaultCell {
+	cases := []struct {
+		name  string
+		sched func() *faults.Schedule
+	}{
+		{"panic-in-factor", func() *faults.Schedule {
+			return faults.NewSchedule(e.Opts.Seed).Set(faults.PanicInFactor, faults.Rule{})
+		}},
+		{"nan-selectivity", func() *faults.Schedule {
+			return faults.NewSchedule(e.Opts.Seed).Set(faults.NaNSelectivity, faults.Rule{})
+		}},
+		{"corrupt-bucket", func() *faults.Schedule {
+			return faults.NewSchedule(e.Opts.Seed).Set(faults.CorruptBucket, faults.Rule{Limit: 4})
+		}},
+		{"cache-evict-storm", func() *faults.Schedule {
+			return faults.NewSchedule(e.Opts.Seed).Set(faults.CacheEvictStorm, faults.Rule{Every: 2})
+		}},
+	}
+	out := make([]RobustFaultCell, 0, len(cases))
+	for _, c := range cases {
+		pool := sit.BuildWorkloadPoolParallel(e.DB.Cat, queries, cfg.PoolJoins,
+			runtime.GOMAXPROCS(0), func(b *sit.Builder) { b.Buckets = e.Opts.Buckets })
+		lad := robust.New(core.NewEstimator(e.DB.Cat, pool, core.Diff{}), robust.Config{})
+		cell := RobustFaultCell{Fault: c.name, TierCounts: make(map[string]int)}
+		faults.Arm(c.sched())
+		for _, q := range queries {
+			_, prov := lad.Selectivity(nil, q, q.All())
+			cell.TierCounts[prov.Tier.String()]++
+			if prov.Tier != robust.TierFullDP {
+				cell.Degraded++
+			}
+		}
+		faults.Disarm()
+		out = append(out, cell)
+	}
+	return out
+}
+
+// WriteRobustJSON writes the report as indented JSON.
+func WriteRobustJSON(w io.Writer, r RobustBenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RenderRobust prints the report as a table.
+func RenderRobust(w io.Writer, r RobustBenchReport) {
+	fmt.Fprintf(w, "degradation ladder — %d queries/size × %d iters, pool J%d (seed %d)\n\n",
+		r.Queries, r.Iters, r.PoolJoins, r.Seed)
+	fmt.Fprintf(w, "%4s %6s %8s %14s %14s %10s\n",
+		"n", "joins", "filters", "plain", "robust", "overhead")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%4d %6d %8d %14s %14s %9.2f%%\n",
+			c.N, c.Joins, c.Filters,
+			time.Duration(c.PlainNsPerOp).Round(time.Microsecond),
+			time.Duration(c.RobustNsPerOp).Round(time.Microsecond),
+			c.OverheadPct)
+	}
+	fmt.Fprintf(w, "\nmax un-armed overhead: %.2f%%\n", r.MaxOverheadPct)
+	for _, fc := range r.Faulted {
+		tiers := make([]string, 0, len(fc.TierCounts))
+		for tier := range fc.TierCounts {
+			tiers = append(tiers, tier)
+		}
+		sort.Strings(tiers)
+		fmt.Fprintf(w, "\n%-18s degraded %d/%d:", fc.Fault, fc.Degraded, r.Queries)
+		for _, tier := range tiers {
+			fmt.Fprintf(w, "  %s=%d", tier, fc.TierCounts[tier])
+		}
+	}
+	if len(r.Faulted) > 0 {
+		fmt.Fprintln(w)
+	}
+}

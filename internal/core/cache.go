@@ -71,8 +71,12 @@ func (r *Run) cacheGet(set engine.PredSet) (*Result, bool) {
 }
 
 // cachePut publishes a freshly computed result under its canonical key.
+// Invalid results — NaN or out-of-range selectivities, e.g. under an armed
+// NaNSelectivity fault — are never published: the cross-query cache is
+// shared state, and one poisoned entry would outlive the failure that
+// produced it.
 func (r *Run) cachePut(set engine.PredSet, res *Result) {
-	if r.Est.Cache == nil || set.Empty() {
+	if r.Est.Cache == nil || set.Empty() || invalidResult(res) != "" {
 		return
 	}
 	e := CacheEntry{Sel: res.Sel, Err: res.Err, Key: res.key}

@@ -163,6 +163,11 @@ type Run struct {
 	truthMemo   map[truthKey]float64
 	derivedMemo map[string]*sit.SIT // Example 3 derivations, nil until used
 
+	// budget, when non-nil, bounds the run's execution (deadline + node
+	// cap); see NewBudgetedRun. Nil for plain runs — every check is then a
+	// single nil test.
+	budget *runBudget
+
 	// cachePrefix is the run-constant prefix of cross-query cache keys
 	// (model name + pool generation), built once per run.
 	cachePrefix string
@@ -270,6 +275,7 @@ func (r *Run) components(set engine.PredSet) []engine.PredSet {
 }
 
 func (r *Run) compute(set engine.PredSet) *Result {
+	r.budget.node()
 	if set.Empty() {
 		return &Result{Sel: 1, Err: 0}
 	}

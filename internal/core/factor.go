@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"condsel/internal/engine"
+	"condsel/internal/faults"
 	"condsel/internal/sit"
 )
 
@@ -43,6 +44,14 @@ type joinApprox struct {
 // already processed. Errors accumulate additively, generalizing nInd's
 // |P_i|·|Q_i−Q'_i| (see DESIGN.md).
 func (r *Run) ApproxFactor(pp, qq engine.PredSet) (selF, errF float64, sits []*sit.SIT) {
+	r.budget.poll()
+	fs := faults.Active() // nil when the harness is off; Fire is nil-safe
+	if fs.Fire(faults.SlowFactor) {
+		fs.Sleep()
+	}
+	if fs.Fire(faults.PanicInFactor) {
+		panic(faults.Injected{Point: faults.PanicInFactor})
+	}
 	q := r.Query
 	cond := qq
 	selF = 1
@@ -71,6 +80,9 @@ func (r *Run) ApproxFactor(pp, qq engine.PredSet) (selF, errF float64, sits []*s
 		if i := bits.TrailingZeros64(s); !q.Preds[i].IsJoin() {
 			process(i)
 		}
+	}
+	if fs.Fire(faults.NaNSelectivity) {
+		selF = math.NaN()
 	}
 	return selF, errF, sits
 }

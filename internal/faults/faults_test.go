@@ -1,0 +1,163 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDisarmedNeverFires: a nil schedule (harness off) is a total no-op.
+func TestDisarmedNeverFires(t *testing.T) {
+	t.Parallel()
+	var s *Schedule
+	for p := Point(0); p < NumPoints; p++ {
+		if s.Fire(p) {
+			t.Fatalf("nil schedule fired %s", p)
+		}
+		if s.Hits(p) != 0 || s.Fires(p) != 0 {
+			t.Fatalf("nil schedule counted hits/fires for %s", p)
+		}
+	}
+}
+
+// TestUnarmedPointNeverFires: arming one point leaves the others silent and
+// uncounted in fires.
+func TestUnarmedPointNeverFires(t *testing.T) {
+	t.Parallel()
+	s := NewSchedule(1).Set(NaNSelectivity, Rule{})
+	for i := 0; i < 100; i++ {
+		if s.Fire(CorruptBucket) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if got := s.Fires(CorruptBucket); got != 0 {
+		t.Fatalf("unarmed point recorded %d fires", got)
+	}
+}
+
+// TestRuleScheduleDeterminism: Start/Every/Limit carve out exactly the
+// documented hit numbers, twice over (replay gives the same decisions).
+func TestRuleScheduleDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func() []int {
+		s := NewSchedule(7).Set(PanicInFactor, Rule{Start: 3, Every: 4, Limit: 3})
+		var fired []int
+		for n := 1; n <= 30; n++ {
+			if s.Fire(PanicInFactor) {
+				fired = append(fired, n)
+			}
+		}
+		return fired
+	}
+	want := []int{3, 7, 11}
+	for attempt := 0; attempt < 2; attempt++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("fired on hits %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fired on hits %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestProbSeeded: probabilistic rules are a pure function of (seed, point,
+// hit): same seed replays identically, different seeds differ, and the fire
+// rate lands in the right ballpark.
+func TestProbSeeded(t *testing.T) {
+	t.Parallel()
+	fireSet := func(seed int64) []bool {
+		s := NewSchedule(seed).Set(SlowFactor, Rule{Prob: 0.3})
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = s.Fire(SlowFactor)
+		}
+		return out
+	}
+	a, b, c := fireSet(42), fireSet(42), fireSet(43)
+	count, differ := 0, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fire decisions")
+		}
+		if a[i] != c[i] {
+			differ = true
+		}
+		if a[i] {
+			count++
+		}
+	}
+	if !differ {
+		t.Fatal("different seeds produced identical fire decisions")
+	}
+	if count < 450 || count > 750 {
+		t.Fatalf("prob 0.3 fired %d/2000 times", count)
+	}
+}
+
+// TestLimitUnderConcurrency: the fire cap holds exactly even when many
+// goroutines hammer one point.
+func TestLimitUnderConcurrency(t *testing.T) {
+	t.Parallel()
+	s := NewSchedule(1).Set(CacheEvictStorm, Rule{Limit: 5})
+	var wg sync.WaitGroup
+	total := make(chan int, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 200; i++ {
+				if s.Fire(CacheEvictStorm) {
+					n++
+				}
+			}
+			total <- n
+		}()
+	}
+	wg.Wait()
+	close(total)
+	sum := 0
+	for n := range total {
+		sum += n
+	}
+	if sum != 5 {
+		t.Fatalf("limit 5, but %d fires observed", sum)
+	}
+	if got := s.Fires(CacheEvictStorm); got != 5 {
+		t.Fatalf("Fires() = %d, want 5", got)
+	}
+	if got := s.Hits(CacheEvictStorm); got != 16*200 {
+		t.Fatalf("Hits() = %d, want %d", got, 16*200)
+	}
+}
+
+// TestArmDisarm: Active reflects the installed schedule; Disarm restores the
+// no-op default.
+func TestArmDisarm(t *testing.T) {
+	// Not parallel: Arm is process-global state shared with other tests in
+	// this package's binary.
+	s := NewSchedule(1).Set(NaNSelectivity, Rule{})
+	Arm(s)
+	if Active() != s {
+		t.Fatal("Active() did not return the armed schedule")
+	}
+	Disarm()
+	if Active() != nil {
+		t.Fatal("Disarm left a schedule active")
+	}
+}
+
+// TestPointNames: every point renders a distinct schedule name.
+func TestPointNames(t *testing.T) {
+	t.Parallel()
+	seen := map[string]bool{}
+	for p := Point(0); p < NumPoints; p++ {
+		name := p.String()
+		if name == "" || seen[name] {
+			t.Fatalf("point %d has empty or duplicate name %q", p, name)
+		}
+		seen[name] = true
+	}
+}

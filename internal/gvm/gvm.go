@@ -18,6 +18,8 @@
 package gvm
 
 import (
+	"context"
+
 	"condsel/internal/engine"
 	"condsel/internal/histogram"
 	"condsel/internal/sit"
@@ -53,8 +55,18 @@ type slot struct {
 // EstimateSelectivity runs the greedy procedure for the predicate subset
 // and returns the estimated Sel(set).
 func (e *Estimator) EstimateSelectivity(q *engine.Query, set engine.PredSet) float64 {
-	sel, _ := e.estimate(q, set)
+	sel, _ := e.estimate(nil, q, set)
 	return sel
+}
+
+// EstimateSelectivityCtx is EstimateSelectivity honoring a deadline: the
+// context is polled between greedy rounds (the procedure's unit of work) and
+// a done context aborts with its error. A nil context is never polled, so
+// results are identical to EstimateSelectivity. The degradation ladder
+// (internal/robust) uses this as its GVM tier.
+func (e *Estimator) EstimateSelectivityCtx(ctx context.Context, q *engine.Query, set engine.PredSet) (float64, error) {
+	sel, _, err := e.estimateCtx(ctx, q, set)
+	return sel, err
 }
 
 // EstimateCardinality returns the estimated cardinality of σ_set over its
@@ -68,15 +80,23 @@ func (e *Estimator) EstimateCardinality(q *engine.Query, set engine.PredSet) flo
 // Assumptions returns the number of independence assumptions (the nInd
 // score) of the greedy solution for the predicate subset.
 func (e *Estimator) Assumptions(q *engine.Query, set engine.PredSet) float64 {
-	_, nInd := e.estimate(q, set)
+	_, nInd := e.estimate(nil, q, set)
 	return nInd
 }
 
-// estimate performs the greedy SIT selection and returns the selectivity
-// estimate and its nInd score.
-func (e *Estimator) estimate(q *engine.Query, set engine.PredSet) (float64, float64) {
+// estimate is estimateCtx for callers without a deadline (a nil context is
+// never polled, so no error can surface).
+func (e *Estimator) estimate(ctx context.Context, q *engine.Query, set engine.PredSet) (float64, float64) {
+	sel, nInd, _ := e.estimateCtx(ctx, q, set)
+	return sel, nInd
+}
+
+// estimateCtx performs the greedy SIT selection and returns the selectivity
+// estimate and its nInd score, aborting between greedy rounds when the
+// context is done.
+func (e *Estimator) estimateCtx(ctx context.Context, q *engine.Query, set engine.PredSet) (float64, float64, error) {
 	if set.Empty() {
-		return 1, 0
+		return 1, 0, nil
 	}
 	// Handle separable sets per component: cross-component independence is
 	// exact, and it keeps conditioning sets meaningful.
@@ -84,11 +104,14 @@ func (e *Estimator) estimate(q *engine.Query, set engine.PredSet) (float64, floa
 	if len(comps) > 1 {
 		sel, nInd := 1.0, 0.0
 		for _, comp := range comps {
-			s, n := e.estimate(q, comp)
+			s, n, err := e.estimateCtx(ctx, q, comp)
+			if err != nil {
+				return 0, 0, err
+			}
 			sel *= s
 			nInd += n
 		}
-		return sel, nInd
+		return sel, nInd, nil
 	}
 
 	slots := e.initialSlots(q, set)
@@ -97,6 +120,11 @@ func (e *Estimator) estimate(q *engine.Query, set engine.PredSet) (float64, floa
 	// Greedy rounds: apply the compatible move with the largest reduction
 	// in independence assumptions until none improves.
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+		}
 		bestSlot, bestSIT, bestGain := -1, (*sit.SIT)(nil), 0.0
 		for si := range slots {
 			s := &slots[si]
@@ -121,7 +149,8 @@ func (e *Estimator) estimate(q *engine.Query, set engine.PredSet) (float64, floa
 		}
 	}
 
-	return e.evaluate(q, set, slots)
+	sel, nInd := e.evaluate(q, set, slots)
+	return sel, nInd, nil
 }
 
 // initialSlots assigns base histograms to every predicate side.

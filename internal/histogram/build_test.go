@@ -61,7 +61,7 @@ func TestBuildRespectsBucketBudget(t *testing.T) {
 			if h.NumBuckets() > budget {
 				t.Errorf("%v budget %d: got %d buckets", k, budget, h.NumBuckets())
 			}
-			if err := h.validate(); err != nil {
+			if err := h.Validate(); err != nil {
 				t.Errorf("%v budget %d: invalid: %v", k, budget, err)
 			}
 		}
@@ -74,7 +74,7 @@ func TestBuildInvariantsOnSkewedData(t *testing.T) {
 	values := zipfValues(rng, 20000, 1.5, 10000)
 	for _, k := range []Kind{MaxDiff, EquiDepth, EquiWidth} {
 		h := Build(k, values, 200)
-		if err := h.validate(); err != nil {
+		if err := h.Validate(); err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
 		if h.Rows != float64(len(values)) {

@@ -52,10 +52,10 @@ func TestMarginalsMatch1D(t *testing.T) {
 		t.Fatal(err)
 	}
 	mx, my := h.MarginalX(), h.MarginalY()
-	if err := mx.validate(); err != nil {
+	if err := mx.Validate(); err != nil {
 		t.Fatalf("marginal X invalid: %v", err)
 	}
-	if err := my.validate(); err != nil {
+	if err := my.Validate(); err != nil {
 		t.Fatalf("marginal Y invalid: %v", err)
 	}
 	if mx.Rows != h.Rows || my.Rows != h.Rows {
@@ -177,7 +177,7 @@ func TestJoinOnXExample3(t *testing.T) {
 	if rel := absF(sel-wantSel) / wantSel; rel > 0.15 {
 		t.Fatalf("join selectivity %v vs truth %v (rel %v)", sel, wantSel, rel)
 	}
-	if err := aHist.validate(); err != nil {
+	if err := aHist.Validate(); err != nil {
 		t.Fatalf("derived histogram invalid: %v", err)
 	}
 	if rel := absF(aHist.Rows-joinCard) / joinCard; rel > 0.15 {

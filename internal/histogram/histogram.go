@@ -14,6 +14,7 @@ package histogram
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -105,7 +106,9 @@ func overlapPoints(lo1, hi1, lo2, hi2 int64) float64 {
 }
 
 // EstimateRangeCount returns the estimated number of rows with value in
-// [lo, hi] (inclusive).
+// [lo, hi] (inclusive). Degenerate buckets (inverted ranges, NaN counts)
+// contribute their defined fallback — zero rows — instead of propagating
+// NaN/Inf or negative counts into downstream selectivities.
 func (h *Histogram) EstimateRangeCount(lo, hi int64) float64 {
 	if h.Empty() || hi < lo {
 		return 0
@@ -119,21 +122,34 @@ func (h *Histogram) EstimateRangeCount(lo, hi int64) float64 {
 			break
 		}
 		frac := overlapPoints(b.Lo, b.Hi, lo, hi) / b.span()
-		count += b.Count * frac
+		// A corrupt bucket (Hi < Lo) has span ≤ 0, turning frac negative or
+		// infinite; clamp the overlap fraction to its mathematical range.
+		if !(frac > 0) {
+			continue
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		if c := b.Count * frac; c > 0 { // skips NaN and negative counts
+			count += c
+		}
 	}
 	return count
 }
 
-// EstimateRange returns the estimated selectivity of lo ≤ attr ≤ hi.
+// EstimateRange returns the estimated selectivity of lo ≤ attr ≤ hi,
+// clamped to [0,1]. NaN (e.g. a corrupt histogram with zero total
+// frequency but non-empty buckets) maps to the defined fallback 0.
 func (h *Histogram) EstimateRange(lo, hi int64) float64 {
 	if h.Empty() {
 		return 0
 	}
-	return h.EstimateRangeCount(lo, hi) / h.denom()
+	return ClampSel(h.EstimateRangeCount(lo, hi) / h.denom())
 }
 
 // EstimateEqCount returns the estimated number of rows with value v, using
-// the uniform-frequency assumption within the covering bucket.
+// the uniform-frequency assumption within the covering bucket. Like
+// EstimateRangeCount, degenerate buckets yield 0 rather than NaN/Inf.
 func (h *Histogram) EstimateEqCount(v int64) float64 {
 	if h.Empty() {
 		return 0
@@ -143,7 +159,7 @@ func (h *Histogram) EstimateEqCount(v int64) float64 {
 			return 0
 		}
 		if v <= b.Hi {
-			if b.Distinct <= 0 {
+			if b.Distinct <= 0 || b.span() <= 0 {
 				return 0
 			}
 			// Probability that v is one of the bucket's distinct values,
@@ -152,18 +168,37 @@ func (h *Histogram) EstimateEqCount(v int64) float64 {
 			if present > 1 {
 				present = 1
 			}
-			return present * b.Count / b.Distinct
+			count := present * b.Count / b.Distinct
+			if !(count > 0) { // NaN count or negative frequency
+				return 0
+			}
+			return count
 		}
 	}
 	return 0
 }
 
-// EstimateEq returns the estimated selectivity of attr = v.
+// EstimateEq returns the estimated selectivity of attr = v, clamped to
+// [0,1] with NaN mapping to 0 (see EstimateRange).
 func (h *Histogram) EstimateEq(v int64) float64 {
 	if h.Empty() {
 		return 0
 	}
-	return h.EstimateEqCount(v) / h.denom()
+	return ClampSel(h.EstimateEqCount(v) / h.denom())
+}
+
+// ClampSel maps a raw selectivity ratio into its defined range: values in
+// [0,1] pass through bit-identically, negatives and NaN collapse to 0 (a
+// selectivity that cannot be computed selects nothing rather than poisoning
+// the product it feeds), and values above 1 (including +Inf) saturate at 1.
+func ClampSel(x float64) float64 {
+	if math.IsNaN(x) || x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
 }
 
 // Restrict returns a new histogram describing only rows with value in
@@ -239,10 +274,21 @@ func (h *Histogram) String() string {
 	return sb.String()
 }
 
-// validate checks structural invariants; used by tests.
-func (h *Histogram) validate() error {
+// Validate checks structural invariants: bucket boundary monotonicity,
+// non-negative finite frequencies, density sanity (distinct counts bounded
+// by the bucket's value span) and frequency accounting against Rows. A nil
+// histogram is valid (it describes no rows). The SIT pool uses this to
+// quarantine corrupt statistics (internal/sit); tests use it to certify
+// construction algorithms.
+func (h *Histogram) Validate() error {
 	if h == nil {
 		return nil
+	}
+	if math.IsNaN(h.Rows) || math.IsInf(h.Rows, 0) || h.Rows < 0 {
+		return fmt.Errorf("rows %v not finite and non-negative", h.Rows)
+	}
+	if math.IsNaN(h.TotalRows) || math.IsInf(h.TotalRows, 0) || h.TotalRows < 0 {
+		return fmt.Errorf("total rows %v not finite and non-negative", h.TotalRows)
 	}
 	var total float64
 	for i, b := range h.Buckets {
@@ -251,6 +297,9 @@ func (h *Histogram) validate() error {
 		}
 		if i > 0 && b.Lo <= h.Buckets[i-1].Hi {
 			return fmt.Errorf("bucket %d overlaps predecessor", i)
+		}
+		if math.IsNaN(b.Count) || math.IsInf(b.Count, 0) || math.IsNaN(b.Distinct) || math.IsInf(b.Distinct, 0) {
+			return fmt.Errorf("bucket %d non-finite count/distinct", i)
 		}
 		if b.Count < 0 || b.Distinct < 0 {
 			return fmt.Errorf("bucket %d negative count/distinct", i)

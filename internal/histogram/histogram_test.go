@@ -77,7 +77,7 @@ func TestRestrictPreservesMass(t *testing.T) {
 	values := zipfValues(rng, 8000, 1.3, 2000)
 	h := Build(MaxDiff, values, 120)
 	r := h.Restrict(100, 900)
-	if err := r.validate(); err != nil {
+	if err := r.Validate(); err != nil {
 		t.Fatalf("restricted invalid: %v", err)
 	}
 	want := h.EstimateRangeCount(100, 900)
@@ -99,7 +99,7 @@ func TestScale(t *testing.T) {
 	if up.Rows != 8 {
 		t.Fatalf("Scale(2) rows = %v", up.Rows)
 	}
-	if err := up.validate(); err != nil {
+	if err := up.Validate(); err != nil {
 		t.Fatalf("scaled invalid: %v", err)
 	}
 	down := h.Scale(0.5)
@@ -152,7 +152,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		{Rows: 99, Buckets: []Bucket{{Lo: 0, Hi: 0, Count: 1, Distinct: 1}}},
 	}
 	for i, h := range cases {
-		if err := h.validate(); err == nil {
+		if err := h.Validate(); err == nil {
 			t.Errorf("case %d: corruption not caught", i)
 		}
 	}

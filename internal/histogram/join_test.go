@@ -33,7 +33,7 @@ func TestJoinExactOnSingletonBuckets(t *testing.T) {
 	if !approxEq(res.Selectivity, wantSel, 1e-12) {
 		t.Fatalf("join sel = %v, want %v", res.Selectivity, wantSel)
 	}
-	if err := res.Joined.validate(); err != nil {
+	if err := res.Joined.Validate(); err != nil {
 		t.Fatalf("joined histogram invalid: %v", err)
 	}
 	if !approxEq(res.Joined.Rows, want, 1e-9) {
@@ -127,7 +127,7 @@ func TestCoalesceKeepsTotals(t *testing.T) {
 	if len(h.Buckets) > 512 {
 		t.Fatalf("coalesce left %d buckets", len(h.Buckets))
 	}
-	if err := h.validate(); err != nil {
+	if err := h.Validate(); err != nil {
 		t.Fatalf("coalesced invalid: %v", err)
 	}
 	if h.Rows != 4000 {

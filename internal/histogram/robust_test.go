@@ -1,0 +1,147 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression tests for the estimator hardening: range/equality estimates
+// must stay finite and inside [0,1] for empty, degenerate and corrupt
+// histograms instead of propagating NaN/Inf or negative values downstream.
+
+// checkSel asserts the value is a well-formed selectivity.
+func checkSel(t *testing.T, label string, got float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 || got > 1 {
+		t.Fatalf("%s = %v, want finite value in [0,1]", label, got)
+	}
+}
+
+// TestEstimateEmptyHistogram: nil and zero-value histograms estimate 0
+// everywhere.
+func TestEstimateEmptyHistogram(t *testing.T) {
+	t.Parallel()
+	for _, h := range []*Histogram{nil, {}, {Rows: 0, Buckets: []Bucket{}}} {
+		if got := h.EstimateRange(-10, 10); got != 0 {
+			t.Fatalf("empty EstimateRange = %v, want 0", got)
+		}
+		if got := h.EstimateEq(3); got != 0 {
+			t.Fatalf("empty EstimateEq = %v, want 0", got)
+		}
+	}
+}
+
+// TestEstimateInvertedBucket: a corrupt bucket with Hi < Lo (span ≤ 0) used
+// to produce negative or infinite overlap fractions; it must now contribute
+// the defined fallback 0.
+func TestEstimateInvertedBucket(t *testing.T) {
+	t.Parallel()
+	h := &Histogram{
+		Rows: 100,
+		Buckets: []Bucket{
+			{Lo: 10, Hi: 5, Count: 100, Distinct: 3}, // inverted
+		},
+	}
+	checkSel(t, "inverted-bucket EstimateRange", h.EstimateRange(0, 20))
+	checkSel(t, "inverted-bucket EstimateEq", h.EstimateEq(7))
+	if c := h.EstimateRangeCount(0, 20); math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+		t.Fatalf("inverted-bucket EstimateRangeCount = %v", c)
+	}
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted an inverted bucket")
+	}
+}
+
+// TestEstimateNaNFrequency: NaN bucket counts and NaN Rows map to the
+// defined fallback instead of propagating.
+func TestEstimateNaNFrequency(t *testing.T) {
+	t.Parallel()
+	h := &Histogram{
+		Rows: math.NaN(),
+		Buckets: []Bucket{
+			{Lo: 0, Hi: 9, Count: math.NaN(), Distinct: 5},
+		},
+	}
+	checkSel(t, "NaN-count EstimateRange", h.EstimateRange(0, 9))
+	checkSel(t, "NaN-count EstimateEq", h.EstimateEq(4))
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN frequencies")
+	}
+}
+
+// TestEstimateZeroDistinct: equality estimation over a bucket with zero (or
+// negative) distinct values returns 0 instead of dividing by zero.
+func TestEstimateZeroDistinct(t *testing.T) {
+	t.Parallel()
+	h := &Histogram{
+		Rows: 50,
+		Buckets: []Bucket{
+			{Lo: 0, Hi: 9, Count: 50, Distinct: 0},
+		},
+	}
+	if got := h.EstimateEq(5); got != 0 {
+		t.Fatalf("zero-distinct EstimateEq = %v, want 0", got)
+	}
+	h.Buckets[0].Distinct = -3
+	checkSel(t, "negative-distinct EstimateEq", h.EstimateEq(5))
+}
+
+// TestEstimateOverflowingFrequency: bucket counts exceeding the claimed row
+// total would push selectivity above 1; the estimators saturate at 1.
+func TestEstimateOverflowingFrequency(t *testing.T) {
+	t.Parallel()
+	h := &Histogram{
+		Rows: 10, // inconsistent: bucket claims 1000 rows
+		Buckets: []Bucket{
+			{Lo: 0, Hi: 9, Count: 1000, Distinct: 10},
+		},
+	}
+	if got := h.EstimateRange(0, 9); got != 1 {
+		t.Fatalf("overflowing EstimateRange = %v, want 1 (saturated)", got)
+	}
+	checkSel(t, "overflowing EstimateEq", h.EstimateEq(5))
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted bucket counts exceeding Rows")
+	}
+}
+
+// TestClampSelPassthrough: in-range values are bit-identical through
+// ClampSel — the hardening must not perturb valid estimates.
+func TestClampSelPassthrough(t *testing.T) {
+	t.Parallel()
+	for _, v := range []float64{0, 1e-300, 0.25, 0.5, 1 - 1e-16, 1} {
+		if got := ClampSel(v); got != v {
+			t.Fatalf("ClampSel(%v) = %v, want bit-identical passthrough", v, got)
+		}
+	}
+	cases := map[float64]float64{
+		-0.5:         0,
+		math.Inf(-1): 0,
+		1.5:          1,
+		math.Inf(1):  1,
+	}
+	for in, want := range cases {
+		if got := ClampSel(in); got != want {
+			t.Fatalf("ClampSel(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if got := ClampSel(math.NaN()); got != 0 {
+		t.Fatalf("ClampSel(NaN) = %v, want 0", got)
+	}
+}
+
+// TestValidateRejectsNonFiniteRows: the strengthened Validate rejects
+// non-finite row counts that the estimators would otherwise have to clamp.
+func TestValidateRejectsNonFiniteRows(t *testing.T) {
+	t.Parallel()
+	for _, rows := range []float64{math.NaN(), math.Inf(1), -1} {
+		h := &Histogram{Rows: rows}
+		if err := h.Validate(); err == nil {
+			t.Fatalf("Validate accepted Rows = %v", rows)
+		}
+	}
+	h := &Histogram{Rows: 5, TotalRows: math.Inf(1), Buckets: []Bucket{{Lo: 0, Hi: 4, Count: 5, Distinct: 5}}}
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted infinite TotalRows")
+	}
+}

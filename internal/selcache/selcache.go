@@ -25,6 +25,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"condsel/internal/faults"
 )
 
 // DefaultShards is the shard count used when New is given no override. 16
@@ -103,8 +105,14 @@ func (c *Cache[V]) shardFor(key string) *shard[V] {
 }
 
 // Get returns the cached value for key and whether it was present, marking
-// the entry most recently used on a hit.
+// the entry most recently used on a hit. When the fault harness's
+// CacheEvictStorm point fires, every entry is dropped ahead of the lookup —
+// correctness layers above must treat the cache as advisory, and this is the
+// hook that proves they do.
 func (c *Cache[V]) Get(key string) (V, bool) {
+	if faults.Active().Fire(faults.CacheEvictStorm) {
+		c.EvictAll()
+	}
 	s := c.shardFor(key)
 	s.mu.Lock()
 	el, ok := s.entries[key]
@@ -189,6 +197,22 @@ func (c *Cache[V]) Stats() Stats {
 		st.Capacity += c.shards[i].cap
 	}
 	return st
+}
+
+// EvictAll drops every entry while counting them as evictions; unlike Reset
+// the hit/miss counters survive. It models an operational cache flush (or an
+// injected eviction storm): subsequent lookups miss and recompute, nothing
+// more.
+func (c *Cache[V]) EvictAll() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n := s.order.Len()
+		s.entries = make(map[string]*list.Element, s.cap)
+		s.order.Init()
+		s.mu.Unlock()
+		c.evictions.Add(int64(n))
+	}
 }
 
 // Reset drops every entry and zeroes the counters.

@@ -1,10 +1,14 @@
 package sit
 
 import (
+	"fmt"
+	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"condsel/internal/engine"
+	"condsel/internal/faults"
 )
 
 // poolGen hands out globally unique generation stamps. Every pool mutation
@@ -17,10 +21,20 @@ var poolGen atomic.Uint64
 // §3.3. It also counts view-matching calls, the efficiency metric of the
 // paper's Figure 6.
 //
+// Histograms are validated on registration (cheap structural checks) and
+// lazily, in full, on first use (when the candidate index touches them). A
+// SIT that fails validation is quarantined: excluded from Base/OnAttr/SITs
+// and from every candidate lookup, counted, and reported through Health —
+// one corrupt statistic degrades the estimates that would have used it
+// instead of poisoning every estimate downstream. Quarantining bumps the
+// pool generation, so cross-query cache entries computed against the
+// pre-quarantine contents can never be served again (see Generation).
+//
 // Concurrency: a fully built Pool is safe for concurrent readers (Candidates,
-// Candidates2D, Base, OnAttr, SITs, …) — the match-call counter is atomic and
-// everything else is read-only after construction. Mutations (Add, Add2D)
-// must not race with readers.
+// Candidates2D, Base, OnAttr, SITs, …) — the match-call counter, generation
+// and quarantine set are internally synchronized and everything else is
+// read-only after construction. Mutations (Add, Add2D) must not race with
+// readers.
 type Pool struct {
 	Cat *engine.Catalog
 
@@ -35,13 +49,33 @@ type Pool struct {
 	// (Candidates/Candidates2D). Reset with ResetMatchCalls.
 	matchCalls atomic.Int64
 
-	// gen is the pool's content stamp; see poolGen.
-	gen uint64
+	// gen is the pool's content stamp; see poolGen. Atomic because
+	// quarantining — which bumps it — may happen during concurrent reads.
+	gen atomic.Uint64
 
 	// idx caches the per-attribute candidate index for the current
 	// generation; see poolIndex. Stale indexes (generation mismatch) are
 	// rebuilt on demand, so mutations need no explicit invalidation.
 	idx atomic.Pointer[poolIndex]
+
+	// qmu guards the quarantine set and the lazy deep-validation ledger.
+	qmu     sync.Mutex
+	quar    map[string]QuarantineRecord // quarantined SITs by ID
+	checked map[string]bool             // IDs whose histograms passed the deep check
+}
+
+// QuarantineRecord describes one quarantined statistic.
+type QuarantineRecord struct {
+	ID     string // canonical SIT identity (SIT.ID)
+	Reason string // why validation rejected it
+}
+
+// Health is a point-in-time snapshot of the pool's statistic hygiene.
+type Health struct {
+	SITs        int                // healthy 1-D statistics (quarantined excluded)
+	Quarantined int                // statistics removed from service
+	Generation  uint64             // current content stamp
+	Records     []QuarantineRecord // quarantined statistics, sorted by ID
 }
 
 // poolIndex is the pre-built per-attribute candidate index: for every
@@ -68,15 +102,53 @@ type attrIndex struct {
 }
 
 // index returns the candidate index for the pool's current contents,
-// (re)building it when the generation moved.
+// (re)building it when the generation moved. The build is also where lazy
+// histogram validation happens: every not-yet-checked SIT gets a full
+// Histogram.Validate pass, failures are quarantined (bumping the
+// generation) and the index is rebuilt without them, so corrupt statistics
+// never reach a candidate lookup. Concurrent rebuilds of a stale index are
+// idempotent; the last writer wins.
 func (p *Pool) index() *poolIndex {
-	if ix := p.idx.Load(); ix != nil && ix.gen == p.gen {
+	for {
+		gen := p.gen.Load()
+		if ix := p.idx.Load(); ix != nil && ix.gen == gen {
+			return ix
+		}
+		ix, bad := p.buildIndex(gen)
+		if len(bad) > 0 {
+			for _, rec := range bad {
+				p.quarantine(rec.ID, rec.Reason)
+			}
+			continue // rebuild against the post-quarantine contents
+		}
+		if p.gen.Load() != gen {
+			continue // concurrent mutation or quarantine; rebuild
+		}
+		p.idx.Store(ix)
 		return ix
 	}
-	ix := &poolIndex{gen: p.gen, byAttr: make(map[engine.AttrID]*attrIndex, len(p.byAttr))}
-	//lint:ignore detmaprange each iteration builds one keyed attrIndex independently (sits re-sorted by ID inside); the output map is order-free
+}
+
+// buildIndex constructs the candidate index for the given generation,
+// excluding quarantined SITs and deep-validating any SIT not yet checked.
+// Newly detected corruption is returned (in deterministic ID order) for the
+// caller to quarantine rather than mutating state mid-build.
+func (p *Pool) buildIndex(gen uint64) (*poolIndex, []QuarantineRecord) {
+	var bad []QuarantineRecord
+	ix := &poolIndex{gen: gen, byAttr: make(map[engine.AttrID]*attrIndex, len(p.byAttr))}
+	//lint:ignore detmaprange each iteration builds one keyed attrIndex independently (sits re-sorted by ID inside); the output map is order-free and newly-bad records are re-sorted by ID below
 	for attr, sits := range p.byAttr {
-		ai := &attrIndex{sits: append([]*SIT(nil), sits...)}
+		ai := &attrIndex{sits: make([]*SIT, 0, len(sits))}
+		for _, s := range sits {
+			if p.isQuarantined(s.ID()) {
+				continue
+			}
+			if err := p.deepValidate(s); err != nil {
+				bad = append(bad, QuarantineRecord{ID: s.ID(), Reason: err.Error()})
+				continue
+			}
+			ai.sits = append(ai.sits, s)
+		}
 		sort.Slice(ai.sits, func(i, j int) bool { return ai.sits[i].ID() < ai.sits[j].ID() })
 		ai.supersets = make([][]int32, len(ai.sits))
 		for k, s := range ai.sits {
@@ -88,45 +160,169 @@ func (p *Pool) index() *poolIndex {
 		}
 		ix.byAttr[attr] = ai
 	}
-	p.idx.Store(ix)
-	return ix
+	sort.Slice(bad, func(i, j int) bool { return bad[i].ID < bad[j].ID })
+	return ix, bad
+}
+
+// deepValidate runs the full histogram check for the SIT once per pool
+// (first use), consulting the fault-injection harness so tests can simulate
+// statistics that rot after registration.
+func (p *Pool) deepValidate(s *SIT) error {
+	id := s.ID()
+	p.qmu.Lock()
+	done := p.checked[id]
+	p.qmu.Unlock()
+	if done {
+		return nil
+	}
+	if fs := faults.Active(); fs.Fire(faults.CorruptBucket) {
+		return faults.Injected{Point: faults.CorruptBucket}
+	}
+	if err := s.Hist.Validate(); err != nil {
+		return fmt.Errorf("histogram: %v", err)
+	}
+	p.qmu.Lock()
+	if p.checked == nil {
+		p.checked = make(map[string]bool)
+	}
+	p.checked[id] = true
+	p.qmu.Unlock()
+	return nil
+}
+
+// quarantine records the SIT as unusable and bumps the pool generation so
+// indexes rebuild without it and generation-keyed cache entries computed
+// against the old contents expire. Idempotent per ID.
+func (p *Pool) quarantine(id, reason string) {
+	p.qmu.Lock()
+	if p.quar == nil {
+		p.quar = make(map[string]QuarantineRecord)
+	}
+	if _, dup := p.quar[id]; dup {
+		p.qmu.Unlock()
+		return
+	}
+	p.quar[id] = QuarantineRecord{ID: id, Reason: reason}
+	p.qmu.Unlock()
+	p.gen.Store(poolGen.Add(1))
+}
+
+// isQuarantined reports whether the SIT ID is quarantined.
+func (p *Pool) isQuarantined(id string) bool {
+	p.qmu.Lock()
+	_, ok := p.quar[id]
+	p.qmu.Unlock()
+	return ok
+}
+
+// Quarantine removes the statistic with the given canonical ID from service
+// (operators use it to pull a stat suspected stale without rebuilding the
+// pool). It reports whether the ID named a pool statistic not already
+// quarantined.
+func (p *Pool) Quarantine(id, reason string) bool {
+	if _, ok := p.byID[id]; !ok {
+		return false
+	}
+	if p.isQuarantined(id) {
+		return false
+	}
+	p.quarantine(id, reason)
+	return true
+}
+
+// HealthSnapshot reports the pool's statistic hygiene: healthy and
+// quarantined counts plus one record per quarantined SIT, in ID order.
+func (p *Pool) HealthSnapshot() Health {
+	p.qmu.Lock()
+	records := make([]QuarantineRecord, 0, len(p.quar))
+	for _, rec := range p.quar {
+		records = append(records, rec)
+	}
+	p.qmu.Unlock()
+	sort.Slice(records, func(i, j int) bool { return records[i].ID < records[j].ID })
+	healthy := 0
+	//lint:ignore detmaprange the body only increments a count; the result is independent of iteration order
+	for id := range p.byID {
+		if !p.isQuarantined(id) {
+			healthy++
+		}
+	}
+	return Health{
+		SITs:        healthy,
+		Quarantined: len(records),
+		Generation:  p.gen.Load(),
+		Records:     records,
+	}
 }
 
 // NewPool returns an empty pool over the catalog.
 func NewPool(cat *engine.Catalog) *Pool {
-	return &Pool{
-		Cat:    cat,
-		byAttr: make(map[engine.AttrID][]*SIT),
-		byID:   make(map[string]*SIT),
-		gen:    poolGen.Add(1),
+	p := &Pool{
+		Cat:     cat,
+		byAttr:  make(map[engine.AttrID][]*SIT),
+		byID:    make(map[string]*SIT),
+		quar:    make(map[string]QuarantineRecord),
+		checked: make(map[string]bool),
 	}
+	p.gen.Store(poolGen.Add(1))
+	return p
 }
 
 // Generation returns the pool's content stamp: a process-wide unique value
-// that changes on every mutation. Two pools never share a generation, and a
-// pool's generation after an Add differs from before, so (generation,
-// predicate-set) cache keys can never alias across pools or pool versions.
-func (p *Pool) Generation() uint64 { return p.gen }
+// that changes on every mutation (quarantining included). Two pools never
+// share a generation, and a pool's generation after an Add differs from
+// before, so (generation, predicate-set) cache keys can never alias across
+// pools or pool versions — and can never serve values computed from a
+// statistic that was later quarantined.
+func (p *Pool) Generation() uint64 { return p.gen.Load() }
+
+// quickValidate is the cheap registration-time check: O(1) structural
+// sanity on the histogram header. The full O(buckets) pass runs lazily on
+// first use (see deepValidate), keeping bulk pool construction cheap.
+func quickValidate(s *SIT) error {
+	h := s.Hist
+	if h == nil {
+		return nil // expression-only SIT (identity/spec use); nothing to check
+	}
+	if math.IsNaN(h.Rows) || math.IsInf(h.Rows, 0) || h.Rows < 0 {
+		return fmt.Errorf("histogram: rows %v not finite and non-negative", h.Rows)
+	}
+	if math.IsNaN(h.TotalRows) || math.IsInf(h.TotalRows, 0) || h.TotalRows < 0 {
+		return fmt.Errorf("histogram: total rows %v not finite and non-negative", h.TotalRows)
+	}
+	return nil
+}
 
 // Add inserts s unless an identical SIT (same attribute and expression) is
-// already present; it reports whether the SIT was added.
+// already present; it reports whether the SIT was added. A SIT failing the
+// registration-time structural check is not added; it is recorded as
+// quarantined so Health surfaces the rejection.
 func (p *Pool) Add(s *SIT) bool {
 	id := s.ID()
 	if _, dup := p.byID[id]; dup {
 		return false
 	}
+	if err := quickValidate(s); err != nil {
+		p.quarantine(id, err.Error())
+		return false
+	}
 	p.byID[id] = s
 	p.byAttr[s.Attr] = append(p.byAttr[s.Attr], s)
-	p.gen = poolGen.Add(1)
+	p.gen.Store(poolGen.Add(1))
 	return true
 }
 
 // Size returns the number of SITs in the pool (base histograms included).
 func (p *Pool) Size() int { return len(p.byID) }
 
-// Base returns the base-table histogram SIT for attr, or nil if absent.
+// Base returns the base-table histogram SIT for attr, or nil if absent or
+// quarantined.
 func (p *Pool) Base(attr engine.AttrID) *SIT {
-	for _, s := range p.byAttr[attr] {
+	ai := p.index().byAttr[attr]
+	if ai == nil {
+		return nil
+	}
+	for _, s := range ai.sits {
 		if s.IsBase() {
 			return s
 		}
@@ -144,10 +340,14 @@ func (p *Pool) OnAttr(attr engine.AttrID) []*SIT {
 	return append([]*SIT(nil), ai.sits...)
 }
 
-// SITs returns every SIT in the pool in deterministic order.
+// SITs returns every non-quarantined SIT in the pool in deterministic order.
 func (p *Pool) SITs() []*SIT {
 	out := make([]*SIT, 0, len(p.byID))
-	for _, s := range p.byID {
+	//lint:ignore detmaprange the collected slice is sorted by ID immediately below, erasing iteration order
+	for id, s := range p.byID {
+		if p.isQuarantined(id) {
+			continue
+		}
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })

@@ -1,0 +1,173 @@
+package sit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"condsel/internal/engine"
+	"condsel/internal/faults"
+	"condsel/internal/histogram"
+)
+
+// validHist returns a small well-formed histogram.
+func validHist() *histogram.Histogram {
+	return &histogram.Histogram{
+		Rows:    10,
+		Buckets: []histogram.Bucket{{Lo: 0, Hi: 9, Count: 10, Distinct: 10}},
+	}
+}
+
+// rottenHist returns a histogram that passes the cheap registration check
+// (finite header) but fails the deep bucket validation (inverted range).
+func rottenHist() *histogram.Histogram {
+	return &histogram.Histogram{
+		Rows:    10,
+		Buckets: []histogram.Bucket{{Lo: 9, Hi: 0, Count: 10, Distinct: 3}},
+	}
+}
+
+// TestAddRejectsNonFiniteHeader: registration-time validation refuses a SIT
+// whose histogram header is structurally broken, and Health records why.
+func TestAddRejectsNonFiniteHeader(t *testing.T) {
+	t.Parallel()
+	cat, a := shopDB(rand.New(rand.NewSource(3)), 40)
+	p := NewPool(cat)
+	bad := NewSIT(cat, a["o.price"], nil, &histogram.Histogram{Rows: math.NaN()}, 0)
+	if p.Add(bad) {
+		t.Fatal("Add accepted a NaN-rows histogram")
+	}
+	if p.Size() != 0 {
+		t.Fatalf("pool size = %d after rejected Add", p.Size())
+	}
+	h := p.HealthSnapshot()
+	if h.Quarantined != 1 || len(h.Records) != 1 {
+		t.Fatalf("health = %+v, want 1 quarantined record", h)
+	}
+	if !strings.Contains(h.Records[0].Reason, "rows") {
+		t.Fatalf("reason %q does not mention rows", h.Records[0].Reason)
+	}
+}
+
+// TestLazyValidationQuarantinesOnFirstUse: a SIT whose corruption only shows
+// in its buckets is admitted at Add time but quarantined the first time the
+// candidate index touches it — and every read surface then excludes it.
+func TestLazyValidationQuarantinesOnFirstUse(t *testing.T) {
+	t.Parallel()
+	cat, a := shopDB(rand.New(rand.NewSource(4)), 40)
+	join := engine.Join(a["l.oid"], a["o.id"])
+	p := NewPool(cat)
+	good := NewSIT(cat, a["o.price"], nil, validHist(), 0)
+	rotten := NewSIT(cat, a["o.price"], []engine.Pred{join}, rottenHist(), 0.4)
+	if !p.Add(good) || !p.Add(rotten) {
+		t.Fatal("Add rejected a SIT that passes the registration check")
+	}
+	genBefore := p.Generation()
+
+	preds := []engine.Pred{engine.Filter(a["o.price"], 0, 500), join}
+	cands := p.Candidates(preds, a["o.price"], engine.FullPredSet(len(preds)))
+	for _, s := range cands {
+		if s.ID() == rotten.ID() {
+			t.Fatal("candidate lookup returned a corrupt SIT")
+		}
+	}
+	if p.Generation() == genBefore {
+		t.Fatal("quarantine did not bump the pool generation")
+	}
+	h := p.HealthSnapshot()
+	if h.Quarantined != 1 || h.SITs != 1 {
+		t.Fatalf("health = %+v, want 1 healthy + 1 quarantined", h)
+	}
+	if h.Records[0].ID != rotten.ID() {
+		t.Fatalf("quarantined %q, want %q", h.Records[0].ID, rotten.ID())
+	}
+	for _, s := range p.SITs() {
+		if s.ID() == rotten.ID() {
+			t.Fatal("SITs still lists the quarantined SIT")
+		}
+	}
+	for _, s := range p.OnAttr(a["o.price"]) {
+		if s.ID() == rotten.ID() {
+			t.Fatal("OnAttr still lists the quarantined SIT")
+		}
+	}
+}
+
+// TestBaseSkipsQuarantinedHistogram: a corrupt base histogram is not served
+// by Base after quarantine.
+func TestBaseSkipsQuarantinedHistogram(t *testing.T) {
+	t.Parallel()
+	cat, a := shopDB(rand.New(rand.NewSource(5)), 40)
+	p := NewPool(cat)
+	p.Add(NewSIT(cat, a["o.price"], nil, rottenHist(), 0))
+	if s := p.Base(a["o.price"]); s != nil {
+		t.Fatalf("Base returned quarantined SIT %q", s.ID())
+	}
+}
+
+// TestManualQuarantine: operators can pull a healthy statistic by ID; the
+// call is idempotent and unknown IDs are rejected.
+func TestManualQuarantine(t *testing.T) {
+	t.Parallel()
+	cat, a := shopDB(rand.New(rand.NewSource(6)), 40)
+	p := NewPool(cat)
+	s := NewSIT(cat, a["l.qty"], nil, validHist(), 0)
+	p.Add(s)
+	if p.Quarantine("no-such-id", "stale") {
+		t.Fatal("Quarantine accepted an unknown ID")
+	}
+	if !p.Quarantine(s.ID(), "suspected stale") {
+		t.Fatal("Quarantine rejected a pool SIT")
+	}
+	if p.Quarantine(s.ID(), "again") {
+		t.Fatal("Quarantine re-quarantined an already quarantined SIT")
+	}
+	if got := len(p.SITs()); got != 0 {
+		t.Fatalf("SITs lists %d entries after quarantine", got)
+	}
+	h := p.HealthSnapshot()
+	if h.Quarantined != 1 || h.Records[0].Reason != "suspected stale" {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestCorruptBucketFaultQuarantines: the fault-injection harness can rot a
+// statistic that would otherwise validate, exercising the same quarantine
+// path as genuine corruption. Not parallel: arming is process-global.
+func TestCorruptBucketFaultQuarantines(t *testing.T) {
+	defer faults.Disarm()
+	cat, a := shopDB(rand.New(rand.NewSource(7)), 40)
+	p := NewPool(cat)
+	good := NewSIT(cat, a["o.price"], nil, validHist(), 0)
+	p.Add(good)
+
+	faults.Arm(faults.NewSchedule(1).Set(faults.CorruptBucket, faults.Rule{Limit: 1}))
+	if s := p.Base(a["o.price"]); s != nil {
+		t.Fatalf("Base served a fault-corrupted SIT %q", s.ID())
+	}
+	faults.Disarm()
+
+	h := p.HealthSnapshot()
+	if h.Quarantined != 1 {
+		t.Fatalf("health = %+v, want the fault-corrupted SIT quarantined", h)
+	}
+	if !strings.Contains(h.Records[0].Reason, "fault injection") {
+		t.Fatalf("reason %q does not identify the injected fault", h.Records[0].Reason)
+	}
+}
+
+// TestFilterDropsQuarantined: derived sub-pools are built from the healthy
+// SITs only.
+func TestFilterDropsQuarantined(t *testing.T) {
+	t.Parallel()
+	cat, a := shopDB(rand.New(rand.NewSource(8)), 40)
+	p := NewPool(cat)
+	p.Add(NewSIT(cat, a["o.price"], nil, validHist(), 0))
+	p.Add(NewSIT(cat, a["l.qty"], nil, rottenHist(), 0))
+	p.OnAttr(a["l.qty"]) // trigger lazy validation
+	sub := p.Filter(func(*SIT) bool { return true })
+	if got := sub.Size(); got != 1 {
+		t.Fatalf("filtered pool has %d SITs, want 1 (quarantined dropped)", got)
+	}
+}

@@ -156,7 +156,7 @@ func (p *Pool) Add2D(s *SIT2D) bool {
 	p.byID2D[id] = s
 	key := [2]engine.AttrID{s.X, s.Y}
 	p.by2D[key] = append(p.by2D[key], s)
-	p.gen = poolGen.Add(1)
+	p.gen.Store(poolGen.Add(1))
 	return true
 }
 

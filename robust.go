@@ -1,0 +1,50 @@
+package condsel
+
+import (
+	"context"
+
+	"condsel/internal/robust"
+)
+
+// Tier identifies which rung of the degradation ladder produced a robust
+// estimate, in descending fidelity order. See CardinalityRobust.
+type Tier = robust.Tier
+
+// The ladder's tiers: the full getSelectivity DP, its greedy-chain
+// restriction, greedy view matching, and base-histogram independence.
+const (
+	TierFullDP     = robust.TierFullDP
+	TierBudgetedDP = robust.TierBudgetedDP
+	TierGVM        = robust.TierGVM
+	TierNoSIT      = robust.TierNoSIT
+)
+
+// Provenance records how a robust estimate was produced: the tier that
+// answered, and — when it was not the full DP — why each higher tier fell
+// through.
+type Provenance = robust.Provenance
+
+// ladder derives the degradation ladder over this estimator's configuration.
+// The ladder object is stateless (per-call runs carry all mutable state), so
+// building one per call keeps Estimator's concurrency contract untouched.
+func (e *Estimator) ladder() *robust.Estimator {
+	return robust.New(e.est, robust.Config{})
+}
+
+// CardinalityRobust estimates the query's result size fault-tolerantly: the
+// full DP runs under the context's deadline and a node budget, degrading
+// tier-by-tier — greedy decomposition chain, greedy view matching, base-
+// histogram independence — until an answer emerges. The returned cardinality
+// is always finite and ≥ 0, whatever fails underneath (corrupt statistics,
+// injected faults, exhausted deadline), and the Provenance says which tier
+// answered and why the ones above it did not. With a nil context, healthy
+// statistics and no faults, the answer is bit-identical to Cardinality.
+func (e *Estimator) CardinalityRobust(ctx context.Context, q *Query) (float64, Provenance) {
+	return e.ladder().Cardinality(ctx, q.q)
+}
+
+// SelectivityRobust is CardinalityRobust for the query's selectivity; the
+// result is always finite and in [0,1].
+func (e *Estimator) SelectivityRobust(ctx context.Context, q *Query) (float64, Provenance) {
+	return e.ladder().Selectivity(ctx, q.q, q.q.All())
+}

@@ -1,0 +1,138 @@
+package condsel_test
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	condsel "condsel"
+)
+
+// robustWorld builds a snowflake database, workload and J1 pool for the
+// public robust-API tests (fresh per test — quarantine mutates pools).
+func robustWorld(t *testing.T) (*condsel.DB, []*condsel.Query, *condsel.Pool) {
+	t.Helper()
+	db := condsel.GenerateSnowflake(condsel.SnowflakeConfig{Seed: 21, FactRows: 400})
+	queries, err := db.GenerateWorkload(condsel.WorkloadOptions{Seed: 21, NumQueries: 6, Joins: 2, Filters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, queries, db.BuildStatistics(queries, 1, nil)
+}
+
+// TestRobustMatchesPlainUnarmed: with healthy statistics and no deadline,
+// CardinalityRobust/SelectivityRobust are bit-identical to the plain calls
+// and report a clean TierFullDP provenance — the whole fault-tolerance layer
+// costs nothing when nothing is wrong.
+func TestRobustMatchesPlainUnarmed(t *testing.T) {
+	t.Parallel()
+	db, queries, pool := robustWorld(t)
+	est := db.NewEstimator(pool, condsel.Diff)
+	for i, q := range queries {
+		wantCard := est.Cardinality(q)
+		wantSel := est.Selectivity(q)
+		card, prov := est.CardinalityRobust(context.Background(), q)
+		if card != wantCard {
+			t.Fatalf("query %d: robust card %v != plain %v (must be bit-identical)", i, card, wantCard)
+		}
+		if prov.Tier != condsel.TierFullDP || prov.FallbackReason != "" {
+			t.Fatalf("query %d: provenance %+v, want clean TierFullDP", i, prov)
+		}
+		sel, _ := est.SelectivityRobust(nil, q)
+		if sel != wantSel {
+			t.Fatalf("query %d: robust sel %v != plain %v", i, sel, wantSel)
+		}
+	}
+}
+
+// TestRobustExpiredDeadline: a dead context still yields a finite in-range
+// answer, at a degraded tier with an explanatory provenance.
+func TestRobustExpiredDeadline(t *testing.T) {
+	t.Parallel()
+	db, queries, pool := robustWorld(t)
+	est := db.NewEstimator(pool, condsel.Diff)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	card, prov := est.CardinalityRobust(ctx, queries[0])
+	if math.IsNaN(card) || math.IsInf(card, 0) || card < 0 {
+		t.Fatalf("cardinality under dead context = %v", card)
+	}
+	if prov.Tier == condsel.TierFullDP || prov.FallbackReason == "" {
+		t.Fatalf("dead context did not degrade: %+v", prov)
+	}
+}
+
+// TestCardinalityBatchRobustIsolation: a nil query in a batch fails alone —
+// its BatchResult carries the error, every other query estimates exactly as
+// the plain path would.
+func TestCardinalityBatchRobustIsolation(t *testing.T) {
+	t.Parallel()
+	db, queries, pool := robustWorld(t)
+	est := db.NewEstimator(pool, condsel.Diff)
+	batch := append([]*condsel.Query{queries[0], nil}, queries[1:]...)
+	results := est.CardinalityBatchRobust(context.Background(), batch, 4)
+	if len(results) != len(batch) {
+		t.Fatalf("%d results for %d queries", len(results), len(batch))
+	}
+	for i, r := range results {
+		if batch[i] == nil {
+			if r.Err == nil {
+				t.Fatalf("result %d: nil query produced no error", i)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("result %d: unexpected error %v", i, r.Err)
+		}
+		if want := est.Cardinality(batch[i]); r.Cardinality != want {
+			t.Fatalf("result %d: %v != plain %v", i, r.Cardinality, want)
+		}
+		if r.Provenance.Tier != condsel.TierFullDP {
+			t.Fatalf("result %d: tier %v", i, r.Provenance.Tier)
+		}
+	}
+}
+
+// TestPoolHealthAndQuarantinePublic: a snapshot smuggling a corrupt
+// histogram loads, the corrupt statistic is quarantined on first use, Health
+// reports it, and estimation keeps answering in range.
+func TestPoolHealthAndQuarantinePublic(t *testing.T) {
+	t.Parallel()
+	db, queries, _ := robustWorld(t)
+	snapshot := `{"version":1,"sits":[
+		{"attr":"product.id","diff":0,"hist":{"rows":40,"buckets":[{"Lo":0,"Hi":39,"Count":40,"Distinct":40}]}},
+		{"attr":"product.category_fk","diff":0,"hist":{"rows":40,"buckets":[{"Lo":9,"Hi":0,"Count":40,"Distinct":3}]}}
+	]}`
+	pool, err := db.LoadPool(strings.NewReader(snapshot))
+	if err != nil {
+		t.Fatalf("LoadPool: %v", err)
+	}
+	if h := pool.Health(); h.Quarantined != 0 {
+		t.Fatalf("pre-use health already quarantined: %+v", h)
+	}
+	est := db.NewEstimator(pool, condsel.Diff)
+	card, prov := est.CardinalityRobust(context.Background(), queries[0])
+	if math.IsNaN(card) || card < 0 {
+		t.Fatalf("cardinality with corrupt pool = %v", card)
+	}
+	if prov.Tier != condsel.TierFullDP {
+		t.Fatalf("corrupt statistics degraded the tier: %+v (quarantine should handle them)", prov)
+	}
+	h := pool.Health()
+	if h.Quarantined != 1 || h.SITs != 1 {
+		t.Fatalf("health = %+v, want 1 healthy + 1 quarantined", h)
+	}
+	for id, reason := range h.Reasons {
+		if !strings.Contains(reason, "inverted") {
+			t.Fatalf("quarantine reason for %s = %q, want the inverted bucket named", id, reason)
+		}
+		// Manual re-quarantine of an already-pulled statistic is a no-op.
+		if pool.Quarantine(id, "again") {
+			t.Fatalf("Quarantine re-accepted already-quarantined %s", id)
+		}
+	}
+	if pool.Quarantine("no-such-id", "x") {
+		t.Fatal("Quarantine accepted an unknown ID")
+	}
+}

@@ -220,6 +220,41 @@ func (db *DB) LoadPool(r io.Reader) (*Pool, error) {
 	return &Pool{db: db, pool: pool, builder: db.newBuilder(nil)}, nil
 }
 
+// PoolHealth reports a pool's statistic hygiene: statistics are validated
+// on registration and (in full) on first use, and ones that fail are
+// quarantined — excluded from every candidate lookup — rather than allowed
+// to poison estimates. See Pool.Health and Pool.Quarantine.
+type PoolHealth struct {
+	// SITs is the number of healthy 1-D statistics in service.
+	SITs int
+	// Quarantined is the number of statistics removed from service.
+	Quarantined int
+	// Reasons maps each quarantined statistic's canonical ID to why it was
+	// pulled, e.g. "histogram: bucket 3 inverted range [9,0]".
+	Reasons map[string]string
+}
+
+// Health returns a point-in-time snapshot of the pool's statistic hygiene.
+func (p *Pool) Health() PoolHealth {
+	h := p.pool.HealthSnapshot()
+	out := PoolHealth{SITs: h.SITs, Quarantined: h.Quarantined}
+	if len(h.Records) > 0 {
+		out.Reasons = make(map[string]string, len(h.Records))
+		for _, rec := range h.Records {
+			out.Reasons[rec.ID] = rec.Reason
+		}
+	}
+	return out
+}
+
+// Quarantine removes the statistic with the given canonical ID (as reported
+// by PoolHealth.Reasons keys or sit IDs in Describe output) from service —
+// an operator control for pulling a statistic suspected stale without
+// rebuilding the pool. It reports whether the ID named an in-service
+// statistic. Cross-query cache entries computed with the statistic are
+// invalidated automatically (quarantining advances the pool's generation).
+func (p *Pool) Quarantine(id, reason string) bool { return p.pool.Quarantine(id, reason) }
+
 // ViewMatchCalls returns the number of view-matching (candidate lookup)
 // calls issued against the pool — the efficiency metric of the paper's
 // Figure 6.
