@@ -12,11 +12,11 @@
 //
 // Usage:
 //
-//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp|robust]
+//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp|robust|lifecycle]
 //	         [-fact N] [-queries N] [-joins 3,5,7] [-maxpool N]
 //	         [-subsets N] [-seed N] [-filtersel F] [-csv FILE]
 //	         [-workers N] [-cache] [-cachecap N] [-rounds N] [-json FILE]
-//	         [-sizes 6,8,10,12] [-iters N]
+//	         [-sizes 6,8,10,12] [-iters N] [-cycles N]
 //
 // With -csv the selected figure's data is additionally written as CSV
 // (single figures only, not the "all"/"ablations" bundles). -fig est
@@ -26,9 +26,13 @@
 // predicate counts. -fig robust times the un-armed degradation ladder
 // against the plain estimator (bit-identical answers are asserted, not
 // assumed) and, with -faults (the default), arms each fault-injection
-// point in turn and records which ladder tiers answer. All three write a
-// -json artifact (defaults: BENCH_estimation.json for est, BENCH_dp.json
-// for dp, BENCH_robust.json for robust).
+// point in turn and records which ladder tiers answer. -fig lifecycle
+// measures the statistics lifecycle manager: un-armed hot-path overhead of
+// the manager-fronted estimator (contract: ≤ 1%), rebuild + hot-swap
+// throughput, and crash-safe snapshot write/recover latency. All four write
+// a -json artifact (defaults: BENCH_estimation.json for est, BENCH_dp.json
+// for dp, BENCH_robust.json for robust, BENCH_lifecycle.json for
+// lifecycle).
 package main
 
 import (
@@ -44,7 +48,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust")
+		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust, lifecycle")
 		fact      = flag.Int("fact", 20000, "fact table rows")
 		queries   = flag.Int("queries", 25, "queries per workload")
 		joins     = flag.String("joins", "3,5,7", "workload join counts (comma separated)")
@@ -61,6 +65,7 @@ func main() {
 		sizes     = flag.String("sizes", "6,8,10,12", "query predicate counts for -fig dp")
 		iters     = flag.Int("iters", 0, "timed passes per variant for -fig dp (0 = default)")
 		withFault = flag.Bool("faults", true, "for -fig robust: also arm each fault point and record the ladder's tier distribution")
+		cycles    = flag.Int("cycles", 0, "full stale→rebuilt pool cycles for -fig lifecycle (0 = default)")
 	)
 	flag.Parse()
 
@@ -94,16 +99,17 @@ func main() {
 	}
 	dpCfg := bench.DPBenchConfig{Sizes: ns, Iters: *iters}
 	robustCfg := bench.RobustBenchConfig{Iters: *iters, Faults: *withFault}
+	lifecycleCfg := bench.LifecycleBenchConfig{Iters: *iters, Cycles: *cycles}
 
 	start := time.Now()
-	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, *jsonPath); err != nil {
+	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, jsonPath string) error {
+func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, jsonPath string) error {
 	withJSON := func(def string, write func(*os.File) error) error {
 		path := jsonPath
 		if path == "" {
@@ -210,6 +216,13 @@ func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchCo
 		bench.RenderRobust(os.Stdout, report)
 		return withJSON("BENCH_robust.json", func(f *os.File) error {
 			return bench.WriteRobustJSON(f, report)
+		})
+	case "lifecycle":
+		e := bench.NewEnv(opts)
+		report := e.LifecycleBench(lifecycleCfg)
+		bench.RenderLifecycle(os.Stdout, report)
+		return withJSON("BENCH_lifecycle.json", func(f *os.File) error {
+			return bench.WriteLifecycleJSON(f, report)
 		})
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

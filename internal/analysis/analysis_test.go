@@ -49,6 +49,11 @@ func TestLadderGuardFixture(t *testing.T) {
 	testFixture(t, "ladderguard", []Analyzer{NewLadderGuard()})
 }
 
+func TestCtxLoopFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "ctxloop", []Analyzer{NewCtxLoop()})
+}
+
 // TestSuiteOnFixture: the full suite (not just the single analyzer) produces
 // findings on a fixture package — the property the CLI's non-zero exit for
 // fixture dirs rests on.

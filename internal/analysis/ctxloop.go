@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop enforces the lifecycle package's shutdown discipline: every
+// for-loop inside a goroutine launched with `go` must be cancellable — its
+// body (or an enclosing loop's body in the same goroutine) must contain a
+// select with a `<-ctx.Done()` case for some context.Context value.
+//
+// The statistics lifecycle manager (internal/lifecycle) runs long-lived
+// background workers; a worker loop without a ctx.Done() arm survives
+// Stop(), leaks the goroutine, and — under the rebuild queue's retry path —
+// can spin forever after shutdown. Loops in synchronously called helpers are
+// not flagged: they run under a caller that is itself cancellable, and the
+// discipline this analyzer encodes is precisely "put the select at the
+// goroutine's top level, do the work in helpers".
+//
+// Both launch forms are analyzed: `go func() { ... }()` literals, and
+// `go name(...)` / `go recv.method(...)` where the target is declared in the
+// same package (each declaration is checked once, however many launch sites
+// it has).
+type CtxLoop struct {
+	// Scope lists package-path prefixes/substrings the analyzer applies to.
+	Scope []string
+}
+
+// NewCtxLoop returns the analyzer scoped to the lifecycle package (the only
+// estimation-stack package that launches long-lived goroutines; test
+// goroutines elsewhere are short-lived by construction).
+func NewCtxLoop() *CtxLoop {
+	return &CtxLoop{Scope: []string{
+		"condsel/internal/lifecycle",
+		"testdata/src/ctxloop",
+	}}
+}
+
+// Name implements Analyzer.
+func (*CtxLoop) Name() string { return "ctxloop" }
+
+// Doc implements Analyzer.
+func (*CtxLoop) Doc() string {
+	return "every for-loop in a go-launched goroutine must select on a context.Context's Done channel (directly or via an enclosing loop), so background workers drain on cancellation"
+}
+
+// Run implements Analyzer.
+func (a *CtxLoop) Run(pass *Pass) {
+	if !inScope(pass.Path, a.Scope) {
+		return
+	}
+	decls := packageFuncDecls(pass)
+	checked := make(map[*ast.FuncDecl]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				checkGoroutineBody(pass, fun.Body)
+			default:
+				if fd := launchedDecl(pass, g.Call, decls); fd != nil && !checked[fd] {
+					checked[fd] = true
+					checkGoroutineBody(pass, fd.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// launchedDecl resolves `go name(...)` / `go recv.method(...)` to the
+// package-local declaration being launched, or nil (cross-package launches
+// and dynamic calls are out of reach for a package-at-a-time analysis).
+func launchedDecl(pass *Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) *ast.FuncDecl {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	return decls[obj]
+}
+
+// checkGoroutineBody flags every for-loop in the goroutine body that neither
+// contains a ctx.Done() select itself nor sits inside an enclosing loop that
+// does. Nested function literals are not descended into: they run as
+// synchronous callees (or are themselves go-launched and analyzed at their
+// own launch site).
+func checkGoroutineBody(pass *Pass, body *ast.BlockStmt) {
+	walkWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var loopBody *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			loopBody = loop.Body
+		case *ast.RangeStmt:
+			loopBody = loop.Body
+		default:
+			return true
+		}
+		if containsDoneSelect(pass, loopBody) {
+			return true
+		}
+		for _, anc := range stack {
+			switch a := anc.(type) {
+			case *ast.ForStmt:
+				if containsDoneSelect(pass, a.Body) {
+					return true
+				}
+			case *ast.RangeStmt:
+				if containsDoneSelect(pass, a.Body) {
+					return true
+				}
+			}
+		}
+		pass.Reportf(n.Pos(),
+			"for-loop in a go-launched goroutine must select on ctx.Done() so the worker drains on cancellation")
+		return true
+	})
+}
+
+// containsDoneSelect reports whether the block contains a select statement
+// with a case receiving from the Done() channel of a context.Context value.
+// Function literals inside the block do not count: their selects run on some
+// other goroutine's schedule.
+func containsDoneSelect(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if commReceivesCtxDone(pass, cc.Comm) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// commReceivesCtxDone reports whether the comm clause receives from
+// `<-x.Done()` for an x of type context.Context.
+func commReceivesCtxDone(pass *Pass, comm ast.Stmt) bool {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	un, ok := expr.(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	call, ok := un.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(pass.TypeOf(fun.X))
+}
+
+// isContextType reports whether t is context.Context (or an alias of it).
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -12,5 +12,6 @@ func Suite() []Analyzer {
 		NewSideCond(),
 		NewNonDet(),
 		NewLadderGuard(),
+		NewCtxLoop(),
 	}
 }

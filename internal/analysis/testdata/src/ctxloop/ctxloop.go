@@ -1,0 +1,85 @@
+// Package ctxloop is the fixture for the ctxloop analyzer: for-loops in
+// go-launched goroutines must select on a context's Done channel.
+package ctxloop
+
+import "context"
+
+type mgr struct {
+	queue chan string
+}
+
+// start launches workers both ways the analyzer resolves: a method launch
+// and a function literal.
+func (m *mgr) start(ctx context.Context) {
+	go m.worker(ctx) // compliant method: checked at its declaration
+
+	go func() {
+		for { // want `must select on ctx\.Done`
+			<-m.queue
+		}
+	}()
+}
+
+// worker is the sanctioned shape: the select at the loop's top level, the
+// work in a synchronous helper.
+func (m *mgr) worker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case id := <-m.queue:
+			m.process(ctx, id)
+		}
+	}
+}
+
+// badDrain launches a package-local function whose loop never checks ctx.
+func (m *mgr) badDrain(ctx context.Context) {
+	go m.drain(ctx)
+}
+
+// drain is go-launched (from badDrain), so its loop is analyzed.
+func (m *mgr) drain(ctx context.Context) {
+	for range m.queue { // want `must select on ctx\.Done`
+		_ = ctx
+	}
+}
+
+// nested: a bounded inner loop inside a compliant outer loop is fine — the
+// outer loop's Done arm bounds every iteration.
+func (m *mgr) nested(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-m.queue:
+				for i := 0; i < 3; i++ {
+					_ = i
+				}
+			}
+		}
+	}()
+}
+
+// process is called synchronously from a cancellable worker loop; its own
+// loop is deliberately not flagged.
+func (m *mgr) process(ctx context.Context, id string) {
+	for i := 0; i < 2; i++ {
+		_ = id
+	}
+	_ = ctx
+}
+
+// selectWithoutDone: having a select is not enough — the Done arm is what
+// makes the loop cancellable.
+func (m *mgr) selectWithoutDone(ctx context.Context, other chan int) {
+	go func() {
+		for { // want `must select on ctx\.Done`
+			select {
+			case <-m.queue:
+			case <-other:
+			}
+		}
+	}()
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"strconv"
+	"strings"
+
 	"condsel/internal/histogram"
 	"condsel/internal/selcache"
 	"condsel/internal/sit"
@@ -57,3 +60,23 @@ func HistJoinCacheStats() selcache.Stats { return histJoinCache.Stats() }
 // ResetHistJoinCache empties the cross-query histogram-join cache and zeroes
 // its counters (test and benchmark isolation).
 func ResetHistJoinCache() { histJoinCache.Reset() }
+
+// EvictHistJoinGeneration drops every histogram-join cache entry computed
+// against the given pool generation and returns how many were dropped. The
+// lifecycle manager calls it when an epoch is retired: the old generation's
+// keys can never be requested again (generations are process-wide unique),
+// so the entries are pure dead weight. Entries of other generations are
+// untouched.
+func EvictHistJoinGeneration(gen uint64) int {
+	prefix := "g" + strconv.FormatUint(gen, 10) + "|"
+	return histJoinCache.EvictIf(func(key string) bool {
+		return strings.HasPrefix(key, prefix)
+	})
+}
+
+// GenerationCacheKeyPart renders the pool-generation component that appears
+// inside every cross-query selectivity cache key built by a run (see
+// NewRun's cachePrefix). Epoch-retirement eviction matches on it.
+func GenerationCacheKeyPart(gen uint64) string {
+	return "|g" + strconv.FormatUint(gen, 10) + "|"
+}

@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+// TestEvictHistJoinGeneration: epoch retirement drops exactly the retired
+// generation's histogram-join entries. Not parallel: the cache is
+// process-global.
+func TestEvictHistJoinGeneration(t *testing.T) {
+	ResetHistJoinCache()
+	defer ResetHistJoinCache()
+	histJoinCache.Put("g7|a⋈b", 0.5)
+	histJoinCache.Put("g7|a⋈c", 0.25)
+	histJoinCache.Put("g8|a⋈b", 0.75)
+	histJoinCache.Put("g70|a⋈b", 0.1) // prefix must not over-match g7
+
+	if n := EvictHistJoinGeneration(7); n != 2 {
+		t.Fatalf("EvictHistJoinGeneration(7) dropped %d entries, want 2", n)
+	}
+	if _, ok := histJoinCache.Get("g7|a⋈b"); ok {
+		t.Fatal("retired generation's entry survived")
+	}
+	if v, ok := histJoinCache.Get("g8|a⋈b"); !ok || v != 0.75 {
+		t.Fatal("live generation's entry was evicted")
+	}
+	if v, ok := histJoinCache.Get("g70|a⋈b"); !ok || v != 0.1 {
+		t.Fatal("generation 70 entry evicted by generation 7 retirement")
+	}
+	if n := EvictHistJoinGeneration(7); n != 0 {
+		t.Fatalf("second eviction dropped %d entries, want 0", n)
+	}
+}
+
+// TestGenerationCacheKeyPart pins the key fragment the selectivity-cache
+// eviction matches on to the fragment NewRun actually embeds.
+func TestGenerationCacheKeyPart(t *testing.T) {
+	if got := GenerationCacheKeyPart(42); got != "|g42|" {
+		t.Fatalf("GenerationCacheKeyPart(42) = %q", got)
+	}
+}

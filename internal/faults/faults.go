@@ -44,6 +44,17 @@ const (
 	// CacheEvictStorm drops every entry of the cross-query selectivity
 	// cache ahead of a lookup (internal/selcache).
 	CacheEvictStorm
+	// SnapshotTornWrite truncates a lifecycle pool snapshot mid-payload —
+	// modeling a crash between the data write and its fsync — so recovery
+	// code must detect the torn file and fall back a generation
+	// (internal/lifecycle).
+	SnapshotTornWrite
+	// RebuildFail makes a statistics rebuild attempt fail, driving the
+	// lifecycle manager's retry/backoff/park machinery (internal/lifecycle).
+	RebuildFail
+	// FsyncError makes the snapshot writer's fsync report an I/O error
+	// before the atomic rename (internal/lifecycle).
+	FsyncError
 
 	// NumPoints is the number of injection points.
 	NumPoints
@@ -62,6 +73,12 @@ func (p Point) String() string {
 		return "panic-in-factor"
 	case CacheEvictStorm:
 		return "cache-evict-storm"
+	case SnapshotTornWrite:
+		return "snapshot-torn-write"
+	case RebuildFail:
+		return "rebuild-fail"
+	case FsyncError:
+		return "fsync-error"
 	}
 	return fmt.Sprintf("point(%d)", uint8(p))
 }

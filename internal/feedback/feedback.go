@@ -7,31 +7,58 @@
 // context-free adjustments fix repeated queries while sub-queries and new
 // contexts stay wrong, whereas SITs keep separate statistics per query
 // expression.
+//
+// The estimator is safe for concurrent use: the adjustment table is
+// mutex-guarded, so execution-feedback goroutines can Observe while
+// estimation goroutines Estimate. Observations additionally fan out to an
+// optional Observer — the statistics lifecycle manager registers one and
+// uses the (estimate, truth) pairs as its drift signal.
 package feedback
 
 import (
 	"math"
+	"sync"
 
 	"condsel/internal/engine"
 	"condsel/internal/histogram"
 	"condsel/internal/sit"
 )
 
+// Observer receives every observation fed to Observe: the sub-query, the
+// estimator's cardinality estimate *before* learning from the observation,
+// and the observed true cardinality. Estimation drift monitors (the
+// statistics lifecycle manager) consume this stream. Observers are invoked
+// synchronously but outside the estimator's lock, so an observer may call
+// back into the estimator freely.
+type Observer func(q *engine.Query, set engine.PredSet, estCard, trueCard float64)
+
 // Estimator is an independence-assumption estimator over base histograms
 // with multiplicative per-predicate-identity adjustments learned from
-// observed cardinalities.
+// observed cardinalities. Safe for concurrent use.
 type Estimator struct {
 	cat  *engine.Catalog
 	pool *sit.Pool // base histograms (SIT expressions are ignored)
 
-	// adj maps a predicate's identity key (the attribute for filters, the
-	// attribute pair for joins) to a learned multiplicative correction.
+	// mu guards adj and observer. Estimation reads and learning writes may
+	// come from different goroutines (execution feedback is asynchronous by
+	// nature), so every access to the adjustment table is locked.
+	mu  sync.Mutex
 	adj map[string]float64
+
+	observer Observer
 }
 
 // New returns a feedback estimator over the pool's base histograms.
 func New(cat *engine.Catalog, pool *sit.Pool) *Estimator {
 	return &Estimator{cat: cat, pool: pool, adj: make(map[string]float64)}
+}
+
+// SetObserver registers fn to receive every subsequent observation (nil
+// unregisters). Lifecycle drift detection attaches here.
+func (e *Estimator) SetObserver(fn Observer) {
+	e.mu.Lock()
+	e.observer = fn
+	e.mu.Unlock()
 }
 
 // key returns the adjustment slot for a predicate: per attribute for
@@ -64,6 +91,15 @@ func (e *Estimator) baseSelectivity(p engine.Pred) float64 {
 // EstimateSelectivity multiplies per-predicate base selectivities and their
 // learned adjustments under the independence assumption.
 func (e *Estimator) EstimateSelectivity(q *engine.Query, set engine.PredSet) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.estimateSelectivityLocked(q, set)
+}
+
+// estimateSelectivityLocked is EstimateSelectivity under a held e.mu; Observe
+// shares it so the estimate-then-learn sequence is atomic with respect to
+// concurrent observations.
+func (e *Estimator) estimateSelectivityLocked(q *engine.Query, set engine.PredSet) float64 {
 	sel := 1.0
 	for _, i := range set.Indices() {
 		p := q.Preds[i]
@@ -90,35 +126,48 @@ func (e *Estimator) EstimateCardinality(q *engine.Query, set engine.PredSet) flo
 // discrepancy between the estimate and the truth is distributed
 // geometrically over the participating predicates' adjustment slots, so a
 // re-estimate of the same query is exact afterwards (LEO's defining
-// behaviour). Queries whose truth or estimate is zero teach nothing.
+// behaviour). Queries whose truth or estimate is zero teach nothing —
+// but even those reach a registered Observer, whose drift accumulators
+// want the raw stream.
 func (e *Estimator) Observe(q *engine.Query, set engine.PredSet, trueCard float64) {
 	tables := engine.PredsTables(q.Cat, q.Preds, set)
 	cross := q.Cat.CrossSize(tables)
-	if cross == 0 || trueCard <= 0 {
-		return
-	}
-	est := e.EstimateSelectivity(q, set)
-	if est <= 0 {
-		return
-	}
-	ratio := (trueCard / cross) / est
-	n := set.Len()
-	if n == 0 || ratio <= 0 || math.IsInf(ratio, 0) {
-		return
-	}
-	perPred := math.Pow(ratio, 1/float64(n))
-	for _, i := range set.Indices() {
-		k := e.key(q.Preds[i])
-		cur, ok := e.adj[k]
-		if !ok {
-			cur = 1
+
+	e.mu.Lock()
+	est := e.estimateSelectivityLocked(q, set)
+	observer := e.observer
+	if cross > 0 && trueCard > 0 && est > 0 {
+		ratio := (trueCard / cross) / est
+		n := set.Len()
+		if n > 0 && ratio > 0 && !math.IsInf(ratio, 0) {
+			perPred := math.Pow(ratio, 1/float64(n))
+			for _, i := range set.Indices() {
+				k := e.key(q.Preds[i])
+				cur, ok := e.adj[k]
+				if !ok {
+					cur = 1
+				}
+				e.adj[k] = cur * perPred
+			}
 		}
-		e.adj[k] = cur * perPred
+	}
+	e.mu.Unlock()
+
+	if observer != nil {
+		observer(q, set, est*cross, trueCard)
 	}
 }
 
 // Adjustments returns the number of learned adjustment slots.
-func (e *Estimator) Adjustments() int { return len(e.adj) }
+func (e *Estimator) Adjustments() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.adj)
+}
 
 // Reset forgets all learned adjustments.
-func (e *Estimator) Reset() { e.adj = make(map[string]float64) }
+func (e *Estimator) Reset() {
+	e.mu.Lock()
+	e.adj = make(map[string]float64)
+	e.mu.Unlock()
+}

@@ -2,6 +2,7 @@ package feedback
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"condsel/internal/datagen"
@@ -111,6 +112,78 @@ func TestReset(t *testing.T) {
 	e.Reset()
 	if e.Adjustments() != 0 {
 		t.Fatalf("Reset kept adjustments")
+	}
+}
+
+// TestConcurrentObserveEstimate: the estimator's concurrency contract —
+// execution-feedback goroutines Observe while estimation goroutines
+// Estimate. Run under -race, correctness is "no race, bounds hold".
+func TestConcurrentObserveEstimate(t *testing.T) {
+	t.Parallel()
+	db, queries, pool, ev := testEnv(t)
+	e := New(db.Cat, pool)
+	truths := make([]float64, len(queries))
+	for i, q := range queries {
+		truths[i] = ev.Count(q.Tables, q.Preds, q.All())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(g+i)%len(queries)]
+				if g%2 == 0 {
+					e.Observe(q, q.All(), truths[(g+i)%len(queries)])
+				} else {
+					s := e.EstimateSelectivity(q, q.All())
+					if s < 0 || s > 1 || math.IsNaN(s) {
+						t.Errorf("selectivity %v out of range", s)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestObserverReceivesRawStream: every observation — degenerate ones
+// included — reaches a registered observer with the pre-learning estimate,
+// and the observer may call back into the estimator (it runs outside the
+// lock).
+func TestObserverReceivesRawStream(t *testing.T) {
+	t.Parallel()
+	db, queries, pool, ev := testEnv(t)
+	e := New(db.Cat, pool)
+	q := queries[0]
+
+	var got []struct{ est, truth float64 }
+	e.SetObserver(func(oq *engine.Query, set engine.PredSet, estCard, trueCard float64) {
+		// Re-entrancy: the observer consults the estimator it observes.
+		_ = e.EstimateSelectivity(oq, set)
+		got = append(got, struct{ est, truth float64 }{estCard, trueCard})
+	})
+
+	before := e.EstimateCardinality(q, q.All())
+	truth := ev.Count(q.Tables, q.Preds, q.All())
+	e.Observe(q, q.All(), truth)
+	e.Observe(q, q.All(), 0) // degenerate: teaches nothing, still observed
+
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d observations, want 2", len(got))
+	}
+	if math.Abs(got[0].est-before) > 1e-9*math.Abs(before) {
+		t.Fatalf("observer estimate %v is not the pre-learning estimate %v", got[0].est, before)
+	}
+	if got[0].truth != truth || got[1].truth != 0 {
+		t.Fatalf("observer truths = %v, %v; want %v, 0", got[0].truth, got[1].truth, truth)
+	}
+
+	e.SetObserver(nil)
+	e.Observe(q, q.All(), truth)
+	if len(got) != 2 {
+		t.Fatalf("unregistered observer still invoked")
 	}
 }
 

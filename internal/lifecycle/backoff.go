@@ -1,0 +1,73 @@
+package lifecycle
+
+import "time"
+
+// Rebuild scheduling: a failed rebuild retries under capped exponential
+// backoff with deterministic jitter. The schedule is a pure function of
+// (base, cap, seed, SIT id, attempt) — no clock reads, no global random
+// state — so a test can assert the exact delay sequence a statistic will
+// experience and a given seed replays identically across processes. Only the
+// *waiting* touches the clock (see Manager.sleep), never the schedule math,
+// which keeps the lifecycle package honest under the same determinism
+// discipline sitlint's nondet/detmaprange analyzers enforce for estimation
+// code.
+
+// Backoff returns the delay to wait before rebuild attempt `attempt`
+// (0-based: the first attempt of a freshly stale statistic waits
+// Backoff(..., 0)) of the statistic with the given canonical ID.
+//
+// The raw schedule is base·2^attempt capped at cap; jitter then scales the
+// raw delay into [½·raw, raw), derived from splitmix64(seed, id, attempt),
+// so concurrent rebuilds of many statistics de-synchronize (no thundering
+// herd against the engine) while each (seed, id, attempt) triple always
+// yields the same delay. Non-positive base or cap take DefaultBackoffBase /
+// DefaultBackoffCap.
+func Backoff(base, cap time.Duration, seed int64, id string, attempt int) time.Duration {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	if cap < base {
+		cap = base
+	}
+	raw := base
+	for i := 0; i < attempt; i++ {
+		raw *= 2
+		if raw >= cap || raw <= 0 { // cap reached or overflowed
+			raw = cap
+			break
+		}
+	}
+	if raw > cap {
+		raw = cap
+	}
+	// Jitter into [raw/2, raw): keep the exponential envelope but spread
+	// simultaneous retries. frac ∈ [0,1) comes from a seeded hash, never
+	// from a global RNG.
+	frac := hashFrac(seed, id, attempt)
+	return raw/2 + time.Duration(frac*float64(raw/2))
+}
+
+// hashFrac maps (seed, id, attempt) to [0,1) with FNV-1a over the id folded
+// into a splitmix64 finalizer — the same construction the fault harness uses
+// for probabilistic rules: seeded pseudo-randomness with no global state.
+func hashFrac(seed int64, id string, attempt int) float64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime
+	}
+	x := h ^ uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(attempt)<<48
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,76 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: the schedule is a pure function of
+// (base, cap, seed, id, attempt) — the exact property the park/retry tests
+// and cross-process replay rest on.
+func TestBackoffDeterministic(t *testing.T) {
+	for attempt := 0; attempt < 12; attempt++ {
+		a := Backoff(50*time.Millisecond, 5*time.Second, 7, "sit-a", attempt)
+		b := Backoff(50*time.Millisecond, 5*time.Second, 7, "sit-a", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: schedule not deterministic: %v vs %v", attempt, a, b)
+		}
+	}
+}
+
+// TestBackoffEnvelope: every delay lies in [raw/2, raw) for the capped
+// exponential raw = min(base·2^attempt, cap).
+func TestBackoffEnvelope(t *testing.T) {
+	base, cp := 50*time.Millisecond, 5*time.Second
+	raw := base
+	for attempt := 0; attempt < 20; attempt++ {
+		if attempt > 0 {
+			raw *= 2
+			if raw > cp || raw <= 0 {
+				raw = cp
+			}
+		}
+		d := Backoff(base, cp, 99, "sit-x", attempt)
+		if d < raw/2 || d >= raw {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, raw/2, raw)
+		}
+	}
+}
+
+// TestBackoffCap: arbitrarily late attempts never exceed the cap (no
+// overflow past the doubling range).
+func TestBackoffCap(t *testing.T) {
+	cp := 2 * time.Second
+	for _, attempt := range []int{11, 31, 63, 64, 100, 1000} {
+		d := Backoff(time.Millisecond, cp, 1, "sit-y", attempt)
+		if d >= cp || d < cp/2 {
+			t.Fatalf("attempt %d: delay %v outside capped envelope [%v, %v)", attempt, d, cp/2, cp)
+		}
+	}
+}
+
+// TestBackoffJitterDesynchronizes: distinct statistics retry at distinct
+// offsets (no thundering herd), while each is individually reproducible.
+func TestBackoffJitterDesynchronizes(t *testing.T) {
+	seen := make(map[time.Duration]bool)
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, id := range ids {
+		seen[Backoff(time.Second, time.Minute, 5, id, 3)] = true
+	}
+	if len(seen) < len(ids)/2 {
+		t.Fatalf("jitter collapsed: %d distinct delays for %d statistics", len(seen), len(ids))
+	}
+}
+
+// TestBackoffDefaults: non-positive base/cap take the package defaults, and
+// a cap below base is raised to base.
+func TestBackoffDefaults(t *testing.T) {
+	d := Backoff(0, 0, 0, "z", 0)
+	if d < DefaultBackoffBase/2 || d >= DefaultBackoffBase {
+		t.Fatalf("zero-config first delay %v outside [%v, %v)", d, DefaultBackoffBase/2, DefaultBackoffBase)
+	}
+	d = Backoff(time.Second, time.Millisecond, 0, "z", 5)
+	if d < time.Second/2 || d >= time.Second {
+		t.Fatalf("cap below base: delay %v outside [%v, %v)", d, time.Second/2, time.Second)
+	}
+}

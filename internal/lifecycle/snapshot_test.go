@@ -1,0 +1,195 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+	"condsel/internal/faults"
+	"condsel/internal/sit"
+	"condsel/internal/workload"
+)
+
+// snapEnv builds a tiny database, workload and statistics pool for
+// snapshot-level tests.
+func snapEnv(t *testing.T) (*datagen.DB, []*engine.Query, *sit.Pool) {
+	t.Helper()
+	db := datagen.Generate(datagen.Config{Seed: 41, FactRows: 1500})
+	g := workload.NewGenerator(db, workload.Config{Seed: 41, NumQueries: 3, Joins: 2, Filters: 1})
+	queries, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sit.BuildWorkloadPool(sit.NewBuilder(db.Cat), queries, 1)
+	return db, queries, pool
+}
+
+// encodePoolPayload renders a minimal valid payload for low-level tests.
+func encodePoolPayload(t *testing.T, pool *sit.Pool, seq uint64) []byte {
+	t.Helper()
+	var buf strings.Builder
+	if err := pool.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(&snapshotPayload{Pool: []byte(buf.String()), Seq: seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSnapshotRoundtrip: write → read verifies header, length, CRC and
+// sequence agreement, and the pool decodes back.
+func TestSnapshotRoundtrip(t *testing.T) {
+	db, _, pool := snapEnv(t)
+	dir := t.TempDir()
+	payload := encodePoolPayload(t, pool, 1)
+	path, err := writeSnapshot(dir, 1, payload)
+	if err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	snap, err := readSnapshot(path)
+	if err != nil {
+		t.Fatalf("readSnapshot: %v", err)
+	}
+	if snap.Seq != 1 {
+		t.Fatalf("seq = %d, want 1", snap.Seq)
+	}
+	restored, err := sit.ReadPool(db.Cat, strings.NewReader(string(snap.Pool)))
+	if err != nil {
+		t.Fatalf("pool decode: %v", err)
+	}
+	if restored.Size() != pool.Size() {
+		t.Fatalf("restored pool has %d statistics, want %d", restored.Size(), pool.Size())
+	}
+}
+
+// TestSnapshotDetectsCorruption: a flipped payload byte fails the CRC; a
+// truncated payload fails the length check; a mangled header fails parsing.
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	_, _, pool := snapEnv(t)
+	dir := t.TempDir()
+	payload := encodePoolPayload(t, pool, 3)
+	path, err := writeSnapshot(dir, 3, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte, wantErr string) {
+		t.Helper()
+		if err := os.WriteFile(path, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := readSnapshot(path)
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Fatalf("%s: error = %v, want containing %q", name, err, wantErr)
+		}
+	}
+	corrupt("bit flip", func(b []byte) []byte {
+		b[len(b)-10] ^= 0x40
+		return b
+	}, "checksum mismatch")
+	corrupt("truncation", func(b []byte) []byte {
+		return b[:len(b)-7]
+	}, "torn payload")
+	corrupt("mangled header", func(b []byte) []byte {
+		copy(b, "XXXXXXX")
+		return b
+	}, "malformed header")
+}
+
+// TestRecoverLatestFallsBack: with the newest snapshot torn, recovery loads
+// the previous sequence and reports the torn file as an issue.
+func TestRecoverLatestFallsBack(t *testing.T) {
+	db, _, pool := snapEnv(t)
+	dir := t.TempDir()
+	if _, err := writeSnapshot(dir, 1, encodePoolPayload(t, pool, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Arm(faults.NewSchedule(1).Set(faults.SnapshotTornWrite, faults.Rule{Limit: 1}))
+	defer faults.Disarm()
+	_, err := writeSnapshot(dir, 2, encodePoolPayload(t, pool, 2))
+	if _, ok := err.(faults.Injected); !ok {
+		t.Fatalf("torn write error = %v, want faults.Injected", err)
+	}
+
+	snap, restored, issues, err := recoverLatest(db.Cat, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Seq != 1 {
+		t.Fatalf("recovered snapshot = %+v, want seq 1", snap)
+	}
+	if restored == nil || restored.Size() != pool.Size() {
+		t.Fatalf("recovered pool size mismatch")
+	}
+	if len(issues) != 1 || issues[0].Seq != 2 || !strings.Contains(issues[0].Reason, "torn payload") {
+		t.Fatalf("issues = %+v, want one torn-payload issue for seq 2", issues)
+	}
+}
+
+// TestFsyncErrorAbortsWrite: an injected fsync failure aborts before the
+// rename — no new snapshot appears, and the temp file does not confuse
+// recovery.
+func TestFsyncErrorAbortsWrite(t *testing.T) {
+	db, _, pool := snapEnv(t)
+	dir := t.TempDir()
+	if _, err := writeSnapshot(dir, 1, encodePoolPayload(t, pool, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Arm(faults.NewSchedule(1).Set(faults.FsyncError, faults.Rule{Limit: 1}))
+	defer faults.Disarm()
+	if _, err := writeSnapshot(dir, 2, encodePoolPayload(t, pool, 2)); err == nil {
+		t.Fatal("fsync fault did not fail the write")
+	}
+	if _, err := os.Stat(snapshotPath(dir, 2)); !os.IsNotExist(err) {
+		t.Fatalf("aborted write still published snapshot 2 (stat err %v)", err)
+	}
+	snap, _, issues, err := recoverLatest(db.Cat, dir)
+	if err != nil || snap == nil || snap.Seq != 1 || len(issues) != 0 {
+		t.Fatalf("recovery after aborted write: snap=%+v issues=%+v err=%v", snap, issues, err)
+	}
+}
+
+// TestPruneSnapshots: only the newest keep files survive; temp leftovers are
+// removed.
+func TestPruneSnapshots(t *testing.T) {
+	_, _, pool := snapEnv(t)
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := writeSnapshot(dir, seq, encodePoolPayload(t, pool, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leftover := filepath.Join(dir, snapshotPrefix+"junk.tmp")
+	if err := os.WriteFile(leftover, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pruneSnapshots(dir, 2)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("after prune: %v, want exactly snapshots 4 and 5", names)
+	}
+	for _, seq := range []uint64{4, 5} {
+		if _, err := os.Stat(snapshotPath(dir, seq)); err != nil {
+			t.Fatalf("snapshot %d missing after prune: %v", seq, err)
+		}
+	}
+}

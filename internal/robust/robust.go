@@ -72,6 +72,12 @@ type Provenance struct {
 	// FallbackReason concatenates, per abandoned rung, why it fell through
 	// ("" when TierFullDP answered).
 	FallbackReason string
+	// Generation is the statistics-pool content stamp the estimate was
+	// produced against (sit.Pool.Generation at the start of the ladder).
+	// Feedback consumers — the lifecycle manager's drift detector — use it
+	// to discard observations computed against a retired pool epoch instead
+	// of mis-attributing their error to the statistics of the current one.
+	Generation uint64
 }
 
 // DefaultNodeBudget caps the full DP's memo-miss nodes when Config leaves
@@ -115,11 +121,13 @@ func New(e *core.Estimator, cfg Config) *Estimator {
 // context bounds the expensive tiers (nil means no deadline); the returned
 // selectivity is always finite and in [0,1], whatever fails underneath.
 func (e *Estimator) Selectivity(ctx context.Context, q *engine.Query, set engine.PredSet) (float64, Provenance) {
+	gen := e.Core.Pool.Generation()
+
 	// Tier 1: full DP under deadline + node budget.
 	r := e.Core.NewBudgetedRun(ctx, q, e.Cfg.nodeBudget())
 	res, reason := r.SelectivityGuarded(set)
 	if reason == "" {
-		return res.Sel, Provenance{Tier: TierFullDP}
+		return res.Sel, Provenance{Tier: TierFullDP, Generation: gen}
 	}
 	fall := "full-dp: " + reason
 
@@ -129,14 +137,14 @@ func (e *Estimator) Selectivity(ctx context.Context, q *engine.Query, set engine
 	r2 := e.Core.NewBudgetedRun(ctx, q, 0)
 	sel, _, reason := r2.GreedyChainGuarded(set)
 	if reason == "" {
-		return sel, Provenance{Tier: TierBudgetedDP, FallbackReason: fall}
+		return sel, Provenance{Tier: TierBudgetedDP, FallbackReason: fall, Generation: gen}
 	}
 	fall += "; budgeted-dp: " + reason
 
 	// Tier 3: greedy view matching, deadline-polled between rounds.
 	sel, reason = e.gvmGuarded(ctx, q, set)
 	if reason == "" {
-		return sel, Provenance{Tier: TierGVM, FallbackReason: fall}
+		return sel, Provenance{Tier: TierGVM, FallbackReason: fall, Generation: gen}
 	}
 	fall += "; gvm: " + reason
 
@@ -145,13 +153,13 @@ func (e *Estimator) Selectivity(ctx context.Context, q *engine.Query, set engine
 	r4 := e.Core.NewRun(q)
 	sel, reason = r4.IndependenceGuarded(set)
 	if reason == "" {
-		return sel, Provenance{Tier: TierNoSIT, FallbackReason: fall}
+		return sel, Provenance{Tier: TierNoSIT, FallbackReason: fall, Generation: gen}
 	}
 	fall += "; no-sit: " + reason
 
 	// Closed-form floor: the System R fallback product. Pure arithmetic
 	// over in-range constants — cannot fail, cannot leave [0,1].
-	return floorSelectivity(q, set), Provenance{Tier: TierNoSIT, FallbackReason: fall + "; floor"}
+	return floorSelectivity(q, set), Provenance{Tier: TierNoSIT, FallbackReason: fall + "; floor", Generation: gen}
 }
 
 // Cardinality estimates the cardinality of the full query through the

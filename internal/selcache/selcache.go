@@ -199,6 +199,36 @@ func (c *Cache[V]) Stats() Stats {
 	return st
 }
 
+// EvictIf drops every entry whose key satisfies keep's complement — i.e.
+// entries for which drop(key) reports true — counting them as evictions, and
+// returns how many were dropped. The statistics lifecycle manager uses it
+// after an epoch hot-swap to reclaim the capacity held by dead-generation
+// entries (their generation-stamped keys can never be requested again, but
+// untouched they would linger until LRU churn pushes them out). The scan
+// locks one shard at a time, so concurrent lookups proceed on other shards.
+func (c *Cache[V]) EvictIf(drop func(key string) bool) int {
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var victims []*list.Element
+		for key, el := range s.entries {
+			if drop(key) {
+				victims = append(victims, el)
+			}
+		}
+		for _, el := range victims {
+			s.order.Remove(el)
+			delete(s.entries, el.Value.(*entry[V]).key)
+		}
+		n := len(victims)
+		s.mu.Unlock()
+		c.evictions.Add(int64(n))
+		dropped += n
+	}
+	return dropped
+}
+
 // EvictAll drops every entry while counting them as evictions; unlike Reset
 // the hit/miss counters survive. It models an operational cache flush (or an
 // injected eviction storm): subsequent lookups miss and recompute, nothing

@@ -3,6 +3,7 @@ package selcache
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -129,5 +130,70 @@ func TestConcurrentMixed(t *testing.T) {
 	st := c.Stats()
 	if st.Entries > st.Capacity {
 		t.Fatalf("seed %d: entries %d exceed capacity %d", seed, st.Entries, st.Capacity)
+	}
+}
+
+// TestEvictIf: predicate-driven eviction removes exactly the matching
+// entries across shards, reports the count, and leaves the rest servable.
+func TestEvictIf(t *testing.T) {
+	t.Parallel()
+	c := New[int](256)
+	for i := 0; i < 40; i++ {
+		gen := "g1"
+		if i%2 == 0 {
+			gen = "g2"
+		}
+		c.Put(fmt.Sprintf("model|%s|k%d", gen, i), i)
+	}
+	n := c.EvictIf(func(key string) bool { return strings.Contains(key, "|g1|") })
+	if n != 20 {
+		t.Fatalf("EvictIf dropped %d entries, want 20", n)
+	}
+	if c.Len() != 20 {
+		t.Fatalf("Len = %d after eviction, want 20", c.Len())
+	}
+	for i := 0; i < 40; i++ {
+		_, ok := c.Get(fmt.Sprintf("model|g1|k%d", i))
+		if i%2 != 0 && ok {
+			t.Fatalf("g1 entry k%d survived EvictIf", i)
+		}
+	}
+	for i := 0; i < 40; i += 2 {
+		if v, ok := c.Get(fmt.Sprintf("model|g2|k%d", i)); !ok || v != i {
+			t.Fatalf("g2 entry k%d lost by EvictIf: %v %v", i, v, ok)
+		}
+	}
+	// Nothing matches: no-op, zero count.
+	if n := c.EvictIf(func(string) bool { return false }); n != 0 {
+		t.Fatalf("no-match EvictIf dropped %d entries", n)
+	}
+}
+
+// TestEvictIfConcurrent: EvictIf racing Put/Get neither corrupts the cache
+// nor loses unrelated entries (run under -race).
+func TestEvictIfConcurrent(t *testing.T) {
+	t.Parallel()
+	c := New[int](512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("w|g%d|k%d", g%2, i)
+				switch i % 3 {
+				case 0:
+					c.Put(key, i)
+				case 1:
+					c.Get(key)
+				default:
+					c.EvictIf(func(k string) bool { return strings.Contains(k, "|g0|") })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > st.Capacity {
+		t.Fatalf("entries %d exceed capacity %d after concurrent EvictIf", st.Entries, st.Capacity)
 	}
 }
