@@ -8,15 +8,18 @@
 // ("est": shared estimator under concurrent load, with or without the
 // cross-query selectivity cache), and the getSelectivity hot-path benchmark
 // ("dp": NoFastPath baseline vs the optimized DP across query sizes, search
-// modes and error models).
+// modes and error models), and the large-scale soak harness ("soak": a grown
+// 100+-table schema driven through repeated drift → rebuild → hot-swap →
+// fault → recovery arcs under phased adversarial workloads).
 //
 // Usage:
 //
-//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp|robust|lifecycle]
+//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp|robust|lifecycle|soak]
 //	         [-fact N] [-queries N] [-joins 3,5,7] [-maxpool N]
 //	         [-subsets N] [-seed N] [-filtersel F] [-csv FILE]
 //	         [-workers N] [-cache] [-cachecap N] [-rounds N] [-json FILE]
 //	         [-sizes 6,8,10,12] [-iters N] [-cycles N]
+//	         [-tables N] [-duration D] [-phases flash,churn,...]
 //
 // With -csv the selected figure's data is additionally written as CSV
 // (single figures only, not the "all"/"ablations" bundles). -fig est
@@ -29,26 +32,33 @@
 // point in turn and records which ladder tiers answer. -fig lifecycle
 // measures the statistics lifecycle manager: un-armed hot-path overhead of
 // the manager-fronted estimator (contract: ≤ 1%), rebuild + hot-swap
-// throughput, and crash-safe snapshot write/recover latency. All four write
-// a -json artifact (defaults: BENCH_estimation.json for est, BENCH_dp.json
-// for dp, BENCH_robust.json for robust, BENCH_lifecycle.json for
-// lifecycle).
+// throughput, and crash-safe snapshot write/recover latency. -fig soak runs
+// the internal/soak harness: -tables sizes the grown schema, -cycles runs
+// that many compressed arcs (deterministic event log, the CI mode),
+// -duration keeps cycling until the clock expires, and -phases selects a
+// subset of the arc. All five write a -json artifact in the shared
+// condsel-bench/v1 envelope (defaults: BENCH_estimation.json for est,
+// BENCH_dp.json for dp, BENCH_robust.json for robust, BENCH_lifecycle.json
+// for lifecycle, BENCH_soak.json for soak).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"condsel/internal/bench"
+	"condsel/internal/soak"
 )
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust, lifecycle")
+		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust, lifecycle, soak")
 		fact      = flag.Int("fact", 20000, "fact table rows")
 		queries   = flag.Int("queries", 25, "queries per workload")
 		joins     = flag.String("joins", "3,5,7", "workload join counts (comma separated)")
@@ -65,7 +75,10 @@ func main() {
 		sizes     = flag.String("sizes", "6,8,10,12", "query predicate counts for -fig dp")
 		iters     = flag.Int("iters", 0, "timed passes per variant for -fig dp (0 = default)")
 		withFault = flag.Bool("faults", true, "for -fig robust: also arm each fault point and record the ladder's tier distribution")
-		cycles    = flag.Int("cycles", 0, "full stale→rebuilt pool cycles for -fig lifecycle (0 = default)")
+		cycles    = flag.Int("cycles", 0, "full stale→rebuilt pool cycles for -fig lifecycle, or arc cycles for -fig soak (0 = default)")
+		tables    = flag.Int("tables", 0, "grown-schema table count for -fig soak (0 = default 104)")
+		duration  = flag.Duration("duration", 0, "for -fig soak: keep cycling until this wall-clock budget expires (0 = -cycles mode)")
+		phases    = flag.String("phases", "", "for -fig soak: comma-separated phase subset (default: the full arc)")
 	)
 	flag.Parse()
 
@@ -100,16 +113,24 @@ func main() {
 	dpCfg := bench.DPBenchConfig{Sizes: ns, Iters: *iters}
 	robustCfg := bench.RobustBenchConfig{Iters: *iters, Faults: *withFault}
 	lifecycleCfg := bench.LifecycleBenchConfig{Iters: *iters, Cycles: *cycles}
+	soakCfg := soak.Config{
+		Seed:     *seed,
+		Tables:   *tables,
+		Cycles:   *cycles,
+		Duration: *duration,
+		Phases:   parsePhases(*phases),
+		Progress: os.Stdout,
+	}
 
 	start := time.Now()
-	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, *jsonPath); err != nil {
+	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, soakCfg, *jsonPath); err != nil {
 		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, jsonPath string) error {
+func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, soakCfg soak.Config, jsonPath string) error {
 	withJSON := func(def string, write func(*os.File) error) error {
 		path := jsonPath
 		if path == "" {
@@ -224,10 +245,69 @@ func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchCo
 		return withJSON("BENCH_lifecycle.json", func(f *os.File) error {
 			return bench.WriteLifecycleJSON(f, report)
 		})
+	case "soak":
+		h, err := soak.New(soakCfg)
+		if err != nil {
+			return err
+		}
+		report, err := h.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		renderSoak(os.Stdout, report)
+		return withJSON("BENCH_soak.json", func(f *os.File) error {
+			return bench.WriteReport(f, "soak", report.Seed, report)
+		})
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	return nil
+}
+
+// parsePhases splits a comma-separated phase list; empty means the full arc
+// (soak applies its own default). Phase-name validation is soak.New's job.
+func parsePhases(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// renderSoak prints the human-readable soak summary: run shape, aggregate
+// quality and lifecycle counters, then the per-phase time series.
+func renderSoak(w *os.File, r *soak.Report) {
+	fmt.Fprintf(w, "\nSoak — %d tables / %d clusters / %d shards, %d fact rows, seed %d\n",
+		r.Tables, r.Clusters, r.Shards, r.FactRows, r.Seed)
+	fmt.Fprintf(w, "cycles=%d queries=%d (%.0f/s over %.1fs)\n",
+		r.Cycles, r.TotalQueries, r.QueriesPerSec, r.DurationSeconds)
+
+	tiers := make([]string, 0, len(r.TierTotals))
+	for t := range r.TierTotals {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+	fmt.Fprintf(w, "tiers:")
+	for _, t := range tiers {
+		fmt.Fprintf(w, " %s=%d", t, r.TierTotals[t])
+	}
+	fmt.Fprintf(w, "\nfault-free no-sit share: %.2f%% (%d of %d)\n",
+		r.FaultFreeNoSITPct, r.FaultFreeNoSIT, r.FaultFreeQueries)
+	fmt.Fprintf(w, "lifecycle: rebuilds=%d failures=%d swaps=%d parked=%d\n",
+		r.Rebuilds, r.Failures, r.Swaps, r.Parked)
+	fmt.Fprintf(w, "cache: hits=%d misses=%d evictions=%d\n",
+		r.CacheHits, r.CacheMisses, r.CacheEvictions)
+	fmt.Fprintf(w, "recovery: snapshots=%d torn-rejected=%d bit-identical=%v\n",
+		r.SnapshotRecoveries, r.CorruptSnapshots, r.BitIdentical)
+
+	fmt.Fprintf(w, "\n%-6s %-12s %8s %9s %9s %9s %9s\n",
+		"cycle", "phase", "queries", "q/s", "p99 ms", "degraded", "served")
+	for _, p := range r.Phases {
+		fmt.Fprintf(w, "%-6d %-12s %8d %9.0f %9.3f %9d %9d\n",
+			p.Cycle, p.Phase, p.Queries, p.QueriesPerSec, p.P99Ms, p.Degraded, p.CacheServed)
+	}
 }
 
 func parseInts(csv string) ([]int, error) {

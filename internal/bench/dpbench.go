@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -151,11 +150,9 @@ func (e *Env) DPBench(cfg DPBenchConfig) DPBenchReport {
 	return report
 }
 
-// WriteDPJSON writes the report as indented JSON.
+// WriteDPJSON writes the report inside the shared bench envelope.
 func WriteDPJSON(w io.Writer, r DPBenchReport) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return WriteReport(w, "dp", r.Seed, r)
 }
 
 // RenderDP prints the report as a table.

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -202,11 +201,9 @@ func percentile(xs []float64, p float64) float64 {
 	return s[i]
 }
 
-// WriteEstimationJSON writes the report as indented JSON.
+// WriteEstimationJSON writes the report inside the shared bench envelope.
 func WriteEstimationJSON(w io.Writer, r EstBenchReport) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return WriteReport(w, "est", r.Seed, r)
 }
 
 // RenderEstimation prints the report as a small table.

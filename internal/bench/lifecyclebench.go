@@ -2,7 +2,6 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -222,11 +221,9 @@ func (e *Env) LifecycleBench(cfg LifecycleBenchConfig) LifecycleBenchReport {
 	return report
 }
 
-// WriteLifecycleJSON writes the report as indented JSON.
+// WriteLifecycleJSON writes the report inside the shared bench envelope.
 func WriteLifecycleJSON(w io.Writer, r LifecycleBenchReport) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return WriteReport(w, "lifecycle", r.Seed, r)
 }
 
 // RenderLifecycle prints the report as text.

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strconv"
+)
+
+// SchemaVersion names the envelope format shared by every BENCH_*.json
+// artifact. Bump it when the envelope itself (not a payload) changes shape.
+const SchemaVersion = "condsel-bench/v1"
+
+// Envelope is the outer structure of every benchmark artifact: a schema tag
+// so consumers can detect format drift, the figure name so a directory of
+// artifacts is self-describing, the seed so any artifact can be regenerated,
+// and the figure-specific payload. CI asserts reach into Payload (e.g.
+// payload.overhead_pct), so payload field names are part of the contract too.
+type Envelope struct {
+	Schema  string          `json:"schema"`
+	Figure  string          `json:"figure"`
+	Seed    int64           `json:"seed"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// WriteReport validates the payload, wraps it in the envelope and writes it
+// as indented JSON. A payload carrying NaN or ±Inf anywhere — in a field, a
+// slice element, a map value — is rejected with the offending path:
+// encoding/json would refuse it anyway, but with an error naming only the
+// float value, which is useless three layers deep in a soak report.
+func WriteReport(w io.Writer, figure string, seed int64, payload any) error {
+	if path := findNonFinite(reflect.ValueOf(payload), "payload"); path != "" {
+		return fmt.Errorf("bench: %s report holds a non-finite value at %s", figure, path)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("bench: %s report: %w", figure, err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Envelope{Schema: SchemaVersion, Figure: figure, Seed: seed, Payload: raw})
+}
+
+// ReadReport decodes one envelope and checks its schema tag. The payload is
+// left raw for the caller to unmarshal into the figure's report type.
+func ReadReport(r io.Reader) (Envelope, error) {
+	var env Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("bench: decode report: %w", err)
+	}
+	if env.Schema != SchemaVersion {
+		return Envelope{}, fmt.Errorf("bench: report schema %q, want %q", env.Schema, SchemaVersion)
+	}
+	return env, nil
+}
+
+// findNonFinite walks v and returns the path of the first NaN/±Inf float,
+// or "" when every float is finite. Unexported fields are skipped (the JSON
+// encoder never sees them either).
+func findNonFinite(v reflect.Value, path string) string {
+	switch v.Kind() {
+	case reflect.Float32, reflect.Float64:
+		if f := v.Float(); math.IsNaN(f) || math.IsInf(f, 0) {
+			return path + " = " + strconv.FormatFloat(f, 'g', -1, 64)
+		}
+	case reflect.Pointer, reflect.Interface:
+		if !v.IsNil() {
+			return findNonFinite(v.Elem(), path)
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			if p := findNonFinite(v.Field(i), path+"."+t.Field(i).Name); p != "" {
+				return p
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if p := findNonFinite(v.Index(i), path+"["+strconv.Itoa(i)+"]"); p != "" {
+				return p
+			}
+		}
+	case reflect.Map:
+		for _, k := range v.MapKeys() {
+			if p := findNonFinite(v.MapIndex(k), fmt.Sprintf("%s[%v]", path, k)); p != "" {
+				return p
+			}
+		}
+	}
+	return ""
+}

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -227,11 +226,9 @@ func (e *Env) robustFaultSection(cfg RobustBenchConfig, queries []*engine.Query)
 	return out
 }
 
-// WriteRobustJSON writes the report as indented JSON.
+// WriteRobustJSON writes the report inside the shared bench envelope.
 func WriteRobustJSON(w io.Writer, r RobustBenchReport) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return WriteReport(w, "robust", r.Seed, r)
 }
 
 // RenderRobust prints the report as a table.

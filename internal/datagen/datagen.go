@@ -79,6 +79,10 @@ type DB struct {
 	Cat *engine.Catalog
 	Cfg Config
 
+	// Clusters is how many independent snowflake clusters the schema holds
+	// (1 for Generate, ⌈Tables/8⌉ for GenerateGrown).
+	Clusters int
+
 	// Edges are the seven foreign-key join edges of the snowflake.
 	Edges []FKEdge
 	// FilterAttrs are non-key attributes suitable for filter predicates,
@@ -104,8 +108,95 @@ func Generate(cfg Config) *DB {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	cat := engine.NewCatalog()
-	db := &DB{Cat: cat, Cfg: cfg}
+	db := &DB{Cat: cat, Cfg: cfg, Clusters: 1}
+	generateCluster(rng, db, cfg, "")
+	return db
+}
 
+// TablesPerCluster is how many tables one snowflake cluster contributes.
+const TablesPerCluster = 8
+
+// ClustersPerShard is how many clusters one shard catalog holds: the engine
+// tracks tables in a 64-bit set, so a catalog caps at 64 tables = 8 eight-
+// table clusters.
+const ClustersPerShard = 8
+
+// GrownConfig configures GenerateGrown: the base Config applies per cluster
+// (FactRows is each cluster's fact-table size), Tables is the minimum total
+// table count, rounded up to whole 8-table clusters.
+type GrownConfig struct {
+	Config
+	// Tables is the minimum table count (default 104 = 13 clusters).
+	Tables int
+}
+
+// Grown is a production-scale schema: ⌈Tables/8⌉ independent snowflake
+// clusters sharded across catalogs of at most 64 tables each (the engine's
+// TableSet is a 64-bit bitset). Clusters share no foreign-key edges, so
+// every workload join tree lives within one cluster of one shard — the
+// multi-catalog layout changes where statistics pools live (one per shard),
+// not what queries can express.
+type Grown struct {
+	// Shards are the shard databases, each holding up to ClustersPerShard
+	// clusters with table names suffixed "_c<global cluster index>".
+	Shards []*DB
+	// Clusters and Tables are the totals across shards.
+	Clusters int
+	Tables   int
+}
+
+// GenerateGrown builds a grown schema of at least cfg.Tables tables. Each
+// cluster is the paper's eight-table snowflake generated from a seed derived
+// deterministically from cfg.Seed and the cluster's global index, so the
+// shard partitioning never changes the data.
+func GenerateGrown(cfg GrownConfig) *Grown {
+	base := cfg.Config.withDefaults()
+	if cfg.Tables == 0 {
+		cfg.Tables = 104
+	}
+	clusters := (cfg.Tables + TablesPerCluster - 1) / TablesPerCluster
+	if clusters < 1 {
+		clusters = 1
+	}
+	g := &Grown{Clusters: clusters, Tables: clusters * TablesPerCluster}
+	for k := 0; k < clusters; k++ {
+		if k%ClustersPerShard == 0 {
+			cat := engine.NewCatalog()
+			g.Shards = append(g.Shards, &DB{Cat: cat, Cfg: base})
+		}
+		db := g.Shards[len(g.Shards)-1]
+		db.Clusters++
+		rng := rand.New(rand.NewSource(base.Seed + int64(k)*1000003))
+		generateCluster(rng, db, base, fmt.Sprintf("_c%d", k))
+	}
+	return g
+}
+
+// Reskew applies DB.Reskew to every shard, deriving per-shard seeds from
+// seed so shard data drifts independently but deterministically.
+func (g *Grown) Reskew(seed int64, skew float64, invert bool) {
+	for i, db := range g.Shards {
+		db.Reskew(seed+int64(i)*7919, skew, invert)
+	}
+}
+
+// Rows returns the total row count across all shard tables.
+func (g *Grown) Rows() int {
+	total := 0
+	for _, db := range g.Shards {
+		for _, name := range db.Cat.TableNames() {
+			total += db.Cat.TableByName(name).NumRows()
+		}
+	}
+	return total
+}
+
+// generateCluster emits one eight-table snowflake with the suffix appended
+// to every table name, appending the cluster's edges and filterable
+// attributes to the database. All randomness draws from rng in a fixed
+// order, so a given (rng state, suffix) yields identical tables.
+func generateCluster(rng *rand.Rand, db *DB, cfg Config, suffix string) {
+	cat := db.Cat
 	atLeast := func(n, floor int) int {
 		if n < floor {
 			return floor
@@ -150,29 +241,30 @@ func Generate(cfg Config) *DB {
 		if spec.name == "customer" {
 			g.uniform("u2", 1000)
 		}
-		table := g.build(spec.name)
+		table := g.build(spec.name + suffix)
 		cat.MustAddTable(table)
 	}
 
 	// Wire FK edges and collect filterable attributes.
+	var edges []FKEdge
 	for _, spec := range specs {
 		for _, parent := range spec.parents {
-			db.Edges = append(db.Edges, FKEdge{
-				Child:  cat.MustAttr(spec.name + "." + parent + "_fk"),
-				Parent: cat.MustAttr(parent + ".id"),
+			edges = append(edges, FKEdge{
+				Child:  cat.MustAttr(spec.name + suffix + "." + parent + "_fk"),
+				Parent: cat.MustAttr(parent + suffix + ".id"),
 			})
 		}
 		for _, colName := range []string{"hot", "u1", "z1", "c1", "u2"} {
-			t := cat.TableByName(spec.name)
+			t := cat.TableByName(spec.name + suffix)
 			if col := t.Column(colName); col != nil {
-				attr := cat.MustAttr(spec.name + "." + colName)
+				attr := cat.MustAttr(spec.name + suffix + "." + colName)
 				lo, hi := valueRange(col)
 				db.FilterAttrs = append(db.FilterAttrs, FilterAttr{Attr: attr, Lo: lo, Hi: hi})
 			}
 		}
 	}
-	applyDangling(rng, db, cfg)
-	return db
+	db.Edges = append(db.Edges, edges...)
+	applyDangling(rng, db, cfg, edges)
 }
 
 // tableGen accumulates columns for one table.
@@ -262,11 +354,11 @@ func (g *tableGen) build(name string) *engine.Table {
 	return &engine.Table{Name: name, Cols: g.cols}
 }
 
-// applyDangling NULLs out a fraction of every foreign key column. In
+// applyDangling NULLs out a fraction of the given foreign key columns. In
 // correlated mode, the rows with the highest z1 values dangle; otherwise
 // rows are chosen uniformly.
-func applyDangling(rng *rand.Rand, db *DB, cfg Config) {
-	for _, edge := range db.Edges {
+func applyDangling(rng *rand.Rand, db *DB, cfg Config, edges []FKEdge) {
+	for _, edge := range edges {
 		col := db.Cat.AttrColumn(edge.Child)
 		n := len(col.Vals)
 		want := int(float64(n) * cfg.DanglingFrac)

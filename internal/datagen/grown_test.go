@@ -1,0 +1,241 @@
+package datagen
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGenerateGrownSchemaShape(t *testing.T) {
+	t.Parallel()
+	g := GenerateGrown(GrownConfig{Config: Config{Seed: 7, FactRows: 1000}, Tables: 100})
+	if g.Clusters != 13 {
+		t.Fatalf("clusters = %d, want 13 (⌈100/8⌉)", g.Clusters)
+	}
+	if g.Tables != 13*TablesPerCluster {
+		t.Fatalf("tables = %d, want %d", g.Tables, 13*TablesPerCluster)
+	}
+	if len(g.Shards) != 2 {
+		t.Fatalf("shards = %d, want 2 (13 clusters at ≤%d per shard)", len(g.Shards), ClustersPerShard)
+	}
+	total := 0
+	for _, db := range g.Shards {
+		if n := db.Cat.NumTables(); n > 64 {
+			t.Fatalf("shard exceeds the engine's 64-table cap: %d", n)
+		}
+		total += db.Cat.NumTables()
+	}
+	if total != g.Tables {
+		t.Fatalf("shard tables sum to %d, want %d", total, g.Tables)
+	}
+	// Every cluster carries the full snowflake shape, on its home shard.
+	for k := 0; k < g.Clusters; k++ {
+		db := g.Shards[k/ClustersPerShard]
+		for _, name := range []string{"sales", "customer", "product", "store",
+			"region", "category", "city", "brand"} {
+			if db.Cat.TableByName(fmt.Sprintf("%s_c%d", name, k)) == nil {
+				t.Fatalf("missing table %s in cluster %d", name, k)
+			}
+		}
+	}
+	for _, db := range g.Shards {
+		if len(db.FilterAttrs) < db.Clusters*8 {
+			t.Fatalf("only %d filterable attributes for %d clusters", len(db.FilterAttrs), db.Clusters)
+		}
+	}
+	if g.Rows() == 0 {
+		t.Fatalf("zero total rows")
+	}
+}
+
+func TestGenerateGrownDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := GrownConfig{Config: Config{Seed: 9, FactRows: 800}, Tables: 24}
+	a := GenerateGrown(cfg)
+	b := GenerateGrown(cfg)
+	for s, dba := range a.Shards {
+		dbb := b.Shards[s]
+		for _, name := range dba.Cat.TableNames() {
+			ta, tb := dba.Cat.TableByName(name), dbb.Cat.TableByName(name)
+			for ci, col := range ta.Cols {
+				for i := range col.Vals {
+					if col.Vals[i] != tb.Cols[ci].Vals[i] {
+						t.Fatalf("nondeterministic generation: %s.%s row %d", name, col.Name, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateGrownClustersDiffer(t *testing.T) {
+	t.Parallel()
+	g := GenerateGrown(GrownConfig{Config: Config{Seed: 9, FactRows: 800}, Tables: 16})
+	db := g.Shards[0]
+	a := db.Cat.TableByName("sales_c0").Column("z1")
+	b := db.Cat.TableByName("sales_c1").Column("z1")
+	same := 0
+	for i := range a.Vals {
+		if a.Vals[i] == b.Vals[i] {
+			same++
+		}
+	}
+	if same == len(a.Vals) {
+		t.Fatalf("clusters generated identical data")
+	}
+}
+
+func TestGrownEdgesStayWithinCluster(t *testing.T) {
+	t.Parallel()
+	g := GenerateGrown(GrownConfig{Config: Config{Seed: 5, FactRows: 800}, Tables: 24})
+	for _, db := range g.Shards {
+		for _, e := range db.Edges {
+			child := db.Cat.Table(db.Cat.AttrTable(e.Child)).Name
+			parent := db.Cat.Table(db.Cat.AttrTable(e.Parent)).Name
+			if suffixOf(child) != suffixOf(parent) {
+				t.Fatalf("cross-cluster edge %s → %s", child, parent)
+			}
+		}
+	}
+}
+
+func suffixOf(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '_' {
+			return name[i:]
+		}
+	}
+	return ""
+}
+
+func TestReskewDeterministicAndDrifting(t *testing.T) {
+	t.Parallel()
+	mk := func() *DB { return Generate(Config{Seed: 11, FactRows: 2000}) }
+
+	before := mk()
+	a, b := mk(), mk()
+	a.Reskew(77, 3.0, true)
+	b.Reskew(77, 3.0, true)
+
+	z1a := a.Cat.TableByName("sales").Column("z1")
+	z1b := b.Cat.TableByName("sales").Column("z1")
+	z1Before := before.Cat.TableByName("sales").Column("z1")
+	changed := 0
+	for i := range z1a.Vals {
+		if z1a.Vals[i] != z1b.Vals[i] {
+			t.Fatalf("Reskew nondeterministic at row %d", i)
+		}
+		if z1a.Vals[i] != z1Before.Vals[i] {
+			changed++
+		}
+	}
+	if changed < len(z1a.Vals)/2 {
+		t.Fatalf("Reskew barely moved the data: %d/%d rows changed", changed, len(z1a.Vals))
+	}
+
+	// Inverted reskew must move the z1 mass from the low end to the high end.
+	var meanBefore, meanAfter float64
+	for i := range z1a.Vals {
+		meanBefore += float64(z1Before.Vals[i])
+		meanAfter += float64(z1a.Vals[i])
+	}
+	if meanAfter <= meanBefore {
+		t.Fatalf("inverted reskew did not shift mass upward: mean %.1f → %.1f",
+			meanBefore/float64(len(z1a.Vals)), meanAfter/float64(len(z1a.Vals)))
+	}
+}
+
+func TestReskewPreservesKeysAndNulls(t *testing.T) {
+	t.Parallel()
+	db := Generate(Config{Seed: 13, FactRows: 2000, DanglingFrac: 0.15})
+	sales := db.Cat.TableByName("sales")
+	fk := sales.Column("customer_fk")
+	nullsBefore := make([]bool, len(fk.Vals))
+	for i := range fk.Vals {
+		nullsBefore[i] = fk.IsNull(i)
+	}
+	idBefore := append([]int64(nil), sales.Column("id").Vals...)
+	u1Before := append([]int64(nil), sales.Column("u1").Vals...)
+
+	db.Reskew(5, 2.5, false)
+
+	for i := range fk.Vals {
+		if fk.IsNull(i) != nullsBefore[i] {
+			t.Fatalf("Reskew changed NULL mask at row %d", i)
+		}
+	}
+	for i, v := range sales.Column("id").Vals {
+		if v != idBefore[i] {
+			t.Fatalf("Reskew touched key column at row %d", i)
+		}
+	}
+	for i, v := range sales.Column("u1").Vals {
+		if v != u1Before[i] {
+			t.Fatalf("Reskew touched uniform measure at row %d", i)
+		}
+	}
+	// Foreign keys stay within the parent's key domain.
+	nCustomers := int64(db.Cat.TableByName("customer").NumRows())
+	for i, v := range fk.Vals {
+		if fk.IsNull(i) {
+			continue
+		}
+		if v < 0 || v >= nCustomers {
+			t.Fatalf("reskewed FK %d out of parent domain [0,%d)", v, nCustomers)
+		}
+	}
+}
+
+// TestReskewParentDomainStable: repeated reskews must keep drawing foreign
+// keys over the parent's full key domain. Drawing over the column's
+// observed max instead would collapse the reachable range a little more
+// every cycle (a steep Zipf rarely draws large values), until a soak run
+// funnels every foreign key through a handful of parent rows — and an
+// inverted redraw must still be able to reach the very top parent key.
+func TestReskewParentDomainStable(t *testing.T) {
+	t.Parallel()
+	db := Generate(Config{Seed: 17, FactRows: 4000})
+	nProducts := int64(db.Cat.TableByName("product").NumRows())
+	for cycle := 0; cycle < 6; cycle++ {
+		db.Reskew(int64(100+cycle), 3.0, cycle%2 == 0)
+	}
+	// Last reskew (cycle 5) was non-inverted; run one more inverted pass:
+	// mass concentrates at the TOP of the parent domain, so the max drawn
+	// key must sit at the domain's top — impossible if the domain had
+	// collapsed toward 0 over the preceding cycles.
+	db.Reskew(999, 3.0, true)
+	fk := db.Cat.TableByName("sales").Column("product_fk")
+	var max int64
+	for i, v := range fk.Vals {
+		if fk.IsNull(i) {
+			continue
+		}
+		if v < 0 || v >= nProducts {
+			t.Fatalf("FK %d outside parent domain [0,%d)", v, nProducts)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max < nProducts-2 {
+		t.Fatalf("inverted reskew reaches only key %d of parent domain [0,%d) — FK domain collapsed",
+			max, nProducts)
+	}
+}
+
+func TestGrownReskewPerShardSeeds(t *testing.T) {
+	t.Parallel()
+	cfg := GrownConfig{Config: Config{Seed: 3, FactRows: 800}, Tables: 80}
+	a := GenerateGrown(cfg)
+	b := GenerateGrown(cfg)
+	a.Reskew(41, 2.5, true)
+	b.Reskew(41, 2.5, true)
+	for s := range a.Shards {
+		za := a.Shards[s].Cat.TableByName(fmt.Sprintf("sales_c%d", s*ClustersPerShard)).Column("z1")
+		zb := b.Shards[s].Cat.TableByName(fmt.Sprintf("sales_c%d", s*ClustersPerShard)).Column("z1")
+		for i := range za.Vals {
+			if za.Vals[i] != zb.Vals[i] {
+				t.Fatalf("Grown.Reskew nondeterministic on shard %d row %d", s, i)
+			}
+		}
+	}
+}

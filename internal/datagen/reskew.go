@@ -1,0 +1,88 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+
+	"condsel/internal/engine"
+)
+
+// zipfDomain is the value domain of the z1 measures (see generateCluster).
+const zipfDomain = 10000
+
+// Reskew redraws the skew-bearing columns of every table in place — the z1
+// Zipf measures and the foreign keys — from fresh Zipf(skew) draws seeded by
+// seed. With invert, each draw is mirrored to the opposite end of its
+// domain, so mass that used to concentrate on low values (and popular,
+// low-numbered parent keys) moves to high values (and previously unpopular
+// keys): histograms and join-expression SITs built before the call become
+// maximally wrong, which is exactly the data drift the lifecycle manager's
+// q-error detector is built to catch.
+//
+// NULL masks are preserved; key columns and the remaining measures are
+// untouched. The mutation is deterministic in (seed, skew, invert) and the
+// catalog's table order. Callers owning an engine.Evaluator over the catalog
+// must reset its memo afterwards (the data under the memoized counts moved).
+func (db *DB) Reskew(seed int64, skew float64, invert bool) {
+	if skew <= 1 {
+		skew = db.Cfg.Skew
+		if skew <= 1 {
+			skew = 1.2
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Foreign keys redraw over the parent's full key domain — like the
+	// original foreignKey draw — not over the column's observed max: an
+	// observed max shrinks with every skewed redraw (a steep Zipf rarely
+	// draws large values), which would monotonically collapse the reachable
+	// parent range across soak cycles.
+	fkDomain := make(map[*engine.Column]uint64, len(db.Edges))
+	for _, e := range db.Edges {
+		if rows := db.Cat.Table(db.Cat.AttrTable(e.Parent)).NumRows(); rows > 1 {
+			fkDomain[db.Cat.AttrColumn(e.Child)] = uint64(rows - 1)
+		}
+	}
+	for _, name := range db.Cat.TableNames() {
+		t := db.Cat.TableByName(name)
+		for _, col := range t.Cols {
+			switch {
+			case col.Name == "z1":
+				redrawZipf(rng, col.Vals, skew, zipfDomain, invert)
+			case strings.HasSuffix(col.Name, "_fk"):
+				dom, ok := fkDomain[col]
+				if !ok {
+					if max := maxVal(col.Vals); max > 0 {
+						dom = uint64(max)
+					} else {
+						continue
+					}
+				}
+				redrawZipf(rng, col.Vals, skew, dom, invert)
+			}
+		}
+	}
+}
+
+// redrawZipf overwrites vals with Zipf(skew) draws over [0, domain],
+// mirrored to the top of the domain when invert is set.
+func redrawZipf(rng *rand.Rand, vals []int64, skew float64, domain uint64, invert bool) {
+	z := rand.NewZipf(rng, skew, 1, domain)
+	for i := range vals {
+		v := int64(z.Uint64())
+		if invert {
+			v = int64(domain) - v
+		}
+		vals[i] = v
+	}
+}
+
+// maxVal returns the maximum of vals (0 for an empty slice).
+func maxVal(vals []int64) int64 {
+	var max int64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,106 @@
+// Package soak drives the whole estimation stack — grown multi-cluster
+// schemas, phased adversarial workloads, the degradation ladder, the
+// statistics lifecycle and the fault-injection harness — through repeated
+// drift → rebuild → hot-swap → fault → recovery arcs, and reports one
+// unified time series (BENCH_soak.json).
+//
+// Determinism is the harness's core contract: with a fixed Config (Cycles
+// mode), the Events log — phases entered, queries run, tier distributions,
+// statistics rebuilt, faults fired, snapshots recovered, bit-identity
+// verdicts — is byte-identical across runs. Wall-clock facts (latency
+// percentiles, throughput) live in the Phases time series, outside the
+// deterministic log.
+package soak
+
+// Event is one entry of the deterministic event log. Only seed-derived facts
+// appear here — never durations, rates or anything else a scheduler could
+// perturb — so two runs with the same Config produce identical logs.
+type Event struct {
+	Seq    int    `json:"seq"`
+	Cycle  int    `json:"cycle"`
+	Phase  string `json:"phase"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// PhaseStat is one point of the soak time series: one phase of one cycle,
+// aggregated over shards. Deterministic fields (queries, mix and tier
+// counts, cache and lifecycle deltas) sit alongside wall-clock measurements
+// (seconds, throughput, latency percentiles), which vary run to run.
+type PhaseStat struct {
+	Cycle int    `json:"cycle"`
+	Phase string `json:"phase"`
+
+	Queries       int     `json:"queries"`
+	Seconds       float64 `json:"seconds"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+
+	// MixCounts tallies the workload mix kinds ("flash-crowd", "churn",
+	// "adversarial") realized this phase; empty for non-estimation phases.
+	MixCounts map[string]int `json:"mix_counts,omitempty"`
+	// TierCounts tallies which ladder tier answered ("full-dp" ... "no-sit").
+	TierCounts map[string]int `json:"tier_counts,omitempty"`
+	// Degraded is how many queries any tier below full-dp answered.
+	Degraded int `json:"degraded"`
+
+	// Cross-query selectivity cache deltas over the phase, summed per shard.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	// CacheServed is how many queries were answered entirely from the cache
+	// (zero new misses): the flash-crowd-vs-churn contrast at query
+	// granularity, where lookup-level counts are dominated by the DP-subset
+	// population cost of fresh queries.
+	CacheServed int `json:"cache_served"`
+
+	// Lifecycle deltas over the phase, summed per shard.
+	Rebuilds int64 `json:"rebuilds"`
+	Failures int64 `json:"failures"`
+	Swaps    int64 `json:"swaps"`
+}
+
+// Report is the BENCH_soak.json payload.
+type Report struct {
+	Seed     int64 `json:"seed"`
+	Tables   int   `json:"tables"`
+	Clusters int   `json:"clusters"`
+	Shards   int   `json:"shards"`
+	FactRows int   `json:"fact_rows"`
+	Cycles   int   `json:"cycles"`
+
+	DurationSeconds float64 `json:"duration_seconds"`
+	TotalQueries    int64   `json:"total_queries"`
+	QueriesPerSec   float64 `json:"queries_per_sec"`
+
+	// TierTotals aggregates TierCounts over every phase.
+	TierTotals map[string]int64 `json:"tier_totals"`
+	// FaultFreeQueries / FaultFreeNoSIT measure estimation quality where no
+	// fault schedule was armed; their ratio is the CI soak-smoke threshold
+	// (a healthy stack answers fault-free queries above the System R floor).
+	FaultFreeQueries  int64   `json:"fault_free_queries"`
+	FaultFreeNoSIT    int64   `json:"fault_free_no_sit"`
+	FaultFreeNoSITPct float64 `json:"fault_free_no_sit_pct"`
+
+	// Lifetime lifecycle counters summed over shards at the end of the run.
+	Rebuilds int64 `json:"rebuilds"`
+	Failures int64 `json:"failures"`
+	Swaps    int64 `json:"swaps"`
+	Parked   int64 `json:"parked"`
+
+	// Final cross-query cache counters summed over shards.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+
+	// Recovery outcomes: snapshot recoveries performed, torn snapshots the
+	// recovery path rejected, and whether every post-rebuild and
+	// post-recovery estimate matched its reference bit for bit.
+	SnapshotRecoveries int  `json:"snapshot_recoveries"`
+	CorruptSnapshots   int  `json:"corrupt_snapshots"`
+	BitIdentical       bool `json:"bit_identical"`
+
+	Phases []PhaseStat `json:"phases"`
+	Events []Event     `json:"events"`
+}

@@ -1,0 +1,163 @@
+package soak
+
+import (
+	"context"
+	"testing"
+)
+
+// smallConfig is a compressed arc sized for CI: 3 clusters on one shard.
+func smallConfig(seed int64, cycles int) Config {
+	return Config{
+		Seed:            seed,
+		Tables:          24,
+		FactRows:        2400,
+		Cycles:          cycles,
+		QueriesPerPhase: 12,
+	}
+}
+
+func run(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestSoakArc: one compressed cycle must traverse the whole self-healing
+// arc — drift detected, statistics rebuilt and hot-swapped, faults fired and
+// healed, a torn snapshot rejected during recovery — with bit-identical
+// estimates at every verification point. Faults are armed globally, so no
+// t.Parallel here or in the determinism test.
+func TestSoakArc(t *testing.T) {
+	rep := run(t, smallConfig(7, 1))
+
+	if rep.Cycles != 1 || rep.Shards != 1 || rep.Clusters != 3 || rep.Tables != 24 {
+		t.Fatalf("shape: cycles=%d shards=%d clusters=%d tables=%d",
+			rep.Cycles, rep.Shards, rep.Clusters, rep.Tables)
+	}
+	if rep.TotalQueries == 0 {
+		t.Fatal("no queries completed")
+	}
+	if rep.Rebuilds == 0 {
+		t.Fatal("drift detection never triggered a rebuild")
+	}
+	if rep.Swaps == 0 {
+		t.Fatal("no epoch hot-swap happened")
+	}
+	if !rep.BitIdentical {
+		t.Fatal("a verification point saw non-bit-identical estimates")
+	}
+	if rep.SnapshotRecoveries == 0 {
+		t.Fatal("no snapshot recovery ran")
+	}
+	if rep.CorruptSnapshots == 0 {
+		t.Fatal("the torn checkpoint was not rejected during recovery")
+	}
+	if rep.FaultFreeQueries == 0 {
+		t.Fatal("no fault-free queries recorded")
+	}
+	if rep.FaultFreeNoSITPct > 20 {
+		t.Fatalf("fault-free no-sit share %.1f%% — the stack answered at the System R floor too often",
+			rep.FaultFreeNoSITPct)
+	}
+
+	// The phase time series must cover every phase of the cycle.
+	seen := map[string]bool{}
+	for _, p := range rep.Phases {
+		seen[p.Phase] = true
+	}
+	for _, want := range AllPhases {
+		if !seen[want] {
+			t.Fatalf("phase %q missing from the time series (got %v)", want, seen)
+		}
+	}
+
+	// Flash-crowd replays must be far more cache-friendly than churn.
+	var flash, churn *PhaseStat
+	for i := range rep.Phases {
+		switch rep.Phases[i].Phase {
+		case PhaseFlash:
+			flash = &rep.Phases[i]
+		case PhaseChurn:
+			churn = &rep.Phases[i]
+		}
+	}
+	if flash.CacheServed == 0 || flash.CacheServed <= churn.CacheServed {
+		t.Fatalf("flash-crowd served-from-cache queries (%d) not above churn's (%d)",
+			flash.CacheServed, churn.CacheServed)
+	}
+
+	// The faulted phase must actually have fired faults and forced descents.
+	var faulted *PhaseStat
+	for i := range rep.Phases {
+		if rep.Phases[i].Phase == PhaseFaults {
+			faulted = &rep.Phases[i]
+		}
+	}
+	if faulted.Degraded == 0 {
+		t.Fatal("armed fault schedule degraded no queries")
+	}
+}
+
+// TestSoakDeterministicEvents: two runs with one seed produce byte-identical
+// event logs and identical deterministic aggregates; a different seed
+// diverges. This is the property that makes soak failures replayable.
+func TestSoakDeterministicEvents(t *testing.T) {
+	a := run(t, smallConfig(11, 2))
+	b := run(t, smallConfig(11, 2))
+
+	if len(a.Events) == 0 {
+		t.Fatal("empty event log")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts diverged: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d diverged:\n %+v\n %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if a.TotalQueries != b.TotalQueries || a.Rebuilds != b.Rebuilds ||
+		a.Swaps != b.Swaps || a.CorruptSnapshots != b.CorruptSnapshots ||
+		a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses {
+		t.Fatalf("deterministic aggregates diverged:\n %+v\n %+v", a, b)
+	}
+
+	c := run(t, smallConfig(13, 2))
+	same := len(c.Events) == len(a.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical event logs")
+	}
+}
+
+// TestSoakPhaseSubset: a custom phase list runs only those phases, in order.
+func TestSoakPhaseSubset(t *testing.T) {
+	cfg := smallConfig(3, 1)
+	cfg.Phases = []string{PhaseFlash, PhaseChurn}
+	rep := run(t, cfg)
+	if len(rep.Phases) != 2 || rep.Phases[0].Phase != PhaseFlash || rep.Phases[1].Phase != PhaseChurn {
+		t.Fatalf("phases = %+v", rep.Phases)
+	}
+	if rep.Rebuilds != 0 {
+		t.Fatalf("no drift phase ran but %d rebuilds happened", rep.Rebuilds)
+	}
+
+	cfg.Phases = []string{"bogus"}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+)
+
+// MixKind classifies how one query of a phased stream was produced. The
+// three kinds span the cache-behavior spectrum the soak harness exercises:
+// flash-crowd repetition (a hot set replayed, cache-friendly), churn (every
+// query fresh, cache-hostile), and adversarial (fresh queries whose filters
+// target the popularity-correlated attributes, the §1 scenario where
+// independence-based estimation is most wrong).
+type MixKind int
+
+const (
+	// MixFlashCrowd replays queries from a small hot set.
+	MixFlashCrowd MixKind = iota
+	// MixChurn generates a never-repeating query every slot.
+	MixChurn
+	// MixAdversarial generates fresh queries with correlated multi-join
+	// predicates: filters on the popularity-correlated "hot" attributes and
+	// the intra-table-correlated "c1" attributes, ranged over the
+	// high-fan-out end of the domain.
+	MixAdversarial
+)
+
+// String names the kind as reported in soak artifacts.
+func (k MixKind) String() string {
+	switch k {
+	case MixFlashCrowd:
+		return "flash-crowd"
+	case MixChurn:
+		return "churn"
+	case MixAdversarial:
+		return "adversarial"
+	}
+	return fmt.Sprintf("mix(%d)", int(k))
+}
+
+// PhaseSpec describes one phase of a phased workload: a stream of Queries
+// query executions drawn from the three mix kinds with the given weights
+// (weights are normalized; all-zero weights default to pure churn).
+type PhaseSpec struct {
+	// Name labels the phase in reports.
+	Name string
+	// Queries is the stream length.
+	Queries int
+	// Flash, Churn and Adversarial weight the mix kinds.
+	Flash, Churn, Adversarial float64
+	// HotSetSize is how many distinct queries the flash-crowd hot set holds
+	// (default 8).
+	HotSetSize int
+}
+
+func (s PhaseSpec) withDefaults() PhaseSpec {
+	if s.HotSetSize == 0 {
+		s.HotSetSize = 8
+	}
+	if s.Flash == 0 && s.Churn == 0 && s.Adversarial == 0 {
+		s.Churn = 1
+	}
+	return s
+}
+
+// PhasedQuery is one slot of a phased stream.
+type PhasedQuery struct {
+	Query *engine.Query
+	Kind  MixKind
+}
+
+// PhaseStream produces the phase's deterministic query stream: slot kinds
+// are drawn from the spec's weights and each slot's query from the matching
+// generator, all off this generator's seeded rng, so a fixed (seed, spec)
+// sequence of calls yields an identical stream. The hot set is generated up
+// front; churn and adversarial slots never repeat a query.
+func (g *Generator) PhaseStream(spec PhaseSpec) ([]PhasedQuery, error) {
+	spec = spec.withDefaults()
+	total := spec.Flash + spec.Churn + spec.Adversarial
+
+	var hot []*engine.Query
+	if spec.Flash > 0 {
+		for i := 0; i < spec.HotSetSize; i++ {
+			q, err := g.Query()
+			if err != nil {
+				return nil, fmt.Errorf("workload: hot set query %d: %w", i, err)
+			}
+			hot = append(hot, q)
+		}
+	}
+
+	out := make([]PhasedQuery, 0, spec.Queries)
+	for i := 0; i < spec.Queries; i++ {
+		var kind MixKind
+		switch x := g.rng.Float64() * total; {
+		case x < spec.Flash:
+			kind = MixFlashCrowd
+		case x < spec.Flash+spec.Churn:
+			kind = MixChurn
+		default:
+			kind = MixAdversarial
+		}
+		var q *engine.Query
+		var err error
+		switch kind {
+		case MixFlashCrowd:
+			q = hot[g.rng.Intn(len(hot))]
+		case MixChurn:
+			q, err = g.Query()
+		case MixAdversarial:
+			q, err = g.AdversarialQuery()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: phase %q slot %d (%s): %w", spec.Name, i, kind, err)
+		}
+		out = append(out, PhasedQuery{Query: q, Kind: kind})
+	}
+	return out, nil
+}
+
+// Refresh drops the generator's data-derived caches — the non-emptiness
+// evaluator's memo and the sorted value snapshots behind range placement.
+// Call it after mutating the underlying database in place (datagen.Reskew);
+// the rng stream is untouched, so refreshed generation stays deterministic.
+func (g *Generator) Refresh() {
+	g.ev.ResetCache()
+	g.sortedVals = make(map[engine.AttrID][]int64)
+}
+
+// AdversarialQuery generates one query engineered against independence-based
+// estimation: a connected multi-join tree whose filters prefer the
+// popularity-correlated "hot" attributes and the intra-table-correlated "c1"
+// attributes, with ranges placed in the high-value region — exactly where
+// join fan-out correlates with attribute values, so per-predicate estimates
+// multiply into large errors. Range starts jitter within the top region so
+// consecutive adversarial queries stay structurally distinct (cache-hostile).
+func (g *Generator) AdversarialQuery() (*engine.Query, error) {
+	return g.nonEmptyQuery(g.adversarialFilters)
+}
+
+// adversarialFilters picks filter attributes over the joined tables,
+// correlated ones first ("hot", then "c1"), each ranged over a jittered
+// window near the top of its value domain.
+func (g *Generator) adversarialFilters(tables engine.TableSet) ([]engine.Pred, error) {
+	var correlated, rest []datagen.FilterAttr
+	for _, fa := range g.db.FilterAttrs {
+		if !tables.Has(g.db.Cat.AttrTable(fa.Attr)) {
+			continue
+		}
+		name := g.db.Cat.AttrName(fa.Attr)
+		if strings.HasSuffix(name, ".hot") || strings.HasSuffix(name, ".c1") {
+			correlated = append(correlated, fa)
+		} else {
+			rest = append(rest, fa)
+		}
+	}
+	if len(correlated)+len(rest) < g.cfg.Filters {
+		return nil, fmt.Errorf("only %d filterable attributes over joined tables, need %d",
+			len(correlated)+len(rest), g.cfg.Filters)
+	}
+	g.rng.Shuffle(len(correlated), func(i, j int) { correlated[i], correlated[j] = correlated[j], correlated[i] })
+	g.rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	eligible := append(correlated, rest...)
+
+	preds := make([]engine.Pred, 0, g.cfg.Filters)
+	for _, fa := range eligible[:g.cfg.Filters] {
+		lo, hi := g.topRange(fa.Attr)
+		preds = append(preds, engine.Filter(fa.Attr, lo, hi))
+	}
+	return preds, nil
+}
+
+// topRange picks [lo,hi] covering about TargetSelectivity of the attribute's
+// rows from the high end of its sorted values, jittering the window start
+// within the top 3-window region.
+func (g *Generator) topRange(attr engine.AttrID) (lo, hi int64) {
+	vals := g.sorted(attr)
+	n := len(vals)
+	if n == 0 {
+		return 0, 0
+	}
+	window := int(g.cfg.TargetSelectivity * float64(n))
+	if window < 1 {
+		window = 1
+	}
+	span := 3 * window
+	if span > n {
+		span = n
+	}
+	start := n - span + g.rng.Intn(span-window+1)
+	if start < 0 {
+		start = 0
+	}
+	return vals[start], vals[minInt(start+window, n-1)]
+}

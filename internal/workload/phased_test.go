@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"condsel/internal/core"
+	"condsel/internal/datagen"
+	"condsel/internal/engine"
+	"condsel/internal/selcache"
+	"condsel/internal/sit"
+)
+
+// TestPhaseStreamDeterministic: a fixed (seed, spec) pair must yield an
+// identical stream — same kinds, same queries — across generators.
+func TestPhaseStreamDeterministic(t *testing.T) {
+	t.Parallel()
+	db := testDB()
+	specs := []PhaseSpec{
+		{Name: "flash", Queries: 30, Flash: 1, HotSetSize: 4},
+		{Name: "mixed", Queries: 40, Flash: 0.5, Churn: 0.3, Adversarial: 0.2},
+		{Name: "adversarial", Queries: 20, Adversarial: 1},
+	}
+	stream := func() []PhasedQuery {
+		g := NewGenerator(db, Config{Seed: 42, Joins: 3, Filters: 3})
+		var out []PhasedQuery
+		for _, spec := range specs {
+			s, err := g.PhaseStream(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, s...)
+		}
+		return out
+	}
+	a, b := stream(), stream()
+	if len(a) != len(b) || len(a) != 90 {
+		t.Fatalf("stream lengths %d vs %d, want 90", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind {
+			t.Fatalf("slot %d kind %s vs %s", i, a[i].Kind, b[i].Kind)
+		}
+		if a[i].Query.String() != b[i].Query.String() {
+			t.Fatalf("slot %d query diverged:\n %s\n %s", i, a[i].Query, b[i].Query)
+		}
+	}
+}
+
+// TestPhaseStreamMixRatios: realized kind frequencies must track the spec's
+// weights within tolerance, for several weightings.
+func TestPhaseStreamMixRatios(t *testing.T) {
+	t.Parallel()
+	db := testDB()
+	cases := []struct {
+		name                     string
+		spec                     PhaseSpec
+		flash, churn, adversaria float64
+	}{
+		{"balanced", PhaseSpec{Queries: 600, Flash: 1, Churn: 1, Adversarial: 1}, 1. / 3, 1. / 3, 1. / 3},
+		{"flash-heavy", PhaseSpec{Queries: 600, Flash: 0.8, Churn: 0.15, Adversarial: 0.05}, 0.8, 0.15, 0.05},
+		{"churn-default", PhaseSpec{Queries: 600}, 0, 1, 0},
+		{"adversarial-only", PhaseSpec{Queries: 200, Adversarial: 1}, 0, 0, 1},
+	}
+	const tol = 0.07
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			g := NewGenerator(db, Config{Seed: 7, Joins: 3, Filters: 3})
+			stream, err := g.PhaseStream(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := map[MixKind]float64{}
+			for _, pq := range stream {
+				counts[pq.Kind]++
+			}
+			n := float64(len(stream))
+			for kind, want := range map[MixKind]float64{
+				MixFlashCrowd: tc.flash, MixChurn: tc.churn, MixAdversarial: tc.adversaria,
+			} {
+				got := counts[kind] / n
+				if got < want-tol || got > want+tol {
+					t.Errorf("%s share %.3f, want %.3f ± %.2f", kind, got, want, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestAdversarialQueryShape: adversarial queries are connected multi-join
+// trees whose filters prefer the correlated attributes, non-empty results
+// included.
+func TestAdversarialQueryShape(t *testing.T) {
+	t.Parallel()
+	db := testDB()
+	g := NewGenerator(db, Config{Seed: 3, Joins: 3, Filters: 3})
+	ev := engine.NewEvaluator(db.Cat)
+	correlated := 0
+	filters := 0
+	for i := 0; i < 20; i++ {
+		q, err := g.AdversarialQuery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.NumJoins() != 3 || q.NumFilters() != 3 {
+			t.Fatalf("query %d shape %dj/%df, want 3/3", i, q.NumJoins(), q.NumFilters())
+		}
+		if comps := engine.Components(q.Cat, q.Preds, q.JoinSet()); len(comps) != 1 {
+			t.Fatalf("query %d join graph disconnected", i)
+		}
+		if count := ev.Count(q.Tables, q.Preds, q.All()); count == 0 {
+			t.Fatalf("query %d empty result: %s", i, q)
+		}
+		for _, pi := range q.FilterSet().Indices() {
+			filters++
+			name := q.Cat.AttrName(q.Preds[pi].Attr)
+			if strings.HasSuffix(name, ".hot") || strings.HasSuffix(name, ".c1") {
+				correlated++
+			}
+		}
+	}
+	// The snowflake offers a "hot" attribute on every table, so a clear
+	// majority of adversarial filters must land on correlated attributes.
+	if float64(correlated) < 0.6*float64(filters) {
+		t.Fatalf("only %d/%d adversarial filters on correlated attributes", correlated, filters)
+	}
+}
+
+// hitRate runs the stream through a cache-fronted estimator and returns the
+// fraction of queries served entirely from the cross-query selectivity cache
+// (zero new misses — the run's top-level lookup hit). A fresh query explores
+// many DP subsets and registers a miss for each, so the raw lookup-level rate
+// would be dominated by population cost; the query-level rate is what the
+// flash-crowd-vs-churn contrast is about.
+func hitRate(t *testing.T, db *datagen.DB, stream []PhasedQuery) float64 {
+	t.Helper()
+	queries := make([]*engine.Query, len(stream))
+	for i, pq := range stream {
+		queries[i] = pq.Query
+	}
+	pool := sit.BuildWorkloadPoolParallel(db.Cat, queries[:minInt(8, len(queries))], 1,
+		runtime.GOMAXPROCS(0), nil)
+	est := core.NewEstimator(db.Cat, pool, core.Diff{})
+	cache := selcache.New[core.CacheEntry](1 << 16)
+	est.Cache = cache
+	served := 0
+	for _, q := range queries {
+		before := cache.Stats().Misses
+		est.NewRun(q).GetSelectivity(q.All())
+		if cache.Stats().Misses == before {
+			served++
+		}
+	}
+	return float64(served) / float64(len(queries))
+}
+
+// TestMixCacheBehavior: the flash-crowd mix must be cache-friendly (>80%
+// hit rate) and the churn/adversarial mixes cache-hostile (<10%).
+func TestMixCacheBehavior(t *testing.T) {
+	t.Parallel()
+	db := testDB()
+	cases := []struct {
+		name     string
+		spec     PhaseSpec
+		min, max float64
+	}{
+		{"flash-crowd", PhaseSpec{Queries: 60, Flash: 1, HotSetSize: 4}, 0.80, 1.0},
+		{"churn", PhaseSpec{Queries: 60, Churn: 1}, 0, 0.10},
+		{"adversarial", PhaseSpec{Queries: 60, Adversarial: 1}, 0, 0.10},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			g := NewGenerator(db, Config{Seed: 17, Joins: 3, Filters: 4})
+			stream, err := g.PhaseStream(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rate := hitRate(t, db, stream)
+			if rate < tc.min || rate > tc.max {
+				t.Fatalf("%s cache hit rate %.3f, want [%.2f, %.2f]", tc.name, rate, tc.min, tc.max)
+			}
+		})
+	}
+}

@@ -92,17 +92,38 @@ func (g *Generator) Generate() ([]*engine.Query, error) {
 
 // Query generates one random SPJ query with a non-empty result.
 func (g *Generator) Query() (*engine.Query, error) {
-	joins, tables, err := g.randomJoinTree()
-	if err != nil {
-		return nil, err
+	return g.nonEmptyQuery(g.randomFilters)
+}
+
+// emptyTreeRetries bounds how many fresh join trees nonEmptyQuery draws
+// when a tree's result stays empty even under full-domain filters.
+const emptyTreeRetries = 8
+
+// nonEmptyQuery draws a join tree, attaches filters from the given picker
+// and stretches them until the result is non-empty. A tree whose result is
+// empty even at full-domain filters cannot be rescued by stretching — the
+// join itself is empty, which heavy skew drift can cause by funneling
+// every foreign key through a parent row whose own key up the chain
+// dangles — so the tree is discarded and a fresh one drawn.
+func (g *Generator) nonEmptyQuery(filters func(engine.TableSet) ([]engine.Pred, error)) (*engine.Query, error) {
+	var lastErr error
+	for try := 0; try < emptyTreeRetries; try++ {
+		joins, tables, err := g.randomJoinTree()
+		if err != nil {
+			return nil, err
+		}
+		fs, err := filters(tables)
+		if err != nil {
+			return nil, err
+		}
+		preds := append(joins, fs...)
+		q := engine.NewQuery(g.db.Cat, preds)
+		if q, err = g.ensureNonEmpty(q, len(joins)); err == nil {
+			return q, nil
+		}
+		lastErr = err
 	}
-	filters, err := g.randomFilters(tables)
-	if err != nil {
-		return nil, err
-	}
-	preds := append(joins, filters...)
-	q := engine.NewQuery(g.db.Cat, preds)
-	return g.ensureNonEmpty(q, len(joins))
+	return nil, fmt.Errorf("no non-empty join tree after %d attempts: %w", emptyTreeRetries, lastErr)
 }
 
 // randomJoinTree picks a connected subgraph with cfg.Joins edges of the
