@@ -8,7 +8,6 @@ import (
 
 	"condsel/internal/core"
 	"condsel/internal/robust"
-	"condsel/internal/selcache"
 )
 
 // SelCache is a sharded, bounded, concurrency-safe cache of getSelectivity
@@ -25,14 +24,14 @@ import (
 // impossible anyway, since generations are process-unique — the rule guards
 // intent, not correctness.)
 type SelCache struct {
-	c *selcache.Cache[core.CacheEntry]
+	c *core.SelCacheStore
 }
 
 // NewSelCache returns a cache bounded to roughly maxEntries results
 // (capacity is split evenly over the internal shards). maxEntries <= 0
 // selects a default of 4096.
 func NewSelCache(maxEntries int) *SelCache {
-	return &SelCache{c: selcache.New[core.CacheEntry](maxEntries)}
+	return &SelCache{c: core.NewSelCache(maxEntries)}
 }
 
 // CacheStats is a point-in-time snapshot of a SelCache's counters.

@@ -73,6 +73,7 @@ func main() {
 		rounds    = flag.Int("rounds", 3, "workload passes for -fig est")
 		jsonPath  = flag.String("json", "", "JSON artifact path for -fig est/dp (default per figure)")
 		sizes     = flag.String("sizes", "6,8,10,12", "query predicate counts for -fig dp")
+		gatePath  = flag.String("gate", "", "for -fig dp: committed BENCH_dp.json to gate against (0 allocs/op on the cached path, cached/optimized time ratio within 10%)")
 		iters     = flag.Int("iters", 0, "timed passes per variant for -fig dp (0 = default)")
 		withFault = flag.Bool("faults", true, "for -fig robust: also arm each fault point and record the ladder's tier distribution")
 		cycles    = flag.Int("cycles", 0, "full stale→rebuilt pool cycles for -fig lifecycle, or arc cycles for -fig soak (0 = default)")
@@ -123,14 +124,14 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, soakCfg, *jsonPath); err != nil {
+	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, soakCfg, *jsonPath, *gatePath); err != nil {
 		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, soakCfg soak.Config, jsonPath string) error {
+func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, soakCfg soak.Config, jsonPath, gatePath string) error {
 	withJSON := func(def string, write func(*os.File) error) error {
 		path := jsonPath
 		if path == "" {
@@ -228,9 +229,18 @@ func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchCo
 		e := bench.NewEnv(opts)
 		report := e.DPBench(dpCfg)
 		bench.RenderDP(os.Stdout, report)
-		return withJSON("BENCH_dp.json", func(f *os.File) error {
+		if err := withJSON("BENCH_dp.json", func(f *os.File) error {
 			return bench.WriteDPJSON(f, report)
-		})
+		}); err != nil {
+			return err
+		}
+		if gatePath != "" {
+			if err := bench.GateDP(report, gatePath, 0.10); err != nil {
+				return err
+			}
+			fmt.Printf("gate: ok (0 allocs/op on cached path, ratio within 10%% of %s)\n", gatePath)
+		}
+		return nil
 	case "robust":
 		e := bench.NewEnv(opts)
 		report := e.RobustBench(robustCfg)

@@ -64,19 +64,28 @@ func (db *DB) NewEstimator(pool *Pool, model Model) *Estimator {
 
 // Cardinality estimates the query's result size.
 func (e *Estimator) Cardinality(q *Query) float64 {
-	return e.est.NewRun(q.q).EstimateCardinality(q.q.All())
+	r := e.est.NewRun(q.q)
+	card := r.EstimateCardinality(q.q.All())
+	r.Release()
+	return card
 }
 
 // Selectivity estimates the query's selectivity relative to the cartesian
 // product of its tables.
 func (e *Estimator) Selectivity(q *Query) float64 {
-	return e.est.NewRun(q.q).GetSelectivity(q.q.All()).Sel
+	r := e.est.NewRun(q.q)
+	sel := r.GetSelectivity(q.q.All()).Sel
+	r.Release()
+	return sel
 }
 
 // Explain returns the chosen decomposition: each conditional factor with
 // its estimate and the statistics used.
 func (e *Estimator) Explain(q *Query) string {
-	return e.est.NewRun(q.q).Explain(q.q.All())
+	r := e.est.NewRun(q.q)
+	s := r.Explain(q.q.All())
+	r.Release()
+	return s
 }
 
 // Run starts a per-query estimation session that memoizes across sub-query
@@ -95,7 +104,10 @@ func (e *Estimator) GroupCount(q *Query, attr string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return e.est.NewRun(q.q).EstimateGroups(a, q.q.All()), nil
+	r := e.est.NewRun(q.q)
+	groups := r.EstimateGroups(a, q.q.All())
+	r.Release()
+	return groups, nil
 }
 
 // Run is a per-query estimation session. Sub-queries are addressed by
@@ -181,9 +193,12 @@ func (e *Estimator) BestPlan(q *Query) (string, float64, error) {
 	run := e.est.NewRun(q.q)
 	plan, err := planner.Choose(q.q, run.EstimateCardinality)
 	if err != nil {
+		run.Release()
 		return "", 0, err
 	}
-	return plan.String(q.q), planner.Cost(plan, run.EstimateCardinality), nil
+	cost := planner.Cost(plan, run.EstimateCardinality)
+	run.Release()
+	return plan.String(q.q), cost, nil
 }
 
 // CoupledCardinality estimates the query through the §4.2 optimizer

@@ -54,6 +54,11 @@ func TestCtxLoopFixture(t *testing.T) {
 	testFixture(t, "ctxloop", []Analyzer{NewCtxLoop()})
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "hotalloc", []Analyzer{NewHotAlloc()})
+}
+
 // TestSuiteOnFixture: the full suite (not just the single analyzer) produces
 // findings on a fixture package — the property the CLI's non-zero exit for
 // fixture dirs rests on.

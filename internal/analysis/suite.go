@@ -13,5 +13,6 @@ func Suite() []Analyzer {
 		NewNonDet(),
 		NewLadderGuard(),
 		NewCtxLoop(),
+		NewHotAlloc(),
 	}
 }

@@ -10,7 +10,7 @@ import (
 	"condsel/internal/sit"
 )
 
-var cache = selcache.New[float64](64)
+var cache = selcache.New[string, float64](64, selcache.HashString)
 
 // bad concatenates a key with no generation component.
 func bad(k string) {

@@ -1,0 +1,76 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: hot-path key
+// builders must not allocate via fmt formatting, string concatenation, or
+// interning-map writes.
+package hotalloc
+
+import "fmt"
+
+type run struct {
+	gen   uint64
+	keys  map[uint64]string
+	memo  map[string]float64
+	label string
+}
+
+// badSprintf formats a cache key per lookup.
+func badSprintf(r *run, set uint64) string {
+	return fmt.Sprintf("g%d|%d", r.gen, set) // want `fmt\.Sprintf allocates`
+}
+
+// badErrorf allocates even when the error is discarded on the happy path.
+func badErrorf(set uint64) error {
+	return fmt.Errorf("bad subset %d", set) // want `fmt\.Errorf allocates`
+}
+
+// badConcat builds a key by concatenation; the whole a+b+c chain is one
+// diagnostic on the outermost +.
+func badConcat(prefix, key string) string {
+	return prefix + "|" + key // want `string concatenation allocates`
+}
+
+// badAppendConcat hides the concat inside a call argument.
+func badAppendConcat(dst []string, k string) []string {
+	return append(dst, "["+k+"]") // want `string concatenation allocates`
+}
+
+// badPlusEq grows a key in a loop.
+func badPlusEq(parts []string) string {
+	var key string
+	for _, p := range parts {
+		key += p // want `string \+= allocates`
+	}
+	return key
+}
+
+// badIntern fills a string-valued map per request.
+func badIntern(r *run, set uint64, k string) {
+	r.keys[set] = k // want `string-valued map`
+}
+
+// goodLookup reads maps and compares without formatting anything.
+func goodLookup(r *run, k string) (float64, bool) {
+	v, ok := r.memo[k]
+	return v, ok
+}
+
+// goodNumericMap writes a float-valued memo — not interning.
+func goodNumericMap(r *run, k string, v float64) {
+	r.memo[k] = v
+}
+
+// String renders for humans and is exempt by name.
+func (r *run) String() string {
+	return fmt.Sprintf("run(gen=%d, label=%s|%s)", r.gen, r.label, "x"+r.label)
+}
+
+// FormatKey is exempt by the Format* prefix convention.
+func FormatKey(gen uint64, k string) string {
+	return fmt.Sprintf("g%d|", gen) + k
+}
+
+// coldIntern is non-conforming but suppressed with a reason, the pattern the
+// DP core's compute-path interning uses.
+func coldIntern(r *run, set uint64, k string) {
+	//lint:ignore hotalloc fixture: interning write on a compute path that runs at most once per subset
+	r.keys[set] = k
+}

@@ -94,9 +94,9 @@ func (e *Env) EstimationBench(cfg EstBenchConfig) EstBenchResult {
 	pool := e.Pool(e.Opts.Joins[len(e.Opts.Joins)-1], cfg.PoolJoins)
 
 	est := core.NewEstimator(e.DB.Cat, pool, core.Diff{})
-	var cache *selcache.Cache[core.CacheEntry]
+	var cache *core.SelCacheStore
 	if cfg.Cache {
-		cache = selcache.New[core.CacheEntry](cfg.CacheCapacity)
+		cache = core.NewSelCache(cfg.CacheCapacity)
 		est.Cache = cache
 	}
 

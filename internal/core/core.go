@@ -16,8 +16,8 @@ import (
 	"math"
 	"math/bits"
 	"sort"
-	"strconv"
 	"strings"
+	"sync"
 
 	"condsel/internal/engine"
 	"condsel/internal/sit"
@@ -39,9 +39,9 @@ const (
 // An Estimator is safe for concurrent use once configured: NewRun may be
 // called from many goroutines, and the shared state reachable from a Run —
 // the catalog, the pool (atomic match counter), the oracle evaluator
-// (mutex-guarded memo) and the optional cache (sharded locks) — is itself
-// concurrency-safe. Mutating the configuration fields concurrently with
-// estimation is not supported. A Run is single-goroutine state.
+// (mutex-guarded memo) and the optional cache (lock-free sharded reads) —
+// is itself concurrency-safe. Mutating the configuration fields concurrently
+// with estimation is not supported. A Run is single-goroutine state.
 type Estimator struct {
 	Cat   *engine.Catalog
 	Pool  *sit.Pool
@@ -63,8 +63,8 @@ type Estimator struct {
 	// Cache, when non-nil, shares getSelectivity results across runs (and
 	// across queries): on a memo miss a run first consults the cache under
 	// the entry's canonical key — error-model name, pool generation, and
-	// the structural predicate-set signature — and publishes every freshly
-	// computed result back. Entries are position-independent (see
+	// the packed structural predicate-set signature — and publishes every
+	// freshly computed result back. Entries are position-independent (see
 	// CacheEntry), so a hit returns bit-identical estimates to a cold
 	// computation. The cache is safe for concurrent use; see
 	// internal/selcache.
@@ -77,19 +77,31 @@ type Estimator struct {
 	// (enforced by TestCacheEquivalenceHotPath); the switch exists for
 	// benchmark baselines and equivalence tests.
 	NoFastPath bool
+
+	// runPool recycles Run contexts across queries: NewRun draws from it
+	// and Run.Release returns to it, so steady-state estimation reuses the
+	// memo maps, signature tables and result arenas instead of
+	// reallocating them per query. A pointer so that copies of a
+	// configured Estimator (the equivalence tests copy one to flip
+	// NoFastPath) share the pool; sharing is safe because pooled runs are
+	// fully reset and rebound to their next estimator by NewRun.
+	runPool *sync.Pool
 }
 
 // SelCache is the cross-query result cache consumed by Run. It is satisfied
-// by *selcache.Cache[CacheEntry]; core depends only on this interface so the
-// cache implementation stays free-standing.
+// by *SelCacheStore (see NewSelCache); core depends only on this interface
+// so the cache implementation stays free-standing.
 type SelCache interface {
-	Get(key string) (CacheEntry, bool)
-	Put(key string, v CacheEntry)
+	Get(key CacheKey) (CacheEntry, bool)
+	Put(key CacheKey, v CacheEntry)
 }
 
 // NewEstimator returns an estimator over the catalog, pool and error model.
 func NewEstimator(cat *engine.Catalog, pool *sit.Pool, model ErrorModel) *Estimator {
-	return &Estimator{Cat: cat, Pool: pool, Model: model}
+	return &Estimator{
+		Cat: cat, Pool: pool, Model: model,
+		runPool: &sync.Pool{New: func() any { return new(Run) }},
+	}
 }
 
 // Factor is one approximated conditional factor Sel(P|Q) of the chosen
@@ -149,6 +161,12 @@ type Result struct {
 // notes, the memo satisfies all selectivity requests for sub-queries of the
 // same query, which is how the algorithm integrates with an optimizer's
 // search (§4).
+//
+// Runs are pooled: NewRun draws a reset context from the estimator's pool
+// and Release returns it. On the cached path — memo or cross-query cache
+// hit — a pooled run performs no allocation at all: cache keys are packed
+// integer signatures (engine.PredSig), hits are decoded into per-run arenas,
+// and all maps and tables are reused across queries.
 type Run struct {
 	Est   *Estimator
 	Query *engine.Query
@@ -160,32 +178,58 @@ type Run struct {
 	HistNanos int64
 
 	memo        map[engine.PredSet]*Result
-	truthMemo   map[truthKey]float64
-	derivedMemo map[string]*sit.SIT // Example 3 derivations, nil until used
+	truthMemo   map[truthKey]float64 // Opt ground truth, nil until used
+	derivedMemo map[string]*sit.SIT  // Example 3 derivations, nil until used
 
 	// budget, when non-nil, bounds the run's execution (deadline + node
 	// cap); see NewBudgetedRun. Nil for plain runs — every check is then a
 	// single nil test.
 	budget *runBudget
 
-	// cachePrefix is the run-constant prefix of cross-query cache keys
-	// (model name + pool generation), built once per run.
-	cachePrefix string
+	// Cross-query cache identity, pinned at NewRun: the error model's name
+	// and the pool generation (see cache.go).
+	modelName string
+	gen       uint64
 
-	// Hot-path state (DESIGN.md "Hot path"); all nil/zero when the
-	// estimator sets NoFastPath, which routes every consumer onto the
-	// legacy scans.
-	comps      *engine.CompIndex          // O(1)-amortized connected components
-	matcher    *sit.Matcher               // per-query candidate matcher + cache
+	// Per-position signature tables, rebuilt for every query over pooled
+	// backing arrays (fast path or not — both consult the cross-query
+	// cache): each predicate's canonical form, packed payload hash and
+	// table set, plus the positions insertion-sorted into canonical
+	// PredLess order (ties keep position order). Together they make cache
+	// keys, cache-hit verification and cardinality table math pure integer
+	// work.
+	canonPreds []engine.Pred
+	predHash   []uint64
+	predTables []engine.TableSet
+	canonOrder []uint8
+
+	// Arenas for cache-hit decoding (newResult/newFactors): Results and
+	// Factors are carved out of pooled chunks, so the cached read path
+	// allocates nothing in steady state. Chunks grow by abandonment — a
+	// full chunk stays referenced by the memo and a larger one is started.
+	resBuf []Result
+	facBuf []Factor
+
+	// fast mirrors !Estimator.NoFastPath: the run-level hot-path machinery
+	// below is live. (Pooled maps stay allocated either way; fast is the
+	// routing switch, not map nil-ness.)
+	fast       bool
+	comps      *engine.CompIndex          // connected components, lazy (cold path)
+	matcher    *sit.Matcher               // candidate matcher, lazy (cold path)
 	sideInv    bool                       // model scores depend on sideCond only
 	filterMemo map[factorKey]filterApprox // approxFilter memo
 	joinMemo   map[factorKey]joinApprox   // approxJoin memo
 	joinSels   map[sitPair]float64        // per-run histogram-join selectivities
-	joinPrefix string                     // pool-generation prefix of join-cache keys
-	predKeys   []string                   // Pred.Key() per position, interned
-	headKeys   []string                   // singleton chain-key heads per position
-	multiHeads map[engine.PredSet]string  // multi-predicate chain-key heads
-	predsKeys  map[engine.PredSet]string  // engine.PredsKey per subset, interned
+
+	// Chain-key interning. Chain keys are tie-break/diagnostic strings
+	// only; they are needed the first time a decomposition is actually
+	// computed, never on a pure cached read, so ensureChainKeys builds
+	// them lazily and pure cache-hit runs build no strings at all.
+	chainKeys  bool
+	predKeys   []string                  // Pred.Key() per position, interned
+	headKeys   []string                  // singleton chain-key heads per position
+	multiHeads map[engine.PredSet]string // multi-predicate chain-key heads
+	predsKeys  map[engine.PredSet]string // engine.PredsKey per subset, interned
 }
 
 type truthKey struct {
@@ -204,45 +248,188 @@ type sideCondInvariant interface {
 	SideCondInvariant() bool
 }
 
-// NewRun starts a getSelectivity run for one query.
+// NewRun starts a getSelectivity run for one query, drawing a pooled
+// context when the estimator has one. Pair with Release to recycle it.
 func (e *Estimator) NewRun(q *engine.Query) *Run {
 	if len(q.Preds) >= 64 {
 		panic("core: queries support at most 63 predicates")
 	}
-	r := &Run{
-		Est:       e,
-		Query:     q,
-		memo:      make(map[engine.PredSet]*Result),
-		truthMemo: make(map[truthKey]float64),
+	r := e.getRun()
+	r.Est = e
+	r.Query = q
+	r.modelName = e.Model.Name()
+	r.gen = e.Pool.Generation()
+	if r.memo == nil {
+		r.memo = make(map[engine.PredSet]*Result, 64)
 	}
-	gen := strconv.FormatUint(e.Pool.Generation(), 10)
-	r.cachePrefix = e.Model.Name() + "|g" + gen + "|"
+
+	n := len(q.Preds)
+	r.canonPreds = growPreds(r.canonPreds, n)
+	r.predHash = growUint64(r.predHash, n)
+	r.predTables = growTables(r.predTables, n)
+	r.canonOrder = growUint8(r.canonOrder, n)
+	for i, p := range q.Preds {
+		r.canonPreds[i] = p.Canon()
+		r.predHash[i] = p.SigHash()
+		r.predTables[i] = p.Tables(q.Cat)
+	}
+	// Insertion-sort positions into canonical order: allocation-free for
+	// n ≤ 63, and stable (strict-less shifts only), so duplicate
+	// predicates keep ascending position order.
+	for i := 0; i < n; i++ {
+		j := i
+		for j > 0 && engine.PredLess(r.canonPreds[i], r.canonPreds[r.canonOrder[j-1]]) {
+			r.canonOrder[j] = r.canonOrder[j-1]
+			j--
+		}
+		r.canonOrder[j] = uint8(i)
+	}
+
 	if e.NoFastPath {
 		return r
 	}
-	n := len(q.Preds)
-	r.comps = engine.NewCompIndex(q.Cat, q.Preds)
-	r.matcher = sit.NewMatcher(e.Pool, q.Preds)
+	r.fast = true
 	if m, ok := e.Model.(sideCondInvariant); ok && m.SideCondInvariant() {
 		r.sideInv = true
 	}
-	r.filterMemo = make(map[factorKey]filterApprox)
-	r.joinMemo = make(map[factorKey]joinApprox)
-	r.joinSels = make(map[sitPair]float64)
-	r.joinPrefix = "g" + gen + "|"
-	r.predKeys = make([]string, n)
-	r.headKeys = make([]string, n)
-	for i, p := range q.Preds {
-		r.predKeys[i] = p.Key()
-		class := "b"
-		if p.IsJoin() {
-			class = "a"
-		}
-		r.headKeys[i] = "0" + class + r.predKeys[i] + "."
+	if r.filterMemo == nil {
+		r.filterMemo = make(map[factorKey]filterApprox, 32)
+		r.joinMemo = make(map[factorKey]joinApprox, 32)
+		r.joinSels = make(map[sitPair]float64, 16)
 	}
-	r.multiHeads = make(map[engine.PredSet]string)
-	r.predsKeys = make(map[engine.PredSet]string)
 	return r
+}
+
+func (e *Estimator) getRun() *Run {
+	if e.runPool == nil {
+		// Zero-value Estimators (tests construct them literally) still
+		// work; they just allocate a fresh run per query.
+		return new(Run)
+	}
+	return e.runPool.Get().(*Run)
+}
+
+// Release resets the run and returns it to its estimator's pool, where the
+// next NewRun reuses its maps, tables and arenas. It must be the caller's
+// LAST use of the run and of every *Result obtained from it: cache-hit
+// results live in the run's arenas. Releasing is optional (an unreleased
+// run is ordinary garbage) and must happen at most once; Release on a nil
+// or never-pooled run is a no-op.
+func (r *Run) Release() {
+	if r == nil || r.Est == nil {
+		return
+	}
+	pool := r.Est.runPool
+	if pool == nil {
+		return
+	}
+	r.reset()
+	pool.Put(r)
+}
+
+// reset clears everything query-specific while keeping map buckets and
+// array capacity. Pointer-bearing state (SITs, results, the estimator and
+// query themselves) is nilled or zeroed so a parked run pins nothing.
+func (r *Run) reset() {
+	r.Est = nil
+	r.Query = nil
+	r.HistNanos = 0
+	r.budget = nil
+	r.modelName = ""
+	r.gen = 0
+	clear(r.memo)
+	r.truthMemo = nil
+	r.derivedMemo = nil
+	r.fast = false
+	r.comps = nil
+	r.matcher = nil
+	r.sideInv = false
+	if r.filterMemo != nil {
+		clear(r.filterMemo)
+		clear(r.joinMemo)
+		clear(r.joinSels)
+	}
+	r.chainKeys = false
+	r.predKeys = nil
+	r.headKeys = nil
+	r.multiHeads = nil
+	r.predsKeys = nil
+	for i := range r.resBuf {
+		r.resBuf[i] = Result{}
+	}
+	r.resBuf = r.resBuf[:0]
+	for i := range r.facBuf {
+		r.facBuf[i] = Factor{}
+	}
+	r.facBuf = r.facBuf[:0]
+}
+
+func growPreds(s []engine.Pred, n int) []engine.Pred {
+	if cap(s) < n {
+		return make([]engine.Pred, n)
+	}
+	return s[:n]
+}
+
+func growUint64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growTables(s []engine.TableSet, n int) []engine.TableSet {
+	if cap(s) < n {
+		return make([]engine.TableSet, n)
+	}
+	return s[:n]
+}
+
+func growUint8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+// newResult carves one zeroed Result out of the run's arena. The pointer
+// stays valid until Release: a full chunk is abandoned to its existing
+// referents (the memo) and a larger chunk started, so grown arenas never
+// move live results.
+func (r *Run) newResult() *Result {
+	if len(r.resBuf) == cap(r.resBuf) {
+		c := 2 * cap(r.resBuf)
+		if c < 64 {
+			c = 64
+		}
+		r.resBuf = make([]Result, 0, c)
+	}
+	r.resBuf = r.resBuf[:len(r.resBuf)+1]
+	res := &r.resBuf[len(r.resBuf)-1]
+	*res = Result{}
+	return res
+}
+
+// newFactors carves a full-capacity slice of n zeroed Factors out of the
+// run's arena (same lifetime rules as newResult).
+func (r *Run) newFactors(n int) []Factor {
+	if n == 0 {
+		return nil
+	}
+	if len(r.facBuf)+n > cap(r.facBuf) {
+		c := 2 * (cap(r.facBuf) + n)
+		if c < 256 {
+			c = 256
+		}
+		r.facBuf = make([]Factor, 0, c)
+	}
+	start := len(r.facBuf)
+	r.facBuf = r.facBuf[:start+n]
+	f := r.facBuf[start : start+n : start+n]
+	for i := range f {
+		f[i] = Factor{}
+	}
+	return f
 }
 
 // GetSelectivity implements Figure 3: it returns the most accurate
@@ -265,11 +452,30 @@ func (r *Run) GetSelectivity(set engine.PredSet) *Result {
 	return res
 }
 
+// compsFor returns the run's component index, building it on first use:
+// components are only consulted while computing a decomposition, never on a
+// cached read.
+func (r *Run) compsFor() *engine.CompIndex {
+	if r.comps == nil {
+		r.comps = engine.NewCompIndex(r.Query.Cat, r.Query.Preds)
+	}
+	return r.comps
+}
+
+// matcherFor returns the run's candidate matcher, building it on first use
+// (cold path, like compsFor).
+func (r *Run) matcherFor() *sit.Matcher {
+	if r.matcher == nil {
+		r.matcher = sit.NewMatcher(r.Est.Pool, r.Query.Preds)
+	}
+	return r.matcher
+}
+
 // components returns set's connected components, via the run's component
 // index on the fast path.
 func (r *Run) components(set engine.PredSet) []engine.PredSet {
-	if r.comps != nil {
-		return r.comps.Components(set)
+	if r.fast {
+		return r.compsFor().Components(set)
 	}
 	return engine.Components(r.Query.Cat, r.Query.Preds, set)
 }
@@ -279,6 +485,7 @@ func (r *Run) compute(set engine.PredSet) *Result {
 	if set.Empty() {
 		return &Result{Sel: 1, Err: 0}
 	}
+	r.ensureChainKeys()
 	comps := r.components(set)
 	if len(comps) > 1 {
 		// Lines 4-7: separable — solve the standard decomposition's
@@ -292,6 +499,7 @@ func (r *Run) compute(set engine.PredSet) *Result {
 			res.Sel *= sub.Sel
 			res.Err += sub.Err
 			res.Factors = append(res.Factors, sub.Factors...)
+			//lint:ignore hotalloc cold path: component keys are built once per computed subset, never on a cached read
 			subKeys = append(subKeys, "["+sub.key+"]")
 		}
 		sort.Strings(subKeys)
@@ -335,8 +543,36 @@ func (r *Run) compute(set engine.PredSet) *Result {
 			try(engine.PredSet(1) << uint(bits.TrailingZeros64(s)))
 		}
 	}
+	//lint:ignore hotalloc cold path: the winner's chain key is materialized once per computed subset
 	best.key = bestHead + bestRest
 	return best
+}
+
+// ensureChainKeys builds the run's interned chain-key tables on the first
+// compute call. Chain keys are pure tie-break/diagnostic strings: a run
+// whose every request is satisfied by the memo or the cross-query cache
+// never needs them, which keeps the cached path string-free. Both search
+// paths (fast and NoFastPath) use the same interned strings — they are
+// byte-identical to what engine.PredsKey and a per-call build would yield.
+func (r *Run) ensureChainKeys() {
+	if r.chainKeys {
+		return
+	}
+	r.chainKeys = true
+	n := len(r.Query.Preds)
+	r.predKeys = make([]string, n)
+	r.headKeys = make([]string, n)
+	for i, p := range r.Query.Preds {
+		r.predKeys[i] = p.Key()
+		class := "b"
+		if p.IsJoin() {
+			class = "a"
+		}
+		//lint:ignore hotalloc cold path: chain-key heads are built once per computing run, never on a cached read
+		r.headKeys[i] = "0" + class + r.predKeys[i] + "."
+	}
+	r.multiHeads = make(map[engine.PredSet]string)
+	r.predsKeys = make(map[engine.PredSet]string)
 }
 
 // chainHead encodes the head factor of a decomposition chain for canonical
@@ -355,39 +591,26 @@ func (r *Run) compute(set engine.PredSet) *Result {
 // pay off — the same preference the workload's joins-first predicate layout
 // gave the old positional tie-break.
 //
-// On the fast path heads are interned per run; either way the returned
-// string is byte-identical.
+// Only compute calls chainHead, after ensureChainKeys; heads are interned
+// per run.
 func (r *Run) chainHead(pp engine.PredSet) string {
-	if r.headKeys != nil {
-		if pp.Len() == 1 {
-			return r.headKeys[bits.TrailingZeros64(uint64(pp))]
-		}
-		if h, ok := r.multiHeads[pp]; ok {
-			return h
-		}
-		h := "1" + r.predsKey(pp) + "."
-		r.multiHeads[pp] = h
+	if pp.Len() == 1 {
+		return r.headKeys[bits.TrailingZeros64(uint64(pp))]
+	}
+	if h, ok := r.multiHeads[pp]; ok {
 		return h
 	}
-	preds := r.Query.Preds
-	if pp.Len() == 1 {
-		p := preds[pp.Indices()[0]]
-		class := "b"
-		if p.IsJoin() {
-			class = "a"
-		}
-		return "0" + class + p.Key() + "." // singleton head
-	}
-	return "1" + engine.PredsKey(preds, pp) + "."
+	//lint:ignore hotalloc cold path: multi-predicate heads are interned, built once per subset per run
+	h := "1" + r.predsKey(pp) + "."
+	//lint:ignore hotalloc interning write on the cold compute path only
+	r.multiHeads[pp] = h
+	return h
 }
 
-// predsKey returns engine.PredsKey(r.Query.Preds, set), interned per run on
-// the fast path (Pred.Key formats strings; the DP asks for the same subsets
-// repeatedly through cache keys and multi-predicate chain heads).
+// predsKey returns engine.PredsKey(r.Query.Preds, set), interned per run
+// (Pred.Key formats strings; the DP asks for the same subsets repeatedly
+// through multi-predicate chain heads). Cold path, like chainHead.
 func (r *Run) predsKey(set engine.PredSet) string {
-	if r.predsKeys == nil {
-		return engine.PredsKey(r.Query.Preds, set)
-	}
 	if s, ok := r.predsKeys[set]; ok {
 		return s
 	}
@@ -397,6 +620,7 @@ func (r *Run) predsKey(set engine.PredSet) string {
 	}
 	sort.Strings(keys)
 	s := strings.Join(keys, "&")
+	//lint:ignore hotalloc interning write on the cold compute path only
 	r.predsKeys[set] = s
 	return s
 }
@@ -430,10 +654,15 @@ func concatLess(a1, a2, b1, b2 string) bool {
 }
 
 // EstimateCardinality returns the estimated cardinality of the sub-query
-// σ_set over its referenced tables: Sel(set) · |tables(set)^×|.
+// σ_set over its referenced tables: Sel(set) · |tables(set)^×|. The table
+// union uses the run's precomputed per-position table sets, keeping the
+// cached path allocation-free.
 func (r *Run) EstimateCardinality(set engine.PredSet) float64 {
 	sel := r.GetSelectivity(set).Sel
-	tables := engine.PredsTables(r.Query.Cat, r.Query.Preds, set)
+	var tables engine.TableSet
+	for s := uint64(set); s != 0; s &= s - 1 {
+		tables = tables.Union(r.predTables[bits.TrailingZeros64(s)])
+	}
 	return sel * r.Query.Cat.CrossSize(tables)
 }
 
@@ -456,6 +685,9 @@ func (r *Run) trueConditional(pred int, cond engine.PredSet) float64 {
 	key := truthKey{pred, cond}
 	if v, ok := r.truthMemo[key]; ok {
 		return v
+	}
+	if r.truthMemo == nil {
+		r.truthMemo = make(map[truthKey]float64)
 	}
 	v := r.Est.Oracle.ConditionalSelectivity(r.Query.Tables, r.Query.Preds,
 		engine.NewPredSet(pred), cond)

@@ -91,7 +91,7 @@ func (r *Run) ApproxFactor(pp, qq engine.PredSet) (selF, errF float64, sits []*s
 // memoizing per canonical conditioning set (see factorKey). A memo hit
 // returns the identical (selectivity, error, SIT) triple the scan produced.
 func (r *Run) approxFilter(pred int, cond engine.PredSet) (float64, float64, *sit.SIT) {
-	if r.filterMemo == nil {
+	if !r.fast {
 		return r.scanFilter(pred, cond)
 	}
 	if r.sideInv {
@@ -140,7 +140,7 @@ func (r *Run) scanFilter(pred int, cond engine.PredSet) (sel, err float64, chose
 // memoizing like approxFilter; the canonical conditioning set of a join
 // unions the side components of its two attributes.
 func (r *Run) approxJoin(pred int, cond engine.PredSet) (float64, float64, *sit.SIT, *sit.SIT) {
-	if r.joinMemo == nil {
+	if !r.fast {
 		return r.scanJoin(pred, cond)
 	}
 	if r.sideInv {
@@ -188,8 +188,8 @@ func (r *Run) scanJoin(pred int, cond engine.PredSet) (sel, err float64, hl, hr 
 // directly against the pool otherwise. Returned slices are shared with the
 // matcher cache and must not be modified.
 func (r *Run) candidates(attr engine.AttrID, cond engine.PredSet) []*sit.SIT {
-	if r.matcher != nil {
-		return r.matcher.Candidates(attr, cond)
+	if r.fast {
+		return r.matcherFor().Candidates(attr, cond)
 	}
 	return r.Est.Pool.Candidates(r.Query.Preds, attr, cond)
 }
@@ -205,8 +205,8 @@ func (r *Run) candidates(attr engine.AttrID, cond engine.PredSet) []*sit.SIT {
 func (r *Run) sideCond(cond engine.PredSet, attr engine.AttrID) engine.PredSet {
 	q := r.Query
 	at := q.Cat.AttrTable(attr)
-	if r.comps != nil {
-		return r.comps.ComponentWith(cond, at)
+	if r.fast {
+		return r.compsFor().ComponentWith(cond, at)
 	}
 	for _, comp := range engine.Components(q.Cat, q.Preds, cond) {
 		if engine.PredsTables(q.Cat, q.Preds, comp).Has(at) {

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"condsel/internal/engine"
-	"condsel/internal/selcache"
 	"condsel/internal/sit"
 )
 
@@ -20,7 +19,7 @@ import (
 // the full cache stack at once.
 func TestCacheEquivalenceHotPath(t *testing.T) {
 	t.Parallel()
-	shared := selcache.New[CacheEntry](1 << 12)
+	shared := NewSelCache(1 << 12)
 
 	check := func(t *testing.T, label string, est *Estimator, q *engine.Query) {
 		t.Helper()

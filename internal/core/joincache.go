@@ -1,9 +1,6 @@
 package core
 
 import (
-	"strconv"
-	"strings"
-
 	"condsel/internal/histogram"
 	"condsel/internal/selcache"
 	"condsel/internal/sit"
@@ -23,7 +20,23 @@ import (
 // Derived SITs (§3.3 Example 3) never reach this cache: they are built for
 // filter attributes and only pool-resident SITs are candidates for join
 // sides.
-var histJoinCache = selcache.New[float64](1 << 14)
+var histJoinCache = selcache.New[histJoinKey, float64](1<<14, histJoinKeyHash)
+
+// histJoinKey identifies one histogram join within one pool generation. The
+// ID strings are the SITs' precomputed canonical identities (sit.SIT.ID),
+// so building a key copies two string headers — no formatting, no
+// allocation. The key is ordered: Join(a,b) and Join(b,a) are distinct
+// computations with equal results, exactly as under the old string keys.
+type histJoinKey struct {
+	gen  uint64
+	l, r string
+}
+
+func histJoinKeyHash(k histJoinKey) uint64 {
+	h := selcache.HashUint64(k.gen)
+	h = selcache.HashUint64(h ^ selcache.HashString(k.l))
+	return selcache.HashUint64(h ^ selcache.HashString(k.r))
+}
 
 // sitPair keys the per-run join memo by identity — pointer comparisons and
 // zero-allocation lookups; pool SITs are shared objects, so equal pointers
@@ -36,14 +49,14 @@ type sitPair struct {
 // cache levels: a per-run pointer-keyed memo, then the process-wide
 // cross-query cache. With NoFastPath set it just performs the join.
 func (r *Run) joinSelectivity(hl, hr *sit.SIT) float64 {
-	if r.joinSels == nil {
+	if !r.fast {
 		return histogram.Join(hl.Hist, hr.Hist).Selectivity
 	}
 	pk := sitPair{hl, hr}
 	if v, ok := r.joinSels[pk]; ok {
 		return v
 	}
-	key := r.joinPrefix + hl.ID() + "⋈" + hr.ID()
+	key := histJoinKey{gen: r.gen, l: hl.ID(), r: hr.ID()}
 	v, ok := histJoinCache.Get(key)
 	if !ok {
 		v = histogram.Join(hl.Hist, hr.Hist).Selectivity
@@ -66,17 +79,10 @@ func ResetHistJoinCache() { histJoinCache.Reset() }
 // lifecycle manager calls it when an epoch is retired: the old generation's
 // keys can never be requested again (generations are process-wide unique),
 // so the entries are pure dead weight. Entries of other generations are
-// untouched.
+// untouched. The match is structural — the key carries the generation as an
+// integer field, not a string prefix.
 func EvictHistJoinGeneration(gen uint64) int {
-	prefix := "g" + strconv.FormatUint(gen, 10) + "|"
-	return histJoinCache.EvictIf(func(key string) bool {
-		return strings.HasPrefix(key, prefix)
+	return histJoinCache.EvictIf(func(k histJoinKey) bool {
+		return k.gen == gen
 	})
-}
-
-// GenerationCacheKeyPart renders the pool-generation component that appears
-// inside every cross-query selectivity cache key built by a run (see
-// NewRun's cachePrefix). Epoch-retirement eviction matches on it.
-func GenerationCacheKeyPart(gen uint64) string {
-	return "|g" + strconv.FormatUint(gen, 10) + "|"
 }

@@ -3,37 +3,36 @@ package core
 import "testing"
 
 // TestEvictHistJoinGeneration: epoch retirement drops exactly the retired
-// generation's histogram-join entries. Not parallel: the cache is
-// process-global.
+// generation's histogram-join entries — the generation is matched as a
+// structural key field, so numerically distinct generations (7 vs 70) can
+// never alias. Not parallel: the cache is process-global.
 func TestEvictHistJoinGeneration(t *testing.T) {
 	ResetHistJoinCache()
 	defer ResetHistJoinCache()
-	histJoinCache.Put("g7|a⋈b", 0.5)
-	histJoinCache.Put("g7|a⋈c", 0.25)
-	histJoinCache.Put("g8|a⋈b", 0.75)
-	histJoinCache.Put("g70|a⋈b", 0.1) // prefix must not over-match g7
+	histJoinCache.Put(histJoinKey{gen: 7, l: "a", r: "b"}, 0.5)
+	histJoinCache.Put(histJoinKey{gen: 7, l: "a", r: "c"}, 0.25)
+	histJoinCache.Put(histJoinKey{gen: 8, l: "a", r: "b"}, 0.75)
+	histJoinCache.Put(histJoinKey{gen: 70, l: "a", r: "b"}, 0.1)
 
 	if n := EvictHistJoinGeneration(7); n != 2 {
 		t.Fatalf("EvictHistJoinGeneration(7) dropped %d entries, want 2", n)
 	}
-	if _, ok := histJoinCache.Get("g7|a⋈b"); ok {
+	if _, ok := histJoinCache.Get(histJoinKey{gen: 7, l: "a", r: "b"}); ok {
 		t.Fatal("retired generation's entry survived")
 	}
-	if v, ok := histJoinCache.Get("g8|a⋈b"); !ok || v != 0.75 {
+	if v, ok := histJoinCache.Get(histJoinKey{gen: 8, l: "a", r: "b"}); !ok || v != 0.75 {
 		t.Fatal("live generation's entry was evicted")
 	}
-	if v, ok := histJoinCache.Get("g70|a⋈b"); !ok || v != 0.1 {
+	if v, ok := histJoinCache.Get(histJoinKey{gen: 70, l: "a", r: "b"}); !ok || v != 0.1 {
 		t.Fatal("generation 70 entry evicted by generation 7 retirement")
 	}
 	if n := EvictHistJoinGeneration(7); n != 0 {
 		t.Fatalf("second eviction dropped %d entries, want 0", n)
 	}
-}
 
-// TestGenerationCacheKeyPart pins the key fragment the selectivity-cache
-// eviction matches on to the fragment NewRun actually embeds.
-func TestGenerationCacheKeyPart(t *testing.T) {
-	if got := GenerationCacheKeyPart(42); got != "|g42|" {
-		t.Fatalf("GenerationCacheKeyPart(42) = %q", got)
+	// Join keys are ordered: a⋈b and b⋈a are distinct computations.
+	histJoinCache.Put(histJoinKey{gen: 9, l: "a", r: "b"}, 0.3)
+	if _, ok := histJoinCache.Get(histJoinKey{gen: 9, l: "b", r: "a"}); ok {
+		t.Fatal("reversed join key aliased the forward entry")
 	}
 }

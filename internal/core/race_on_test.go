@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with -race: the detector's
+// instrumentation allocates and sync.Pool intentionally randomizes reuse
+// under it, so allocation-count assertions are meaningless there.
+const raceEnabled = true

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCachedPathZeroAllocs is the in-repo half of the CI alloc-gate: once
+// the cross-query cache is warm and the run pool primed, a full estimate —
+// NewRun, GetSelectivity on every predicate, EstimateCardinality, Release —
+// must allocate nothing, in both search modes and for both packed-key cache
+// levels (selectivity entries and histogram joins).
+func TestCachedPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and randomizes sync.Pool reuse; allocation counts are only meaningful without -race")
+	}
+	for _, n := range []int{6, 8, 10} {
+		for _, exhaustive := range []bool{false, true} {
+			mode := "singleton"
+			if exhaustive {
+				mode = "exhaustive"
+			}
+			t.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(t *testing.T) {
+				c := dpBenchCaseN(n)
+				est := NewEstimator(c.cat, c.pool, Diff{})
+				est.Exhaustive = exhaustive
+				est.Cache = NewSelCache(1 << 14)
+				full := c.q.All()
+				// Warm pass 1 computes and publishes; pass 2 reaches cached
+				// steady state (arena/pool sizes settled).
+				for i := 0; i < 2; i++ {
+					r := est.NewRun(c.q)
+					r.GetSelectivity(full)
+					r.EstimateCardinality(full)
+					r.Release()
+				}
+				allocs := testing.AllocsPerRun(100, func() {
+					r := est.NewRun(c.q)
+					r.EstimateCardinality(full)
+					r.Release()
+				})
+				if allocs != 0 {
+					t.Fatalf("cached estimate path allocated %.1f objects/op, want 0", allocs)
+				}
+			})
+		}
+	}
+}

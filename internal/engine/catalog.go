@@ -10,6 +10,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -183,11 +184,13 @@ func (c *Catalog) AttrColumn(a AttrID) *Column {
 func (c *Catalog) TableRows(id TableID) int { return c.tables[int(id)].NumRows() }
 
 // CrossSize returns |R1×…×Rn| for the tables in set s, as a float64 because
-// the product overflows int64 for large schemas.
+// the product overflows int64 for large schemas. It iterates the bitset
+// directly (no Tables() slice) — cardinality estimation calls it once per
+// estimate on the allocation-free cached path.
 func (c *Catalog) CrossSize(s TableSet) float64 {
 	size := 1.0
-	for _, id := range s.Tables() {
-		size *= float64(c.TableRows(id))
+	for b := uint64(s); b != 0; b &= b - 1 {
+		size *= float64(c.TableRows(TableID(bits.TrailingZeros64(b))))
 	}
 	return size
 }

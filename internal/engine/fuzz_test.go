@@ -94,3 +94,86 @@ func FuzzPredsKey(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPredSig cross-checks the packed predicate-subset hash against the
+// string signature it replaced on the hot path: over every subset pair the
+// fuzzer can reach, equal PredsKey strings must mean equal PredsHash values
+// (soundness — structural equality always hashes equal) and equal hashes
+// must mean equal keys (injectivity over the explored domain; a violation
+// here is a genuine 64-bit collision, which the cache's stored-predicate
+// verification would catch at run time). Seeds reuse the FuzzPredsKey
+// corpus shapes, duplicates and one-sided ranges included.
+func FuzzPredSig(f *testing.F) {
+	f.Add([]byte{0, 3, 10, 20, 0, 1, 3, 7, 0, 0}, int64(1))
+	f.Add([]byte{1, 5, 5, 0, 0, 1, 5, 5, 0, 0}, int64(2)) // duplicate joins
+	f.Add([]byte{0, 9, 0, 0, 1, 0, 9, 0, 0, 2}, int64(3)) // one-sided ranges
+	f.Add([]byte{}, int64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, permSeed int64) {
+		preds := predsFromBytes(data)
+		n := len(preds)
+		if n == 0 {
+			return
+		}
+		var full PredSet
+		for i := 0; i < n; i++ {
+			full = full.Add(i)
+		}
+
+		// Deterministic and order-invariant, like PredsKey.
+		h := PredsHash(preds, full)
+		if again := PredsHash(preds, full); again != h {
+			t.Fatalf("seed %d: PredsHash not deterministic", permSeed)
+		}
+		perm := rand.New(rand.NewSource(permSeed)).Perm(n)
+		shuffled := make([]Pred, n)
+		for i, j := range perm {
+			shuffled[j] = preds[i]
+		}
+		if got := PredsHash(shuffled, full); got != h {
+			t.Fatalf("seed %d: hash changed under permutation: %x vs %x", permSeed, got, h)
+		}
+
+		// Singletons collapse to the predicate's own payload hash, and the
+		// canonical form neither changes the hash nor the key equivalence.
+		for i, p := range preds {
+			if got := PredsHash(preds, NewPredSet(i)); got != p.SigHash() {
+				t.Fatalf("singleton hash %x != pred hash %x", got, p.SigHash())
+			}
+			if p.Canon().SigHash() != p.SigHash() {
+				t.Fatalf("canonical form changed the hash for %v", p)
+			}
+			if (p.Key() == p.Canon().Key()) != (p == p.Canon()) {
+				// Constructor-built predicates are their own canonical form.
+				t.Fatalf("Key/Canon equivalence broken for %v", p)
+			}
+		}
+
+		// Injectivity against PredsKey across all subsets of the first few
+		// predicates (256 subsets → ~32k pairs, checked via two maps).
+		m := n
+		if m > 8 {
+			m = 8
+		}
+		byKey := make(map[string]uint64)
+		byHash := make(map[uint64]string)
+		for sub := PredSet(1); sub < PredSet(1)<<uint(m); sub++ {
+			key := PredsKey(preds, sub)
+			hash := PredsHash(preds, sub)
+			if prev, ok := byKey[key]; ok {
+				if prev != hash {
+					t.Fatalf("seed %d: equal keys %q hash differently: %x vs %x", permSeed, key, prev, hash)
+				}
+			} else {
+				byKey[key] = hash
+			}
+			if prevKey, ok := byHash[hash]; ok {
+				if prevKey != key {
+					t.Fatalf("seed %d: 64-bit collision: keys %q and %q share hash %x", permSeed, prevKey, key, hash)
+				}
+			} else {
+				byHash[hash] = key
+			}
+		}
+	})
+}

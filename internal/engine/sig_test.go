@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+)
+
+// sigSamplePreds covers both kinds, one-sided ranges, duplicates, and a
+// self-join — the shapes the packed-signature path must keep apart.
+func sigSamplePreds() []Pred {
+	return []Pred{
+		Filter(0, 10, 20),
+		Eq(1, 7),
+		Filter(2, MinValue, 5),
+		Filter(2, 5, MaxValue),
+		Join(0, 2),
+		Join(2, 0), // canonicalizes to Join(0, 2)
+		Join(1, 3),
+		Join(3, 3),
+		Eq(1, 7), // structural duplicate
+	}
+}
+
+// TestCanonIdentity pins the invariant the hot path relies on: constructor
+// predicates are already canonical, and a hand-built predicate with garbage
+// in its unused fields canonicalizes to the constructor form without
+// changing its Key.
+func TestCanonIdentity(t *testing.T) {
+	for _, p := range sigSamplePreds() {
+		if p.Canon() != p {
+			t.Errorf("constructor pred %v is not its own canonical form: %v", p, p.Canon())
+		}
+	}
+	dirty := Pred{Kind: FilterPred, Attr: 3, Lo: 1, Hi: 9, Left: 5, Right: 6}
+	clean := Filter(3, 1, 9)
+	if dirty.Canon() != clean {
+		t.Fatalf("dirty filter canonicalized to %v, want %v", dirty.Canon(), clean)
+	}
+	if dirty.Key() != clean.Key() {
+		t.Fatalf("dirty filter key %q != clean key %q", dirty.Key(), clean.Key())
+	}
+	dirtyJoin := Pred{Kind: JoinPred, Left: 1, Right: 4, Attr: 9, Lo: -3, Hi: 3}
+	if dirtyJoin.Canon() != Join(1, 4) {
+		t.Fatalf("dirty join canonicalized to %v, want %v", dirtyJoin.Canon(), Join(1, 4))
+	}
+}
+
+// TestSigHashKeyAgreement checks both directions of the Key/SigHash
+// correspondence over the sample: equal keys hash equal, and distinct keys
+// hash distinct (any violation in this tiny sample would be a degenerate
+// mixer, not bad luck in 64 bits).
+func TestSigHashKeyAgreement(t *testing.T) {
+	preds := sigSamplePreds()
+	for i, a := range preds {
+		for j, b := range preds {
+			keyEq := a.Key() == b.Key()
+			hashEq := a.SigHash() == b.SigHash()
+			if keyEq != hashEq {
+				t.Errorf("preds %d,%d: keyEq=%v hashEq=%v (%q vs %q)", i, j, keyEq, hashEq, a.Key(), b.Key())
+			}
+			if keyEq != (a.Canon() == b.Canon()) {
+				t.Errorf("preds %d,%d: key equality disagrees with canonical equality", i, j)
+			}
+		}
+	}
+	// Kind must enter the hash: a filter and a join over numerically equal
+	// payloads must not collide.
+	if Filter(1, 2, 2).SigHash() == Join(1, 2).SigHash() {
+		t.Fatal("filter and join with equal payload fields share a hash")
+	}
+}
+
+// TestPredsSigAgainstStringPath checks PredsSig against the string-keyed
+// quantities it replaces: Tables must equal PredsTables and the hash must be
+// the (wrapping) sum of member hashes — the additivity cacheKey exploits to
+// build subset signatures with a bit loop.
+func TestPredsSigAgainstStringPath(t *testing.T) {
+	c := NewCatalog()
+	c.MustAddTable(twoColTable("R", []int64{1, 2, 3}, []int64{4, 5, 6}))
+	c.MustAddTable(twoColTable("S", []int64{7, 8}, []int64{9, 10}))
+	preds := []Pred{Filter(0, 1, 3), Join(1, 2), Eq(3, 9)}
+
+	for set := PredSet(0); set < PredSet(1)<<uint(len(preds)); set++ {
+		sig := PredsSig(c, preds, set)
+		if sig.Tables != PredsTables(c, preds, set) {
+			t.Fatalf("set %b: sig tables %v != PredsTables %v", set, sig.Tables, PredsTables(c, preds, set))
+		}
+		var sum uint64
+		for _, i := range set.Indices() {
+			sum += preds[i].SigHash()
+		}
+		if sig.Hash != sum {
+			t.Fatalf("set %b: sig hash %x != member sum %x", set, sig.Hash, sum)
+		}
+		if sig.Hash != PredsHash(preds, set) {
+			t.Fatalf("set %b: PredsSig and PredsHash disagree", set)
+		}
+	}
+
+	// Disjoint additivity, the exact decomposition cacheKey performs.
+	a, b := NewPredSet(0), NewPredSet(1, 2)
+	if PredsHash(preds, a)+PredsHash(preds, b) != PredsHash(preds, a.Union(b)) {
+		t.Fatal("PredsHash is not additive over disjoint subsets")
+	}
+}
+
+// TestPredLessOrder verifies PredLess is a strict weak order whose
+// equivalence classes are exactly canonical equality — the property cachePut
+// needs for a deterministic, query-position-independent encoding.
+func TestPredLessOrder(t *testing.T) {
+	preds := sigSamplePreds()
+	for i, a := range preds {
+		for j, b := range preds {
+			lt, gt := PredLess(a, b), PredLess(b, a)
+			if lt && gt {
+				t.Fatalf("preds %d,%d: PredLess not antisymmetric", i, j)
+			}
+			if (!lt && !gt) != (a.Canon() == b.Canon()) {
+				t.Fatalf("preds %d,%d: PredLess equivalence != canonical equality", i, j)
+			}
+			for k, c := range preds {
+				if lt && PredLess(b, c) && !PredLess(a, c) {
+					t.Fatalf("preds %d,%d,%d: PredLess not transitive", i, j, k)
+				}
+			}
+		}
+	}
+	// Sorting under PredLess must be deterministic regardless of input order.
+	s1 := append([]Pred(nil), preds...)
+	s2 := []Pred{preds[4], preds[0], preds[8], preds[2], preds[6], preds[1], preds[3], preds[7], preds[5]}
+	sort.SliceStable(s1, func(i, j int) bool { return PredLess(s1[i], s1[j]) })
+	sort.SliceStable(s2, func(i, j int) bool { return PredLess(s2[i], s2[j]) })
+	for i := range s1 {
+		if s1[i].Canon() != s2[i].Canon() {
+			t.Fatalf("position %d: sorted orders diverge: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}

@@ -41,7 +41,6 @@ import (
 	"condsel/internal/core"
 	"condsel/internal/engine"
 	"condsel/internal/faults"
-	"condsel/internal/selcache"
 	"condsel/internal/sit"
 )
 
@@ -103,7 +102,7 @@ type Config struct {
 
 	// Cache, when non-nil, is attached to every epoch's estimator and
 	// eagerly purged of retired generations' entries on hot-swap.
-	Cache *selcache.Cache[core.CacheEntry]
+	Cache *core.SelCacheStore
 
 	// Rebuild overrides how statistics are rebuilt (nil: execute the
 	// expression against the catalog's data with a fresh sit.Builder).
@@ -779,22 +778,9 @@ func (m *Manager) publish(id string, s *sit.SIT) {
 // histogram-join cache.
 func (m *Manager) evictGeneration(gen uint64) {
 	if c := m.cfg.Cache; c != nil {
-		part := core.GenerationCacheKeyPart(gen)
-		c.EvictIf(func(key string) bool { return containsSubstring(key, part) })
+		c.EvictIf(func(k core.CacheKey) bool { return k.Gen == gen })
 	}
 	core.EvictHistJoinGeneration(gen)
-}
-
-// containsSubstring is strings.Contains without pulling the import into the
-// hot section — eviction is cold-path, but the helper keeps the closure
-// allocation-free.
-func containsSubstring(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
 }
 
 // sleep waits out a backoff delay, honoring cancellation.

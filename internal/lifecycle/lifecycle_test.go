@@ -10,7 +10,6 @@ import (
 	"condsel/internal/core"
 	"condsel/internal/engine"
 	"condsel/internal/faults"
-	"condsel/internal/selcache"
 )
 
 // The fault-injection harness is process-global, so tests in this file run
@@ -168,7 +167,7 @@ func stopWithoutCheckpoint(m *Manager) error {
 // against the retired generation are dropped.
 func TestDriftDetectRebuildHotSwap(t *testing.T) {
 	db, queries, pool := snapEnv(t)
-	cache := selcache.New[core.CacheEntry](1 << 12)
+	cache := core.NewSelCache(1 << 12)
 	cfg := Config{
 		Workers:         2,
 		DriftThreshold:  2,
@@ -209,8 +208,7 @@ func TestDriftDetectRebuildHotSwap(t *testing.T) {
 	// The initial generation's cache entries were evicted at the swap. (This
 	// check runs before anything re-touches the retired epoch's estimator,
 	// which would legitimately re-insert gen0-keyed entries.)
-	part := core.GenerationCacheKeyPart(gen0)
-	if n := cache.EvictIf(func(key string) bool { return strings.Contains(key, part) }); n != 0 {
+	if n := cache.EvictIf(func(k core.CacheKey) bool { return k.Gen == gen0 }); n != 0 {
 		t.Fatalf("%d cache entries of the retired generation survived the swap", n)
 	}
 

@@ -123,19 +123,28 @@ func New(e *core.Estimator, cfg Config) *Estimator {
 func (e *Estimator) Selectivity(ctx context.Context, q *engine.Query, set engine.PredSet) (float64, Provenance) {
 	gen := e.Core.Pool.Generation()
 
-	// Tier 1: full DP under deadline + node budget.
+	// Tier 1: full DP under deadline + node budget. The selectivity is
+	// copied out before Release — Results live in the run's arenas and are
+	// invalid once the run returns to the pool.
 	r := e.Core.NewBudgetedRun(ctx, q, e.Cfg.nodeBudget())
 	res, reason := r.SelectivityGuarded(set)
+	var tier1Sel float64
 	if reason == "" {
-		return res.Sel, Provenance{Tier: TierFullDP, Generation: gen}
+		tier1Sel = res.Sel
+	}
+	r.Release()
+	if reason == "" {
+		return tier1Sel, Provenance{Tier: TierFullDP, Generation: gen}
 	}
 	fall := "full-dp: " + reason
 
 	// Tier 2: greedy chain on a fresh run (the aborted run's memo may hold
-	// poisoned partial results), same deadline, no node budget — the chain's
-	// O(n²) factor count bounds it structurally.
+	// poisoned partial results — Release wipes the memo, so pooling the
+	// aborted run above is safe), same deadline, no node budget — the
+	// chain's O(n²) factor count bounds it structurally.
 	r2 := e.Core.NewBudgetedRun(ctx, q, 0)
 	sel, _, reason := r2.GreedyChainGuarded(set)
+	r2.Release()
 	if reason == "" {
 		return sel, Provenance{Tier: TierBudgetedDP, FallbackReason: fall, Generation: gen}
 	}
@@ -152,6 +161,7 @@ func (e *Estimator) Selectivity(ctx context.Context, q *engine.Query, set engine
 	// must answer, and it performs no search to bound.
 	r4 := e.Core.NewRun(q)
 	sel, reason = r4.IndependenceGuarded(set)
+	r4.Release()
 	if reason == "" {
 		return sel, Provenance{Tier: TierNoSIT, FallbackReason: fall, Generation: gen}
 	}

@@ -10,7 +10,6 @@ import (
 	"condsel/internal/core"
 	"condsel/internal/engine"
 	"condsel/internal/faults"
-	"condsel/internal/selcache"
 	"condsel/internal/sit"
 )
 
@@ -255,7 +254,7 @@ func TestEvictStormPreservesValues(t *testing.T) {
 	want := plain.NewRun(f.query).GetSelectivity(f.query.All()).Sel
 
 	cached := core.NewEstimator(f.cat, f.pool, core.NInd{})
-	cached.Cache = selcache.New[core.CacheEntry](256)
+	cached.Cache = core.NewSelCache(256)
 	lad := New(cached, Config{})
 	faults.Arm(faults.NewSchedule(1).Set(faults.CacheEvictStorm, faults.Rule{Every: 2}))
 	for i := 0; i < 3; i++ {

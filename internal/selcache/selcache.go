@@ -1,5 +1,5 @@
 // Package selcache provides a sharded, bounded, concurrency-safe LRU cache
-// for cross-query selectivity reuse.
+// for cross-query selectivity reuse, with lock-free reads.
 //
 // The getSelectivity dynamic program (internal/core) memoizes per query run,
 // so every sub-query of one query is estimated once — but the memo dies with
@@ -8,7 +8,7 @@
 // model the chosen decomposition of a predicate set is a pure function of
 // its structural signature. A process-wide cache keyed by
 //
-//	error-model name | pool generation | canonical predicate-set key
+//	(error-model name, pool generation, packed predicate-set signature)
 //
 // therefore lets a run seed its memo from earlier queries and publish its
 // own results back, without ever returning a stale or mismatched entry: the
@@ -16,55 +16,90 @@
 // is unique across pools, so entries built against other pools or older pool
 // contents simply never match.
 //
-// The cache is sharded to keep lock contention low under concurrent
-// estimation; each shard is an independent mutex-guarded LRU list. Counters
-// (hits, misses, evictions) are atomic and exposed via Stats.
+// # Concurrency
+//
+// Each shard holds an atomic pointer to an immutable map. Readers follow the
+// pointer and look up — no locks, no write to any shared structure beyond
+// the entry's atomic recency tick and the hit/miss counters — so the read
+// path never contends, serializes only on cache-line traffic, and is safe
+// under -race by construction. Writers (Put, EvictIf, EvictAll, Reset)
+// serialize on a per-shard mutex, build a fresh map, and publish it with a
+// single atomic store (copy-on-write). Readers that loaded the previous map
+// keep using it unharmed; the next read observes the new one. Copy cost per
+// publish is bounded by keeping shards small (~64 entries): sizing is
+// automatic in New, explicit in NewSharded.
+//
+// Recency is a global atomic clock: every access stamps the entry with a
+// fresh, strictly increasing tick, and a full shard evicts the entry with
+// the minimum tick — exact LRU per shard, deterministic because ticks are
+// unique. Counters (hits, misses, evictions) are atomic and exposed via
+// Stats.
 package selcache
 
 import (
-	"container/list"
 	"sync"
 	"sync/atomic"
 
 	"condsel/internal/faults"
 )
 
-// DefaultShards is the shard count used when New is given no override. 16
-// shards keep contention negligible for the 16-goroutine stress workloads
-// the package is tested under while wasting little memory on tiny caches.
+// DefaultShards is the minimum shard count New selects. More shards are
+// added as capacity grows so each shard's copy-on-write publish stays cheap.
 const DefaultShards = 16
 
-// Cache is a sharded, bounded LRU mapping string keys to values of type V.
-// All methods are safe for concurrent use.
-type Cache[V any] struct {
-	shards []shard[V]
+// targetShardCap is the per-shard entry count New aims for: small enough
+// that a Put's map copy touches at most a few KiB.
+const targetShardCap = 64
 
+// maxAutoShards caps New's automatic shard count.
+const maxAutoShards = 4096
+
+// Cache is a sharded, bounded LRU mapping keys of comparable type K to
+// values of type V, hashed for shard selection by a caller-supplied
+// function. All methods are safe for concurrent use; Get takes no locks.
+type Cache[K comparable, V any] struct {
+	shards []shard[K, V]
+	hash   func(K) uint64
+
+	clock     atomic.Uint64 // global recency ticks, strictly increasing
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
 }
 
-type shard[V any] struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
+type shard[K comparable, V any] struct {
+	cur atomic.Pointer[map[K]*centry[V]] // immutable once published
+	mu  sync.Mutex                       // serializes writers (map swaps)
+	cap int
 }
 
-type entry[V any] struct {
-	key string
-	val V
+// centry is one cached entry. The value is immutable after publish; only
+// the recency tick is written in place (atomically, by readers).
+type centry[V any] struct {
+	val  V
+	tick atomic.Uint64
 }
 
-// New returns a cache holding at most capacity entries, spread over
-// DefaultShards shards (every shard gets at least one slot, so tiny
-// capacities round up). A capacity <= 0 defaults to 4096.
-func New[V any](capacity int) *Cache[V] {
-	return NewSharded[V](capacity, DefaultShards)
+// New returns a cache holding at most capacity entries, hashed by hash,
+// with the shard count chosen automatically (~64 entries per shard, at
+// least DefaultShards, at most one shard per entry). A capacity <= 0
+// defaults to 4096.
+func New[K comparable, V any](capacity int, hash func(K) uint64) *Cache[K, V] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	shards := (capacity + targetShardCap - 1) / targetShardCap
+	if shards < DefaultShards {
+		shards = DefaultShards
+	}
+	if shards > maxAutoShards {
+		shards = maxAutoShards
+	}
+	return NewSharded[K, V](capacity, shards, hash)
 }
 
 // NewSharded returns a cache with an explicit shard count.
-func NewSharded[V any](capacity, shards int) *Cache[V] {
+func NewSharded[K comparable, V any](capacity, shards int, hash func(K) uint64) *Cache[K, V] {
 	if capacity <= 0 {
 		capacity = 4096
 	}
@@ -75,19 +110,19 @@ func NewSharded[V any](capacity, shards int) *Cache[V] {
 		shards = capacity
 	}
 	perShard := (capacity + shards - 1) / shards
-	c := &Cache[V]{shards: make([]shard[V], shards)}
+	c := &Cache[K, V]{shards: make([]shard[K, V], shards), hash: hash}
 	for i := range c.shards {
-		c.shards[i] = shard[V]{
-			cap:     perShard,
-			entries: make(map[string]*list.Element, perShard),
-			order:   list.New(),
-		}
+		s := &c.shards[i]
+		s.cap = perShard
+		m := make(map[K]*centry[V], perShard)
+		s.cur.Store(&m)
 	}
 	return c
 }
 
-// fnv1a hashes the key for shard selection (FNV-1a, 64 bit).
-func fnv1a(s string) uint64 {
+// HashString is a 64-bit FNV-1a string hash, exported for callers composing
+// shard hashes over string-bearing keys.
+func HashString(s string) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -100,67 +135,88 @@ func fnv1a(s string) uint64 {
 	return h
 }
 
-func (c *Cache[V]) shardFor(key string) *shard[V] {
-	return &c.shards[fnv1a(key)%uint64(len(c.shards))]
+// HashUint64 mixes a 64-bit integer (splitmix64 finalizer), exported for
+// callers composing shard hashes over integer-bearing keys.
+func HashUint64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *Cache[K, V]) shardFor(key K) *shard[K, V] {
+	return &c.shards[c.hash(key)%uint64(len(c.shards))]
 }
 
 // Get returns the cached value for key and whether it was present, marking
-// the entry most recently used on a hit. When the fault harness's
-// CacheEvictStorm point fires, every entry is dropped ahead of the lookup —
-// correctness layers above must treat the cache as advisory, and this is the
-// hook that proves they do.
-func (c *Cache[V]) Get(key string) (V, bool) {
+// the entry most recently used on a hit. The lookup is lock-free: it loads
+// the shard's current map through an atomic pointer and touches nothing
+// shared but the entry's recency tick and the hit/miss counters. When the
+// fault harness's CacheEvictStorm point fires, every entry is dropped ahead
+// of the lookup — correctness layers above must treat the cache as
+// advisory, and this is the hook that proves they do.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
 	if faults.Active().Fire(faults.CacheEvictStorm) {
 		c.EvictAll()
 	}
 	s := c.shardFor(key)
-	s.mu.Lock()
-	el, ok := s.entries[key]
+	e, ok := (*s.cur.Load())[key]
 	if !ok {
-		s.mu.Unlock()
 		c.misses.Add(1)
 		var zero V
 		return zero, false
 	}
-	s.order.MoveToFront(el)
-	v := el.Value.(*entry[V]).val
-	s.mu.Unlock()
+	e.tick.Store(c.clock.Add(1))
 	c.hits.Add(1)
-	return v, true
+	return e.val, true
 }
 
 // Put stores the value under key, evicting the shard's least recently used
 // entry when the shard is full. Storing an existing key refreshes its value
-// and recency.
-func (c *Cache[V]) Put(key string, val V) {
+// and recency. The new map is built under the shard's writer mutex and
+// published with one atomic store; in-flight lock-free readers keep the map
+// they already loaded.
+func (c *Cache[K, V]) Put(key K, val V) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		el.Value.(*entry[V]).val = val
-		s.order.MoveToFront(el)
-		s.mu.Unlock()
-		return
-	}
-	if s.order.Len() >= s.cap {
-		oldest := s.order.Back()
-		if oldest != nil {
-			s.order.Remove(oldest)
-			delete(s.entries, oldest.Value.(*entry[V]).key)
-			c.evictions.Add(1)
+	defer s.mu.Unlock()
+	old := *s.cur.Load()
+	_, replace := old[key]
+	evict := !replace && len(old) >= s.cap
+	var victim K
+	if evict {
+		// Exact LRU: ticks are unique, so the minimum is a deterministic
+		// victim no matter the iteration order.
+		minTick := ^uint64(0)
+		for k, e := range old {
+			if t := e.tick.Load(); t <= minTick {
+				minTick, victim = t, k
+			}
 		}
 	}
-	s.entries[key] = s.order.PushFront(&entry[V]{key: key, val: val})
-	s.mu.Unlock()
+	next := make(map[K]*centry[V], len(old)+1)
+	for k, e := range old {
+		if evict && k == victim {
+			continue
+		}
+		next[k] = e
+	}
+	e := &centry[V]{val: val}
+	e.tick.Store(c.clock.Add(1))
+	next[key] = e
+	s.cur.Store(&next)
+	if evict {
+		c.evictions.Add(1)
+	}
 }
 
 // Len returns the current number of cached entries across all shards.
-func (c *Cache[V]) Len() int {
+func (c *Cache[K, V]) Len() int {
 	n := 0
 	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		n += s.order.Len()
-		s.mu.Unlock()
+		n += len(*c.shards[i].cur.Load())
 	}
 	return n
 }
@@ -185,7 +241,7 @@ func (s Stats) HitRate() float64 {
 }
 
 // Stats returns a snapshot of the cache counters and occupancy.
-func (c *Cache[V]) Stats() Stats {
+func (c *Cache[K, V]) Stats() Stats {
 	st := Stats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
@@ -199,29 +255,33 @@ func (c *Cache[V]) Stats() Stats {
 	return st
 }
 
-// EvictIf drops every entry whose key satisfies keep's complement — i.e.
-// entries for which drop(key) reports true — counting them as evictions, and
-// returns how many were dropped. The statistics lifecycle manager uses it
-// after an epoch hot-swap to reclaim the capacity held by dead-generation
-// entries (their generation-stamped keys can never be requested again, but
-// untouched they would linger until LRU churn pushes them out). The scan
-// locks one shard at a time, so concurrent lookups proceed on other shards.
-func (c *Cache[V]) EvictIf(drop func(key string) bool) int {
+// EvictIf drops every entry whose key satisfies drop, counting them as
+// evictions, and returns how many were dropped. The statistics lifecycle
+// manager uses it after an epoch hot-swap to reclaim the capacity held by
+// dead-generation entries (their generation-stamped keys can never be
+// requested again, but untouched they would linger until LRU churn pushes
+// them out). Each shard is scanned once under its writer mutex — drop is
+// called exactly once per resident key — and a pruned copy is published
+// only when something was dropped; concurrent lock-free readers are never
+// blocked.
+func (c *Cache[K, V]) EvictIf(drop func(key K) bool) int {
 	dropped := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		var victims []*list.Element
-		for key, el := range s.entries {
-			if drop(key) {
-				victims = append(victims, el)
+		old := *s.cur.Load()
+		next := make(map[K]*centry[V], len(old))
+		n := 0
+		for k, e := range old {
+			if drop(k) {
+				n++
+			} else {
+				next[k] = e
 			}
 		}
-		for _, el := range victims {
-			s.order.Remove(el)
-			delete(s.entries, el.Value.(*entry[V]).key)
+		if n > 0 {
+			s.cur.Store(&next)
 		}
-		n := len(victims)
 		s.mu.Unlock()
 		c.evictions.Add(int64(n))
 		dropped += n
@@ -233,25 +293,25 @@ func (c *Cache[V]) EvictIf(drop func(key string) bool) int {
 // the hit/miss counters survive. It models an operational cache flush (or an
 // injected eviction storm): subsequent lookups miss and recompute, nothing
 // more.
-func (c *Cache[V]) EvictAll() {
+func (c *Cache[K, V]) EvictAll() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n := s.order.Len()
-		s.entries = make(map[string]*list.Element, s.cap)
-		s.order.Init()
+		n := len(*s.cur.Load())
+		m := make(map[K]*centry[V], s.cap)
+		s.cur.Store(&m)
 		s.mu.Unlock()
 		c.evictions.Add(int64(n))
 	}
 }
 
 // Reset drops every entry and zeroes the counters.
-func (c *Cache[V]) Reset() {
+func (c *Cache[K, V]) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.entries = make(map[string]*list.Element, s.cap)
-		s.order.Init()
+		m := make(map[K]*centry[V], s.cap)
+		s.cur.Store(&m)
 		s.mu.Unlock()
 	}
 	c.hits.Store(0)

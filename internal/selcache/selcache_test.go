@@ -5,12 +5,13 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
 func TestGetPutBasics(t *testing.T) {
 	t.Parallel()
-	c := New[int](64)
+	c := New[string, int](64, HashString)
 	if _, ok := c.Get("a"); ok {
 		t.Fatalf("empty cache reported a hit")
 	}
@@ -41,7 +42,7 @@ func TestGetPutBasics(t *testing.T) {
 func TestLRUEvictionOrder(t *testing.T) {
 	t.Parallel()
 	// One shard makes the LRU order observable.
-	c := NewSharded[int](2, 1)
+	c := NewSharded[string, int](2, 1, HashString)
 	c.Put("a", 1)
 	c.Put("b", 2)
 	c.Get("a")    // a most recent
@@ -63,7 +64,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 func TestBoundedUnderChurn(t *testing.T) {
 	t.Parallel()
 	const capacity = 100
-	c := New[int](capacity)
+	c := New[string, int](capacity, HashString)
 	for i := 0; i < 10*capacity; i++ {
 		c.Put(fmt.Sprintf("k%d", i), i)
 	}
@@ -78,7 +79,7 @@ func TestBoundedUnderChurn(t *testing.T) {
 
 func TestTinyCapacityRoundsUp(t *testing.T) {
 	t.Parallel()
-	c := New[string](1)
+	c := New[string, string](1, HashString)
 	c.Put("x", "v")
 	if v, ok := c.Get("x"); !ok || v != "v" {
 		t.Fatalf("tiny cache lost its entry: %v %v", v, ok)
@@ -87,7 +88,7 @@ func TestTinyCapacityRoundsUp(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	t.Parallel()
-	c := New[int](16)
+	c := New[string, int](16, HashString)
 	c.Put("a", 1)
 	c.Get("a")
 	c.Get("zz")
@@ -107,7 +108,7 @@ func TestReset(t *testing.T) {
 func TestConcurrentMixed(t *testing.T) {
 	t.Parallel()
 	const seed = 7 // constant seed: failures reproduce with the logged value
-	c := New[int](256)
+	c := New[string, int](256, HashString)
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
 		wg.Add(1)
@@ -137,7 +138,7 @@ func TestConcurrentMixed(t *testing.T) {
 // entries across shards, reports the count, and leaves the rest servable.
 func TestEvictIf(t *testing.T) {
 	t.Parallel()
-	c := New[int](256)
+	c := New[string, int](256, HashString)
 	for i := 0; i < 40; i++ {
 		gen := "g1"
 		if i%2 == 0 {
@@ -173,7 +174,7 @@ func TestEvictIf(t *testing.T) {
 // nor loses unrelated entries (run under -race).
 func TestEvictIfConcurrent(t *testing.T) {
 	t.Parallel()
-	c := New[int](512)
+	c := New[string, int](512, HashString)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -195,5 +196,83 @@ func TestEvictIfConcurrent(t *testing.T) {
 	wg.Wait()
 	if st := c.Stats(); st.Entries > st.Capacity {
 		t.Fatalf("entries %d exceed capacity %d after concurrent EvictIf", st.Entries, st.Capacity)
+	}
+}
+
+// genKey is a generation-stamped structural key, mirroring how core.CacheKey
+// carries the pool generation as an integer field.
+type genKey struct {
+	gen uint64
+	k   int
+}
+
+func genKeyHash(k genKey) uint64 {
+	return HashUint64(k.gen*0x9e3779b97f4a7c15 + uint64(k.k))
+}
+
+// TestCOWGenerationStress interleaves 16 lock-free readers with lifecycle-
+// style generation bumps: a writer advances the current generation and
+// EvictIf-retires all older ones, while readers Get/Put entries of whatever
+// generation is current. Values encode their key's generation, so any
+// cross-generation aliasing — a stale-generation value served for a newer
+// key — is detected immediately; and after the final retirement sweep no
+// dead-generation entry may remain resident. Run under -race this is also
+// the proof that the copy-on-write read path is data-race-free.
+func TestCOWGenerationStress(t *testing.T) {
+	t.Parallel()
+	c := New[genKey, uint64](1<<10, genKeyHash)
+	value := func(k genKey) uint64 { return k.gen*1_000_000 + uint64(k.k) }
+
+	var cur atomic.Uint64
+	cur.Store(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := genKey{gen: cur.Load(), k: rng.Intn(64)}
+				if v, ok := c.Get(k); ok {
+					if v != value(k) {
+						t.Errorf("Get(%+v) served %d, want %d: stale/aliased generation value", k, v, value(k))
+						return
+					}
+				} else {
+					c.Put(k, value(k))
+				}
+			}
+		}(g)
+	}
+	for bump := 0; bump < 200; bump++ {
+		next := cur.Add(1)
+		// Retire everything older than the new generation, exactly as the
+		// lifecycle manager does after an epoch hot-swap. Readers may race
+		// in a Put of a just-retired generation; the next sweep gets it.
+		c.EvictIf(func(k genKey) bool { return k.gen < next })
+	}
+	close(stop)
+	wg.Wait()
+	final := cur.Load()
+	if n := c.EvictIf(func(k genKey) bool { return k.gen < final }); n > 16 {
+		// At most one straggler Put per reader goroutine can slip in after
+		// the last in-loop sweep.
+		t.Fatalf("%d dead-generation entries survived the retirement sweeps", n)
+	}
+	residual := 0
+	c.EvictIf(func(k genKey) bool {
+		if k.gen < final {
+			residual++
+		}
+		return false
+	})
+	if residual != 0 {
+		t.Fatalf("%d dead-generation entries resident after quiescent sweep", residual)
 	}
 }

@@ -75,9 +75,11 @@ func (m *Matcher) forAttr(attr engine.AttrID) *attrMatcher {
 			scratch: make([]bool, len(idx.sits)),
 		}
 		for k, s := range idx.sits {
-			am.sizes[k] = len(s.exprKeys)
+			am.sizes[k] = len(s.exprSet)
 			for i, p := range m.preds {
-				if s.exprKeys[p.Key()] {
+				// Canonical-value membership: equivalent to the string-keyed
+				// s.exprKeys[p.Key()] test without formatting a key.
+				if s.exprSet[p.Canon()] {
 					am.keyed[k] = am.keyed[k].Add(i)
 				}
 			}

@@ -28,19 +28,26 @@ type SIT struct {
 	Hist   *histogram.Histogram
 	Diff   float64
 
-	exprKeys map[string]bool // canonical predicate keys of Expr
-	id       string          // canonical identity, precomputed (ID is hot)
+	exprKeys map[string]bool      // canonical predicate keys of Expr
+	exprSet  map[engine.Pred]bool // canonical predicate values of Expr
+	id       string               // canonical identity, precomputed (ID is hot)
 }
 
 // NewSIT assembles a SIT from its parts, deriving the table set and
-// canonical expression keys.
+// canonical expression keys. Expression membership is indexed twice: by
+// Pred.Key() string for the legacy containment tests, and by canonical
+// predicate value (Pred.Canon) so the matcher's per-query indexing never
+// formats a key string — the two are equivalent, as equal keys and equal
+// canonical forms coincide.
 func NewSIT(c *engine.Catalog, attr engine.AttrID, expr []engine.Pred, h *histogram.Histogram, diff float64) *SIT {
 	s := &SIT{Attr: attr, Expr: expr, Hist: h, Diff: diff,
-		exprKeys: make(map[string]bool, len(expr))}
+		exprKeys: make(map[string]bool, len(expr)),
+		exprSet:  make(map[engine.Pred]bool, len(expr))}
 	s.Tables = engine.NewTableSet(c.AttrTable(attr))
 	for _, p := range expr {
 		s.Tables = s.Tables.Union(p.Tables(c))
 		s.exprKeys[p.Key()] = true
+		s.exprSet[p.Canon()] = true
 	}
 	keys := make([]string, 0, len(s.exprKeys))
 	for k := range s.exprKeys {

@@ -3,7 +3,6 @@ package soak
 import (
 	"context"
 	"runtime"
-	"strings"
 	"testing"
 	"time"
 
@@ -11,7 +10,6 @@ import (
 	"condsel/internal/datagen"
 	"condsel/internal/engine"
 	"condsel/internal/lifecycle"
-	"condsel/internal/selcache"
 	"condsel/internal/sit"
 	"condsel/internal/workload"
 )
@@ -38,7 +36,7 @@ func TestE2ESelfHealingArc(t *testing.T) {
 		hot = append(hot, q)
 	}
 	pool := sit.BuildWorkloadPoolParallel(db.Cat, hot, 2, runtime.GOMAXPROCS(0), nil)
-	cache := selcache.New[core.CacheEntry](1 << 16)
+	cache := core.NewSelCache(1 << 16)
 	mgr := lifecycle.New(db.Cat, pool, lifecycle.Config{
 		Workers:         2,
 		Seed:            5,
@@ -57,8 +55,7 @@ func TestE2ESelfHealingArc(t *testing.T) {
 	// Warm the cross-query cache under the initial generation.
 	gen0 := mgr.Generation()
 	estimateAll(mgr.Estimator(), hot)
-	part0 := core.GenerationCacheKeyPart(gen0)
-	if n := countKeys(cache, part0); n == 0 {
+	if n := countGen(cache, gen0); n == 0 {
 		t.Fatalf("warmup left no generation-%d cache entries (cache len %d)", gen0, cache.Len())
 	}
 
@@ -112,7 +109,7 @@ func TestE2ESelfHealingArc(t *testing.T) {
 	if ev := cache.Stats().Evictions; ev == 0 {
 		t.Fatal("hot-swap evicted nothing from the cross-query cache")
 	}
-	if n := countKeys(cache, part0); n != 0 {
+	if n := countGen(cache, gen0); n != 0 {
 		t.Fatalf("%d generation-%d cache entries survived the hot-swap", n, gen0)
 	}
 
@@ -131,11 +128,12 @@ func TestE2ESelfHealingArc(t *testing.T) {
 	}
 }
 
-// countKeys counts cache keys containing sub without evicting anything.
-func countKeys(c *selcache.Cache[core.CacheEntry], sub string) int {
+// countGen counts resident cache entries of the given pool generation
+// without evicting anything.
+func countGen(c *core.SelCacheStore, gen uint64) int {
 	n := 0
-	c.EvictIf(func(key string) bool {
-		if strings.Contains(key, sub) {
+	c.EvictIf(func(k core.CacheKey) bool {
+		if k.Gen == gen {
 			n++
 		}
 		return false

@@ -17,7 +17,6 @@ import (
 	"condsel/internal/faults"
 	"condsel/internal/lifecycle"
 	"condsel/internal/robust"
-	"condsel/internal/selcache"
 	"condsel/internal/sit"
 	"condsel/internal/workload"
 )
@@ -119,7 +118,7 @@ type shard struct {
 	db    *datagen.DB
 	gen   *workload.Generator
 	mgr   *lifecycle.Manager
-	cache *selcache.Cache[core.CacheEntry]
+	cache *core.SelCacheStore
 	ev    *engine.Evaluator
 	hot   []*engine.Query
 	dir   string
@@ -194,7 +193,7 @@ func New(cfg Config) (*Harness, error) {
 			sh.hot = append(sh.hot, q)
 		}
 		pool := sit.BuildWorkloadPoolParallel(db.Cat, sh.hot, 2, runtime.GOMAXPROCS(0), nil)
-		sh.cache = selcache.New[core.CacheEntry](1 << 16)
+		sh.cache = core.NewSelCache(1 << 16)
 		sh.mgr = lifecycle.New(db.Cat, pool, lifecycle.Config{
 			Workers:         2,
 			Seed:            cfg.Seed + int64(i),

@@ -8,7 +8,6 @@ import (
 	"condsel/internal/core"
 	"condsel/internal/datagen"
 	"condsel/internal/engine"
-	"condsel/internal/selcache"
 	"condsel/internal/sit"
 )
 
@@ -144,7 +143,7 @@ func hitRate(t *testing.T, db *datagen.DB, stream []PhasedQuery) float64 {
 	pool := sit.BuildWorkloadPoolParallel(db.Cat, queries[:minInt(8, len(queries))], 1,
 		runtime.GOMAXPROCS(0), nil)
 	est := core.NewEstimator(db.Cat, pool, core.Diff{})
-	cache := selcache.New[core.CacheEntry](1 << 16)
+	cache := core.NewSelCache(1 << 16)
 	est.Cache = cache
 	served := 0
 	for _, q := range queries {
