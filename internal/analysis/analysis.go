@@ -1,21 +1,30 @@
-// Package analysis is a small static-analysis framework over the standard
+// Package analysis is a static-analysis framework over the standard
 // library's go/ast and go/types, purpose-built for this module's project
 // invariants (bit-identical DP scans, generation-scoped cache keys,
 // lock-ordering discipline, side-component conditioning rules, deterministic
-// estimation code). It deliberately mirrors the shape of
-// golang.org/x/tools/go/analysis — an Analyzer with a Name, a Doc and a Run
-// over a type-checked Pass — without importing anything outside the standard
-// library, so the module keeps its zero-dependency go.mod.
+// estimation code, arena lifetime and shutdown contracts). It deliberately
+// mirrors the shape of golang.org/x/tools/go/analysis — an Analyzer with a
+// Name, a Doc and a Run over a type-checked Pass — without importing
+// anything outside the standard library, so the module keeps its
+// zero-dependency go.mod.
+//
+// Since PR 8 the framework is interprocedural: packages are analyzed in
+// dependency order inside a Session that carries a module-wide call graph
+// (callgraph.go), per-function control-flow graphs (cfg.go), a generic
+// forward/backward dataflow solver (dataflow.go) and a fact store
+// (facts.go) through which analyzers export per-function summaries that
+// compose across package boundaries.
 //
 // Analyzers report Diagnostics with file:line positions. A finding can be
 // suppressed at the source line (or the line above it) with
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// where the reason is mandatory: an unexplained ignore is itself reported.
-// The cmd/sitlint command loads every package of the module, runs the
-// project suite (see Suite) and exits non-zero when any diagnostic survives
-// suppression.
+// where the reason is mandatory: an unexplained ignore is itself reported,
+// as is a directive naming an analyzer that is not in the running suite or
+// a directive that suppresses nothing (wrong line, stale). The cmd/sitlint
+// command loads every package of the module, runs the project suite (see
+// Suite) and exits non-zero when any diagnostic survives suppression.
 package analysis
 
 import (
@@ -23,7 +32,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -40,6 +48,16 @@ type Analyzer interface {
 	Run(pass *Pass)
 }
 
+// Finalizer is implemented by analyzers that accumulate whole-program state
+// across packages (e.g. atomicmix's per-field access sites) and report only
+// once every package of the session has been analyzed. Finalize is called
+// exactly once, by Session.Finish; report applies the session's suppression
+// directives exactly like Pass.Reportf.
+type Finalizer interface {
+	Analyzer
+	Finalize(report func(pos token.Position, format string, args ...any))
+}
+
 // Pass hands one type-checked package to an analyzer.
 type Pass struct {
 	Fset  *token.FileSet
@@ -48,36 +66,39 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Session is the surrounding multi-package run: facts exported by
+	// already-analyzed packages (dependencies come first), the module-wide
+	// call graph so far, and the shared diagnostic sink.
+	Session *Session
+
 	analyzer string
-	ignores  ignoreIndex
-	diags    *[]Diagnostic
 }
 
 // Diagnostic is one finding: a position, the analyzer that produced it and a
-// human-readable message.
+// human-readable message. Suppressed marks findings covered by a reasoned
+// //lint:ignore directive; they are excluded from Run's return value and
+// from sitlint's exit code but surface in -json output.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	if d.Suppressed {
+		s += " (suppressed)"
+	}
+	return s
 }
 
-// Reportf records a finding at pos unless an ignore directive for this
-// analyzer covers the position's line.
+// Reportf records a finding at pos. If an ignore directive for this analyzer
+// covers the position's line the finding is recorded as suppressed (and the
+// directive is marked used) instead of being dropped.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.ignores.covers(p.analyzer, position) {
-		return
-	}
-	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      position,
-		Analyzer: p.analyzer,
-		Message:  fmt.Sprintf(format, args...),
-	})
+	p.Session.reportf(p.analyzer, p.Fset.Position(pos), format, args...)
 }
 
 // TypeOf is a nil-safe shortcut for Pass.Info.TypeOf.
@@ -92,20 +113,22 @@ type ignoreDirective struct {
 	line      int
 	analyzers map[string]bool // nil means malformed (reported separately)
 	reason    string
+	used      bool // suppressed at least one diagnostic this session
 }
 
 // ignoreIndex indexes directives by file so suppression checks are O(1)-ish.
-type ignoreIndex map[string][]ignoreDirective
+type ignoreIndex map[string][]*ignoreDirective
 
 // covers reports whether a directive for the analyzer sits on the diagnostic
 // line or the line directly above it (the conventional "comment above the
-// offending statement" placement).
+// offending statement" placement), marking the covering directive used.
 func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
 	for _, d := range ix[pos.Filename] {
 		if d.analyzers == nil || !d.analyzers[analyzer] {
 			continue
 		}
 		if d.line == pos.Line || d.line == pos.Line-1 {
+			d.used = true
 			return true
 		}
 	}
@@ -118,8 +141,8 @@ const ignorePrefix = "//lint:ignore"
 // directive names one analyzer (or a comma-separated list) and must carry a
 // non-empty reason; malformed directives are returned as diagnostics so they
 // fail the lint run instead of silently suppressing nothing.
-func parseIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagnostic) {
-	ix := make(ignoreIndex)
+func parseIgnores(fset *token.FileSet, files []*ast.File) ([]*ignoreDirective, []Diagnostic) {
+	var directives []*ignoreDirective
 	var malformed []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -144,7 +167,7 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagno
 						names[n] = true
 					}
 				}
-				ix[pos.Filename] = append(ix[pos.Filename], ignoreDirective{
+				directives = append(directives, &ignoreDirective{
 					file:      pos.Filename,
 					line:      pos.Line,
 					analyzers: names,
@@ -153,39 +176,18 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagno
 			}
 		}
 	}
-	return ix, malformed
+	return directives, malformed
 }
 
-// Run executes the analyzers over the package and returns the surviving
-// diagnostics sorted by position. Malformed ignore directives are included.
+// Run executes the analyzers over the single package and returns the
+// surviving diagnostics sorted by position, including directive-hygiene
+// findings (malformed, unknown analyzer, suppressing nothing). It is the
+// single-package convenience wrapper over a Session; interprocedural
+// analyzers see only this package's functions.
 func Run(pkg *Package, analyzers []Analyzer) []Diagnostic {
-	ignores, diags := parseIgnores(pkg.Fset, pkg.Files)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Fset:     pkg.Fset,
-			Path:     pkg.Path,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			analyzer: a.Name(),
-			ignores:  ignores,
-			diags:    &diags,
-		}
-		a.Run(pass)
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	s := NewSession(analyzers)
+	s.Analyze(pkg)
+	diags, _ := s.Finish()
 	return diags
 }
 
@@ -201,6 +203,17 @@ func inScope(path string, scope []string) bool {
 		}
 	}
 	return false
+}
+
+// moduleWideScope is the scope rule of the whole-program analyzers
+// (userelease, atomicmix, goleak): every module package is analyzed except
+// the fixture packages of *other* analyzers, whose deliberate violations
+// would otherwise bleed into single-analyzer fixture runs.
+func moduleWideScope(path, self string) bool {
+	if !strings.Contains(path, "testdata/src/") {
+		return true
+	}
+	return strings.Contains(path, "testdata/src/"+self)
 }
 
 // walkWithStack traverses the AST depth-first invoking fn with every node and

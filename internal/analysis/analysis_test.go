@@ -59,6 +59,26 @@ func TestHotAllocFixture(t *testing.T) {
 	testFixture(t, "hotalloc", []Analyzer{NewHotAlloc()})
 }
 
+func TestUseReleaseFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "userelease", []Analyzer{NewUseRelease()})
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "ctxflow", []Analyzer{NewCtxFlow()})
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "atomicmix", []Analyzer{NewAtomicMix()})
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "goleak", []Analyzer{NewGoLeak()})
+}
+
 // TestSuiteOnFixture: the full suite (not just the single analyzer) produces
 // findings on a fixture package — the property the CLI's non-zero exit for
 // fixture dirs rests on.
@@ -115,9 +135,10 @@ func TestLoaderModulePackage(t *testing.T) {
 	}
 }
 
-// TestMalformedIgnoreReported: an ignore directive without a reason is a
-// finding, not a silent no-op.
-func TestMalformedIgnoreReported(t *testing.T) {
+// TestBrokenIgnoresReported: each way a //lint:ignore directive can go
+// wrong — no reason, unknown analyzer name, wrong line (suppressing
+// nothing) — is reported as a "sitlint" finding, never silently honored.
+func TestBrokenIgnoresReported(t *testing.T) {
 	t.Parallel()
 	dir := filepath.Join("testdata", "src", "badignore")
 	loader, err := NewLoader(dir)
@@ -129,14 +150,31 @@ func TestMalformedIgnoreReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	diags := Run(pkg, Suite())
-	found := false
-	for _, d := range diags {
-		if d.Analyzer == "sitlint" && strings.Contains(d.Message, "malformed") {
-			found = true
+	cases := []struct {
+		label, substr string
+	}{
+		{"missing reason", "malformed //lint:ignore"},
+		{"unknown analyzer", `unknown analyzer "nosuchanalyzer"`},
+		{"wrong line", "//lint:ignore nondet suppresses nothing"},
+	}
+	for _, c := range cases {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "sitlint" && strings.Contains(d.Message, c.substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s directive not reported (want a sitlint finding containing %q); got %v",
+				c.label, c.substr, diags)
 		}
 	}
-	if !found {
-		t.Fatalf("malformed //lint:ignore not reported; got %v", diags)
+	// Hygiene findings surface the problem; they must not leak fixture
+	// diagnostics from real analyzers past suppression unexpectedly.
+	for _, d := range diags {
+		if d.Analyzer != "sitlint" {
+			t.Errorf("unexpected non-hygiene finding in badignore fixture: %v", d)
+		}
 	}
 }
 

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix enforces all-or-nothing atomicity per field: a struct field or
+// package-level variable that is accessed through sync/atomic anywhere in
+// the module must be accessed through sync/atomic everywhere. A plain read
+// or write racing an atomic counterpart is undefined behaviour the race
+// detector only catches when the schedule cooperates; the analyzer catches
+// it structurally, across package boundaries.
+//
+// The check is a whole-program one — the atomic access may live in one
+// package and the plain access in another — so the analyzer accumulates
+// access sites per canonical types.Object while packages are analyzed and
+// reports once, from Finalize, when the session has seen the whole module.
+type AtomicMix struct {
+	atomicSites map[types.Object][]token.Position
+	plainSites  map[types.Object][]token.Position
+}
+
+// NewAtomicMix returns the analyzer with empty whole-program state.
+func NewAtomicMix() *AtomicMix {
+	return &AtomicMix{
+		atomicSites: make(map[types.Object][]token.Position),
+		plainSites:  make(map[types.Object][]token.Position),
+	}
+}
+
+// Name implements Analyzer.
+func (*AtomicMix) Name() string { return "atomicmix" }
+
+// Doc implements Analyzer.
+func (*AtomicMix) Doc() string {
+	return "a field accessed via sync/atomic anywhere must be accessed via sync/atomic everywhere, across packages — mixed plain access races the atomic one"
+}
+
+// Run implements Analyzer: it records this package's access sites.
+func (a *AtomicMix) Run(pass *Pass) {
+	if !moduleWideScope(pass.Path, "atomicmix") {
+		return
+	}
+	// Idents consumed as &target of a sync/atomic call: excluded from the
+	// plain scan.
+	atomicArgs := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeOf(pass.Info, call)
+			if !isSyncAtomicFunc(fn) || len(call.Args) == 0 {
+				return true
+			}
+			if id, obj := addressedVar(pass, call.Args[0]); obj != nil {
+				a.atomicSites[obj] = append(a.atomicSites[obj], pass.Fset.Position(id.Pos()))
+				atomicArgs[id] = true
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicArgs[id] {
+				return true
+			}
+			obj, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok || !isAtomicCandidate(pass, obj) {
+				return true
+			}
+			a.plainSites[obj] = append(a.plainSites[obj], pass.Fset.Position(id.Pos()))
+			return true
+		})
+	}
+}
+
+// Finalize implements Finalizer: with the whole module seen, every plain
+// access to an atomically-accessed object is a finding.
+func (a *AtomicMix) Finalize(report func(pos token.Position, format string, args ...any)) {
+	for obj, atomics := range a.atomicSites {
+		plains := a.plainSites[obj]
+		if len(plains) == 0 {
+			continue
+		}
+		sort.Slice(atomics, func(i, j int) bool { return lessPosition(atomics[i], atomics[j]) })
+		first := atomics[0]
+		for _, pos := range plains {
+			report(pos,
+				"%s is accessed with sync/atomic (e.g. %s:%d) — this plain access races it; use atomic loads/stores everywhere",
+				obj.Name(), first.Filename, first.Line)
+		}
+	}
+}
+
+// addressedVar unwraps &x / &s.f and resolves the addressed field or
+// variable, returning the ident to exclude from the plain scan.
+func addressedVar(pass *Pass, arg ast.Expr) (*ast.Ident, types.Object) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	switch target := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		return target, pass.ObjectOf(target)
+	case *ast.SelectorExpr:
+		return target.Sel, pass.ObjectOf(target.Sel)
+	}
+	return nil, nil
+}
+
+// isAtomicCandidate reports whether the variable could be a sync/atomic
+// target worth tracking: a struct field or package-level variable (of any
+// package — cross-package references count) of an atomic-capable integer
+// type. Locals are excluded — they cannot be shared without escaping through
+// one of the tracked forms.
+func isAtomicCandidate(pass *Pass, v *types.Var) bool {
+	pkgLevel := v.Parent() != nil && v.Parent().Parent() == types.Universe
+	if !v.IsField() && !pkgLevel {
+		return false
+	}
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// isSyncAtomicFunc reports whether fn is a function of package sync/atomic.
+func isSyncAtomicFunc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// lessPosition orders positions by file then line then column.
+func lessPosition(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

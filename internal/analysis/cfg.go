@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CFG is a per-function control-flow graph over statements. Blocks hold
+// ast.Nodes in execution order — plain statements, plus the condition
+// expressions of if/for and the tag expressions of switch, so transfer
+// functions observe every evaluated expression. Branching constructs
+// (if/for/range/switch/select) are decomposed into blocks and edges;
+// return routes to Exit; break/continue follow their (possibly labeled)
+// targets; goto is approximated as an edge to Exit (the module's style
+// does not use goto in analyzed code).
+//
+// Deferred calls are collected in Defers: they run at function exit, so
+// flow-sensitive analyzers apply them against the Exit state.
+type CFG struct {
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	Blocks []*CFGBlock // all blocks, creation order; Entry first
+	Defers []*ast.DeferStmt
+}
+
+// CFGBlock is one straight-line run of nodes with successor edges.
+type CFGBlock struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*CFGBlock
+}
+
+// Preds computes the predecessor lists of every block (used by the
+// backward solver).
+func (g *CFG) Preds() map[*CFGBlock][]*CFGBlock {
+	preds := make(map[*CFGBlock][]*CFGBlock, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// NewCFG builds the graph of one function body. Nested function literals
+// are kept as opaque nodes (an analyzer treats a literal as a value; to
+// analyze its body, build a CFG for it separately).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.cfg.Exit = b.newBlock()
+	b.stmtList(body.List)
+	b.edgeTo(b.cfg.Exit)
+	return b.cfg
+}
+
+// breakFrame is one enclosing breakable construct. Loops additionally
+// carry a continue target; switch/select frames do not.
+type breakFrame struct {
+	label      string
+	breakTo    *CFGBlock
+	continueTo *CFGBlock // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *CFGBlock // nil while the walker is in dead code
+	frames []breakFrame
+	label  string // pending label for the next loop/switch statement
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edgeTo links the current block to dst (no-op in dead code).
+func (b *cfgBuilder) edgeTo(dst *CFGBlock) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+}
+
+// startBlock makes dst the current block.
+func (b *cfgBuilder) startBlock(dst *CFGBlock) { b.cur = dst }
+
+func (b *cfgBuilder) addNode(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.addNode(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+
+		then := b.newBlock()
+		if cond != nil {
+			cond.Succs = append(cond.Succs, then)
+		}
+		b.startBlock(then)
+		b.stmtList(s.Body.List)
+		b.edgeTo(after)
+
+		if s.Else != nil {
+			els := b.newBlock()
+			if cond != nil {
+				cond.Succs = append(cond.Succs, els)
+			}
+			b.startBlock(els)
+			b.stmt(s.Else)
+			b.edgeTo(after)
+		} else if cond != nil {
+			cond.Succs = append(cond.Succs, after)
+		}
+		b.startBlock(after)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edgeTo(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.addNode(s.Cond)
+			b.edgeTo(after)
+		}
+		b.edgeTo(body)
+		label := b.label
+		b.label = ""
+		b.frames = append(b.frames, breakFrame{label: label, breakTo: after, continueTo: head})
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edgeTo(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edgeTo(head)
+		b.startBlock(head)
+		// The RangeStmt node itself stands for the per-iteration key/value
+		// assignment and the (once-evaluated) range operand.
+		b.addNode(s)
+		b.edgeTo(after)
+		b.edgeTo(body)
+		label := b.label
+		b.label = ""
+		b.frames = append(b.frames, breakFrame{label: label, breakTo: after, continueTo: head})
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.edgeTo(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.addNode(s.Tag)
+		}
+		b.caseBodies(s.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.addNode(s.Assign)
+		b.caseBodies(s.Body.List, false)
+
+	case *ast.SelectStmt:
+		b.caseBodies(s.Body.List, true)
+
+	case *ast.ReturnStmt:
+		b.addNode(s)
+		b.edgeTo(b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.addNode(s)
+		b.branch(s)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.addNode(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	default:
+		// Assignments, expression statements, declarations, go, send,
+		// inc/dec, empty: straight-line nodes.
+		b.addNode(s)
+	}
+}
+
+// caseBodies lowers switch/select clause lists: every clause branches from
+// the head block and merges after; a missing default adds a direct
+// head→after edge for switches (some value may match no case) but not for
+// selects (a select without default blocks until a case fires).
+func (b *cfgBuilder) caseBodies(clauses []ast.Stmt, isSelect bool) {
+	head := b.cur
+	after := b.newBlock()
+	label := b.label
+	b.label = ""
+	b.frames = append(b.frames, breakFrame{label: label, breakTo: after})
+	hasDefault := false
+	prevFallthrough := (*CFGBlock)(nil)
+	for _, clause := range clauses {
+		blk := b.newBlock()
+		if head != nil {
+			head.Succs = append(head.Succs, blk)
+		}
+		if prevFallthrough != nil {
+			prevFallthrough.Succs = append(prevFallthrough.Succs, blk)
+			prevFallthrough = nil
+		}
+		b.startBlock(blk)
+		var body []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				b.addNode(e)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(c.Comm)
+			}
+			body = c.Body
+		}
+		ft := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ft = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if ft {
+			prevFallthrough = b.cur
+			b.cur = nil
+		} else {
+			b.edgeTo(after)
+		}
+	}
+	if !hasDefault && !isSelect && head != nil {
+		head.Succs = append(head.Succs, after)
+	}
+	if isSelect && len(clauses) == 0 && head != nil {
+		// select{} blocks forever; model as an edge to exit-less dead code.
+		head.Succs = append(head.Succs, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.startBlock(after)
+}
+
+// branch resolves break/continue/goto to an edge over the merged frame
+// stack: unlabeled break targets the innermost breakable of any kind,
+// unlabeled continue the innermost loop, labeled forms search by label.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if label == "" || b.frames[i].label == label {
+				b.edgeTo(b.frames[i].breakTo)
+				return
+			}
+		}
+		b.edgeTo(b.cfg.Exit)
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].continueTo != nil && (label == "" || b.frames[i].label == label) {
+				b.edgeTo(b.frames[i].continueTo)
+				return
+			}
+		}
+		b.edgeTo(b.cfg.Exit)
+	default: // goto, stray fallthrough
+		b.edgeTo(b.cfg.Exit)
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a single function and returns it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(g *CFG) map[*CFGBlock]bool {
+	seen := make(map[*CFGBlock]bool)
+	var walk func(b *CFGBlock)
+	walk = func(b *CFGBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := NewCFG(parseBody(t, "x := 1\ny := 2\n_ = x + y"))
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestCFGIfElseDiamond(t *testing.T) {
+	g := NewCFG(parseBody(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x"))
+	// Entry (x:=1, cond) branches to then and else, which merge at after.
+	if got := len(g.Entry.Succs); got != 2 {
+		t.Fatalf("entry succs = %d, want 2 (then/else)", got)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := NewCFG(parseBody(t, "x := 1\nif x > 0 {\nx = 2\n}\n_ = x"))
+	// cond block must have an edge skipping the then-branch.
+	if got := len(g.Entry.Succs); got != 2 {
+		t.Fatalf("entry succs = %d, want 2 (then + skip)", got)
+	}
+}
+
+func TestCFGReturnKillsFlow(t *testing.T) {
+	g := NewCFG(parseBody(t, "return\nx := 1\n_ = x"))
+	// The statements after return are dead: no block reachable from Entry
+	// contains them.
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				t.Fatal("dead code after return is reachable")
+			}
+		}
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("return should route straight to Exit, got %v", g.Entry.Succs)
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := NewCFG(parseBody(t, "for i := 0; i < 3; i++ {\n_ = i\n}\ndone := true\n_ = done"))
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable through loop condition")
+	}
+	// The loop head must have a back edge arriving from the body.
+	preds := g.Preds()
+	var head *CFGBlock
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if be, ok := n.(*ast.BinaryExpr); ok && be.Op.String() == "<" {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("loop condition block not found")
+	}
+	if len(preds[head]) < 2 {
+		t.Fatalf("loop head preds = %d, want >= 2 (entry + back edge)", len(preds[head]))
+	}
+}
+
+func TestCFGInfiniteForWithoutBreak(t *testing.T) {
+	g := NewCFG(parseBody(t, "for {\nx := 1\n_ = x\n}"))
+	if reachable(g)[g.Exit] {
+		t.Fatal("for{} with no break must not reach Exit")
+	}
+}
+
+func TestCFGBreakAndContinue(t *testing.T) {
+	g := NewCFG(parseBody(t, "for {\nif true {\nbreak\n}\ncontinue\n}\nx := 1\n_ = x"))
+	if !reachable(g)[g.Exit] {
+		t.Fatal("break must make Exit reachable")
+	}
+}
+
+func TestCFGBreakInSwitchInsideLoopTargetsSwitch(t *testing.T) {
+	// The unlabeled break belongs to the switch, so the loop never exits.
+	g := NewCFG(parseBody(t, "for {\nswitch {\ncase true:\nbreak\n}\n}"))
+	if reachable(g)[g.Exit] {
+		t.Fatal("break inside switch must not exit the enclosing for{}")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := NewCFG(parseBody(t, "outer:\nfor {\nswitch {\ncase true:\nbreak outer\n}\n}"))
+	if !reachable(g)[g.Exit] {
+		t.Fatal("labeled break must exit the loop")
+	}
+}
+
+func TestCFGSelectWithoutDefaultBlocks(t *testing.T) {
+	g := NewCFG(parseBody(t, "ch := make(chan int)\nselect {\ncase <-ch:\nreturn\n}\nx := 1\n_ = x"))
+	// The only path onward is through the case, which returns: the trailing
+	// statements are unreachable.
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == ":=" {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+					t.Fatal("select without default must not fall through")
+				}
+			}
+		}
+	}
+}
+
+func TestCFGSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	g := NewCFG(parseBody(t, "x := 1\nswitch x {\ncase 1:\nreturn\n}\nx = 2"))
+	found := false
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == "=" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("switch without default must have a fall-through edge")
+	}
+}
+
+func TestCFGFallthroughChains(t *testing.T) {
+	g := NewCFG(parseBody(t, "x := 1\nswitch x {\ncase 1:\nx = 10\nfallthrough\ncase 2:\nreturn\n}\n_ = x"))
+	// Every path through case 1 continues into case 2's return; the graph
+	// must still reach Exit (via the no-default edge and the return).
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := NewCFG(parseBody(t, "xs := []int{1}\nfor _, v := range xs {\n_ = v\n}\ny := 1\n_ = y"))
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit not reachable after range")
+	}
+	// The head carries the RangeStmt node itself.
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("RangeStmt node missing from graph")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	g := NewCFG(parseBody(t, "defer println(1)\nif true {\ndefer println(2)\n}"))
+	if len(g.Defers) != 2 {
+		t.Fatalf("defers = %d, want 2", len(g.Defers))
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import "go/ast"
+
+// DataflowSpec parameterizes the generic worklist solver over a CFG. S is
+// the abstract state; the solver owns no interpretation of it beyond the
+// four operations below.
+//
+// Forward problems propagate states along edges from Entry; backward
+// problems against edges from Exit. Transfer is applied to a block's nodes
+// in execution order (reversed for backward problems) and may mutate and
+// return its argument — the solver always passes a Clone of a stored
+// state. Join merges src into dst, returning the merge and whether dst
+// changed; it must be monotone for termination.
+type DataflowSpec[S any] struct {
+	Backward bool
+	Boundary S // state at Entry (forward) or Exit (backward)
+	Clone    func(S) S
+	Transfer func(n ast.Node, s S) S
+	Join     func(dst, src S) (S, bool)
+}
+
+// Dataflow runs the worklist algorithm to a fixed point and returns the
+// solved per-block input states: the state at block entry for forward
+// problems, at block exit for backward ones. Blocks unreachable from the
+// boundary have no map entry. To inspect intermediate states (e.g. to
+// report at the precise offending node), re-apply Transfer over a block's
+// nodes starting from its solved input state.
+func Dataflow[S any](g *CFG, spec DataflowSpec[S]) map[*CFGBlock]S {
+	next := func(b *CFGBlock) []*CFGBlock { return b.Succs }
+	start := g.Entry
+	if spec.Backward {
+		preds := g.Preds()
+		next = func(b *CFGBlock) []*CFGBlock { return preds[b] }
+		start = g.Exit
+	}
+
+	in := make(map[*CFGBlock]S, len(g.Blocks))
+	in[start] = spec.Clone(spec.Boundary)
+
+	work := []*CFGBlock{start}
+	queued := make(map[*CFGBlock]bool, len(g.Blocks))
+	queued[start] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := spec.Clone(in[blk])
+		out = transferBlock(blk, out, spec)
+
+		for _, succ := range next(blk) {
+			cur, ok := in[succ]
+			var changed bool
+			if !ok {
+				in[succ] = spec.Clone(out)
+				changed = true
+			} else {
+				in[succ], changed = spec.Join(cur, out)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// transferBlock applies the transfer function over the block's nodes in the
+// problem's direction.
+func transferBlock[S any](blk *CFGBlock, s S, spec DataflowSpec[S]) S {
+	if spec.Backward {
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			s = spec.Transfer(blk.Nodes[i], s)
+		}
+		return s
+	}
+	for _, n := range blk.Nodes {
+		s = spec.Transfer(n, s)
+	}
+	return s
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// stringSet is the abstract state of the test problems: a may-set of names.
+type stringSet map[string]bool
+
+func cloneSet(s stringSet) stringSet {
+	out := make(stringSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func unionInto(dst, src stringSet) (stringSet, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// assignedNames is a forward may-analysis: which variables may have been
+// assigned (via := or =) before block entry.
+func assignedNames(g *CFG) map[*CFGBlock]stringSet {
+	return Dataflow(g, DataflowSpec[stringSet]{
+		Boundary: stringSet{},
+		Clone:    cloneSet,
+		Join:     unionInto,
+		Transfer: func(n ast.Node, s stringSet) stringSet {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						s[id.Name] = true
+					}
+				}
+			}
+			return s
+		},
+	})
+}
+
+func TestDataflowForwardJoin(t *testing.T) {
+	g := NewCFG(parseBody(t, `
+x := 0
+if x > 0 {
+	a := 1
+	_ = a
+} else {
+	b := 2
+	_ = b
+}
+y := 3
+_ = y`))
+	in := assignedNames(g)
+
+	// Find the block whose first node assigns y: both branches merge there,
+	// so a and b are each *possibly* assigned, x certainly.
+	var after *CFGBlock
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "y" {
+					after = b
+				}
+			}
+		}
+	}
+	if after == nil {
+		t.Fatal("merge block not found")
+	}
+	got := in[after]
+	for _, want := range []string{"x", "a", "b"} {
+		if !got[want] {
+			t.Errorf("merge state missing %q (got %v)", want, got)
+		}
+	}
+	if got["y"] {
+		t.Errorf("y assigned only inside the block, must not be in its entry state")
+	}
+}
+
+func TestDataflowForwardLoopConverges(t *testing.T) {
+	g := NewCFG(parseBody(t, `
+for i := 0; i < 3; i++ {
+	v := i
+	_ = v
+}
+done := true
+_ = done`))
+	in := assignedNames(g)
+	if exit, ok := in[g.Exit]; !ok {
+		t.Fatal("exit unreachable")
+	} else {
+		for _, want := range []string{"i", "v", "done"} {
+			if !exit[want] {
+				t.Errorf("exit state missing %q (got %v)", want, exit)
+			}
+		}
+	}
+}
+
+func TestDataflowUnreachableBlocksHaveNoState(t *testing.T) {
+	g := NewCFG(parseBody(t, "return\nx := 1\n_ = x"))
+	in := assignedNames(g)
+	for blk, s := range in {
+		if s["x"] {
+			t.Errorf("dead assignment leaked into block %d state", blk.Index)
+		}
+	}
+}
+
+// TestDataflowBackwardLiveness runs a classic backward may-analysis: a name
+// is live at a point if some path onward reads it before writing it. (The
+// test problem ignores kills for simplicity — it checks direction and
+// propagation, not precision.)
+func TestDataflowBackwardLiveness(t *testing.T) {
+	g := NewCFG(parseBody(t, `
+x := 1
+y := 2
+if x > 0 {
+	println(y)
+}
+println(x)`))
+	out := Dataflow(g, DataflowSpec[stringSet]{
+		Backward: true,
+		Boundary: stringSet{},
+		Clone:    cloneSet,
+		Join:     unionInto,
+		Transfer: func(n ast.Node, s stringSet) stringSet {
+			ast.Inspect(n, func(c ast.Node) bool {
+				if id, ok := c.(*ast.Ident); ok {
+					s[id.Name] = true
+				}
+				return true
+			})
+			return s
+		},
+	})
+	entry, ok := out[g.Entry]
+	if !ok {
+		t.Fatal("entry has no backward state")
+	}
+	// Entry's exit-state must see uses from both the branch and the tail.
+	for _, want := range []string{"x", "y", "println"} {
+		if !entry[want] {
+			t.Errorf("backward entry state missing %q (got %v)", want, entry)
+		}
+	}
+}
+
+func TestDataflowBackwardDirection(t *testing.T) {
+	// Backward state at Exit is exactly the boundary: nothing runs "after" it.
+	g := NewCFG(parseBody(t, "x := 1\n_ = x"))
+	out := Dataflow(g, DataflowSpec[stringSet]{
+		Backward: true,
+		Boundary: stringSet{"seed": true},
+		Clone:    cloneSet,
+		Join:     unionInto,
+		Transfer: func(n ast.Node, s stringSet) stringSet { return s },
+	})
+	if s := out[g.Exit]; len(s) != 1 || !s["seed"] {
+		t.Fatalf("exit boundary state = %v, want {seed}", s)
+	}
+	if s, ok := out[g.Entry]; !ok || !s["seed"] {
+		t.Fatalf("boundary did not propagate back to entry: %v", s)
+	}
+}

@@ -13,11 +13,17 @@ import (
 //
 //	// want "regexp"
 //
-// (several quoted or backquoted regexps may follow one want). VerifyFixture
-// loads the fixture, runs the analyzers and cross-checks diagnostics against
-// expectations both ways: an expectation with no matching diagnostic on its
-// line fails, and a diagnostic with no matching expectation fails. The
-// returned problem list is empty exactly when the fixture behaves as
+// (several quoted or backquoted regexps may follow one want). Lines whose
+// finding is deliberately silenced by a //lint:ignore directive annotate the
+// suppressed diagnostic instead:
+//
+//	// want-suppressed "regexp"
+//
+// VerifyFixture loads the fixture, runs the analyzers in a Session and
+// cross-checks both diagnostic streams against expectations both ways: an
+// expectation with no matching diagnostic on its line fails, and a
+// diagnostic (surviving or suppressed) with no matching expectation fails.
+// The returned problem list is empty exactly when the fixture behaves as
 // annotated — the tiny harness the analyzer tests are driven by.
 
 // wantRe extracts the quoted patterns of a want comment.
@@ -25,15 +31,16 @@ var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
 // expectation is one want pattern anchored to a file line.
 type expectation struct {
-	file    string
-	line    int
-	pattern *regexp.Regexp
-	matched bool
+	file       string
+	line       int
+	pattern    *regexp.Regexp
+	suppressed bool // set for want-suppressed annotations
+	matched    bool
 }
 
 // VerifyFixture loads the package in dir, runs the analyzers, and returns a
-// list of mismatches between the diagnostics and the fixture's // want
-// annotations (empty means the fixture passed).
+// list of mismatches between the diagnostics and the fixture's // want and
+// // want-suppressed annotations (empty means the fixture passed).
 func VerifyFixture(dir string, analyzers []Analyzer) ([]string, error) {
 	loader, err := NewLoader(dir)
 	if err != nil {
@@ -47,14 +54,36 @@ func VerifyFixture(dir string, analyzers []Analyzer) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	diags := Run(pkg, analyzers)
+	session := NewSession(analyzers)
+	session.Analyze(pkg)
+	diags, suppressed := session.Finish()
 
+	var problems []string
+	problems = append(problems, matchExpectations(diags, expectations, false)...)
+	problems = append(problems, matchExpectations(suppressed, expectations, true)...)
+	for _, e := range expectations {
+		if !e.matched {
+			kind := "diagnostic"
+			if e.suppressed {
+				kind = "suppressed diagnostic"
+			}
+			problems = append(problems, fmt.Sprintf("%s:%d: no %s matching %q", e.file, e.line, kind, e.pattern))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// matchExpectations pairs one diagnostic stream with the expectations of its
+// kind, returning a problem per unexpected diagnostic and marking matched
+// expectations.
+func matchExpectations(diags []Diagnostic, expectations []*expectation, suppressed bool) []string {
 	var problems []string
 	for i := range diags {
 		d := &diags[i]
 		found := false
 		for _, e := range expectations {
-			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			if e.matched || e.suppressed != suppressed || e.file != d.Pos.Filename || e.line != d.Pos.Line {
 				continue
 			}
 			if e.pattern.MatchString(d.Message) {
@@ -67,13 +96,7 @@ func VerifyFixture(dir string, analyzers []Analyzer) ([]string, error) {
 			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
-	for _, e := range expectations {
-		if !e.matched {
-			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", e.file, e.line, e.pattern))
-		}
-	}
-	sort.Strings(problems)
-	return problems, nil
+	return problems
 }
 
 // parseExpectations collects the fixture's want annotations.
@@ -84,7 +107,12 @@ func parseExpectations(pkg *Package) ([]*expectation, error) {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
+				suppressedWant := false
 				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					rest, ok = strings.CutPrefix(text, "want-suppressed ")
+					suppressedWant = true
+				}
 				if !ok {
 					continue
 				}
@@ -102,7 +130,7 @@ func parseExpectations(pkg *Package) ([]*expectation, error) {
 					if err != nil {
 						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, p, err)
 					}
-					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re, suppressed: suppressedWant})
 				}
 			}
 		}

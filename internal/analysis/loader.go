@@ -97,8 +97,19 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 // directories (analyzer fixtures, fuzz corpora) and hidden directories.
 // Packages are returned in import-path order.
 func (l *Loader) LoadAll() ([]*Package, error) {
+	return l.LoadUnder(l.ModRoot)
+}
+
+// LoadUnder loads every package in the subtree rooted at dir (which must lie
+// inside the module), with the same testdata/hidden-directory skipping as
+// LoadAll — the expansion of a "dir/..." command-line pattern.
+func (l *Loader) LoadUnder(dir string) ([]*Package, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
 	var dirs []string
-	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -106,7 +117,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			return nil
 		}
 		name := d.Name()
-		if path != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
 			return filepath.SkipDir
 		}
 		if hasGoFiles(path) {

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestSuiteOrderDeterministic: Suite() registration is sorted by analyzer
+// name, so `sitlint -list` (which prints Suite() in order), diagnostics
+// grouping and fixture-coverage checks are stable no matter where a new
+// analyzer is appended in the registration literal.
+func TestSuiteOrderDeterministic(t *testing.T) {
+	t.Parallel()
+	names := make([]string, 0, len(Suite()))
+	for _, a := range Suite() {
+		names = append(names, a.Name())
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Suite() is not sorted by name: %v", names)
+	}
+	// Two calls return the same order — registration carries no hidden
+	// map-iteration or init-order dependence.
+	again := make([]string, 0, len(Suite()))
+	for _, a := range Suite() {
+		again = append(again, a.Name())
+	}
+	for i := range names {
+		if names[i] != again[i] {
+			t.Fatalf("Suite() order differs across calls: %v vs %v", names, again)
+		}
+	}
+}
+
+// TestAnalyzerFixtureCoverage: every analyzer in the suite has an annotated
+// fixture package under testdata/src/<name> whose want expectations are
+// exercised — the fixture loads, the analyzer runs over it, every
+// expectation matches a diagnostic and every diagnostic matches an
+// expectation. An analyzer cannot join the suite without a fixture proving
+// both its findings and at least one suppression path.
+func TestAnalyzerFixtureCoverage(t *testing.T) {
+	t.Parallel()
+	for _, a := range Suite() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			t.Parallel()
+			dir := filepath.Join("testdata", "src", a.Name())
+			loader, err := NewLoader(dir)
+			if err != nil {
+				t.Fatalf("analyzer %s has no fixture under %s: %v", a.Name(), dir, err)
+			}
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("analyzer %s fixture does not load: %v", a.Name(), err)
+			}
+			expectations, err := parseExpectations(pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants, suppressedWants := 0, 0
+			for _, e := range expectations {
+				if e.suppressed {
+					suppressedWants++
+				} else {
+					wants++
+				}
+			}
+			if wants == 0 {
+				t.Errorf("analyzer %s fixture has no // want expectations — nothing is exercised", a.Name())
+			}
+			if suppressedWants == 0 {
+				t.Errorf("analyzer %s fixture has no // want-suppressed expectation — the suppression path is untested", a.Name())
+			}
+			problems, err := VerifyFixture(dir, []Analyzer{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range problems {
+				t.Errorf("%s", p)
+			}
+		})
+	}
+}

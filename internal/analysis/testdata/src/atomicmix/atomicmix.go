@@ -1,0 +1,76 @@
+// Package atomicmix is the fixture of the atomicmix analyzer: a field
+// accessed via sync/atomic anywhere must be accessed via sync/atomic
+// everywhere — a plain read or write racing the atomic one is undefined
+// behaviour.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	safe  int64
+	local int64
+}
+
+// bump marks hits and safe as atomically-accessed fields.
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.safe, 1)
+}
+
+// readPlain races bump's atomic increments.
+func readPlain(c *counter) int64 {
+	return c.hits // want "hits is accessed with sync/atomic"
+}
+
+// writePlain races them too — stores are no safer than loads.
+func writePlain(c *counter) {
+	c.hits = 0 // want "hits is accessed with sync/atomic"
+}
+
+// incPlain is the classic mixed increment.
+func incPlain(c *counter) {
+	c.hits++ // want "hits is accessed with sync/atomic"
+}
+
+// readSafe stays atomic end to end: compliant.
+func readSafe(c *counter) int64 {
+	return atomic.LoadInt64(&c.safe) // ok: every access to safe is atomic
+}
+
+// plainOnly is never touched atomically: plain access is fine.
+func plainOnly(c *counter) int64 {
+	c.local++ // ok: local has no atomic accesses anywhere
+	return c.local
+}
+
+var total int64
+
+// addTotal marks the package-level total as atomic.
+func addTotal(n int64) {
+	atomic.AddInt64(&total, n)
+}
+
+// readTotal races addTotal.
+func readTotal() int64 {
+	return total // want "total is accessed with sync/atomic"
+}
+
+var state uint32
+
+// flipState uses compare-and-swap; mixing matters for every atomic verb.
+func flipState() bool {
+	return atomic.CompareAndSwapUint32(&state, 0, 1)
+}
+
+// peekState races the CAS.
+func peekState() uint32 {
+	return state // want "state is accessed with sync/atomic"
+}
+
+// initHits documents a deliberate pre-publication write with a reasoned
+// ignore: the diagnostic is recorded as suppressed, not dropped.
+func initHits(c *counter) {
+	//lint:ignore atomicmix constructor runs before any goroutine can observe c
+	c.hits = -1 // want-suppressed "hits is accessed with sync/atomic"
+}

@@ -1,6 +1,26 @@
-// Package badignore exercises the framework's handling of malformed
-// suppression directives: an ignore without a reason is itself a finding.
+// Package badignore exercises the framework's handling of broken
+// suppression directives. Each of the three failure modes below must be
+// reported as a finding of the "sitlint" pseudo-analyzer rather than
+// silently honored: a directive without a reason, a directive naming an
+// analyzer that is not in the running suite, and a well-formed directive
+// that sits on the wrong line and therefore suppresses nothing.
 package badignore
 
+// noReason carries a directive with no reason — malformed.
+//
 //lint:ignore nondet
 func noReason() {}
+
+// unknownAnalyzer names an analyzer that does not exist; it would silently
+// suppress nothing forever if honored.
+func unknownAnalyzer() {
+	//lint:ignore nosuchanalyzer the analyzer name has a typo
+	_ = 0
+}
+
+// wrongLine is well-formed and names a real analyzer, but the line it
+// covers is clean: a stale (or misplaced) directive must surface.
+func wrongLine() {
+	//lint:ignore nondet this line does not call the clock at all
+	_ = 1 + 2
+}

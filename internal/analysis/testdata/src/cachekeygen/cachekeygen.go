@@ -56,5 +56,5 @@ func keyFor(pool *sit.Pool, k string) string {
 // ignored is non-conforming but suppressed with a reason.
 func ignored(k string) {
 	//lint:ignore cachekeygen fixture: demonstrates reasoned suppression
-	cache.Put("static|"+k, 1)
+	cache.Put("static|"+k, 1) // want-suppressed "does not incorporate the pool generation"
 }

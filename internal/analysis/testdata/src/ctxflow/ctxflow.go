@@ -1,0 +1,88 @@
+// Package ctxflow is the fixture of the ctxflow analyzer: request paths
+// thread the caller's context — no minted root contexts, no nil contexts,
+// no blind sleeps in or below ctx-carrying functions.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// sleepCtx is the sanctioned wait: a timer raced against cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// threaded passes its ctx straight down: compliant.
+func threaded(ctx context.Context, d time.Duration) error {
+	return sleepCtx(ctx, d) // ok: the caller's ctx flows through
+}
+
+// mint creates a fresh root context although one was handed in.
+func mint(ctx context.Context, d time.Duration) error {
+	_ = ctx
+	return sleepCtx(context.Background(), d) // want `context\.Background\(\) minted on a request path`
+}
+
+// mintTODO has no ctx parameter, but minting is banned package-wide: the
+// request-path packages receive their contexts from callers.
+func mintTODO() context.Context {
+	return context.TODO() // want `context\.TODO\(\) minted on a request path`
+}
+
+// passNil hands a nil context to a ctx-taking callee.
+func passNil(d time.Duration) error {
+	return sleepCtx(nil, d) // want "nil passed as the context.Context argument of sleepCtx"
+}
+
+// sleepy blocks where cancellation cannot reach it.
+func sleepy(ctx context.Context, d time.Duration) {
+	time.Sleep(d) // want "time.Sleep in a ctx-carrying function"
+	_ = ctx.Err()
+}
+
+// blindSpin sleeps and takes no ctx: callers holding a ctx must not call it.
+func blindSpin() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// blindOuter sleeps transitively, through blindSpin.
+func blindOuter() {
+	blindSpin()
+}
+
+// caller parks a cancellable request inside a blind sleeper.
+func caller(ctx context.Context) {
+	blindSpin() // want "blindSpin sleeps without observing ctx"
+	_ = ctx.Err()
+}
+
+// callerTransitive is the same bug one call deeper: the sleeps fact
+// propagates through blindOuter.
+func callerTransitive(ctx context.Context) {
+	blindOuter() // want "blindOuter sleeps without observing ctx"
+	_ = ctx.Err()
+}
+
+// noCtxNoProblem has no ctx in hand: calling a sleeper is its caller's
+// concern, reported where the ctx is dropped.
+func noCtxNoProblem() {
+	blindSpin() // ok: no ctx parameter here
+}
+
+// pollSuppressed documents a deliberate blind sleep with a reasoned ignore:
+// the diagnostic is recorded as suppressed, not dropped.
+func pollSuppressed(ctx context.Context) {
+	//lint:ignore ctxflow 1ms poll between ctx.Err checks keeps the loop simple
+	time.Sleep(time.Millisecond) // want-suppressed "time.Sleep in a ctx-carrying function"
+	_ = ctx.Err()
+}

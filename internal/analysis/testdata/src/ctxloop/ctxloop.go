@@ -83,3 +83,15 @@ func (m *mgr) selectWithoutDone(ctx context.Context, other chan int) {
 		}
 	}()
 }
+
+// daemonLoop documents a deliberate process-lifetime pump with a reasoned
+// ignore: the diagnostic is recorded as suppressed, not dropped.
+func (m *mgr) daemonLoop(ctx context.Context) {
+	go func() {
+		//lint:ignore ctxloop process-lifetime pump; it drains queue until process exit by design
+		for { // want-suppressed `must select on ctx\.Done`
+			<-m.queue
+		}
+	}()
+	_ = ctx
+}

@@ -56,7 +56,7 @@ func subset(a, b map[string]bool) bool {
 func ignored(m map[string]int) int {
 	total := 0
 	//lint:ignore detmaprange fixture: demonstrates reasoned suppression
-	for _, v := range m {
+	for _, v := range m { // want-suppressed "order-dependent body"
 		total = total*31 + v
 	}
 	return total

@@ -1,0 +1,125 @@
+// Package goleak is the fixture of the goleak analyzer: every spawned
+// goroutine must be able to exit — a for{} loop with no return, break,
+// panic, or Done/quit select arm, anywhere in the launched call tree,
+// leaks the goroutine past shutdown.
+package goleak
+
+import "context"
+
+func work() {}
+
+// spin diverges: an unconditional loop with no way out.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// spinIndirect diverges transitively, through spin.
+func spinIndirect() {
+	spin()
+}
+
+type worker struct{}
+
+// loop diverges inside a method.
+func (w *worker) loop() {
+	for {
+		work()
+	}
+}
+
+// launchLit spawns a literal that loops forever.
+func launchLit() {
+	go func() { // want `goroutine body contains a for\{\} loop with no exit`
+		for {
+			work()
+		}
+	}()
+}
+
+// launchDecl spawns a declared function that diverges.
+func launchDecl() {
+	go spin() // want "goroutine reaches spin"
+}
+
+// launchIndirect spawns a function whose callee diverges: the fact composes
+// across the call boundary.
+func launchIndirect() {
+	go spinIndirect() // want "goroutine reaches spin"
+}
+
+// launchMethod spawns a divergent method.
+func launchMethod(w *worker) {
+	go w.loop() // want "goroutine reaches loop"
+}
+
+// launchSelectNoQuit loops on a select with no Done/quit arm and no return:
+// nothing can stop it.
+func launchSelectNoQuit(jobs chan int) {
+	go func() { // want `goroutine body contains a for\{\} loop with no exit`
+		for {
+			select {
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// launchQuit selects on a quit channel: compliant.
+func launchQuit(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// launchCtx selects on ctx.Done(): compliant.
+func launchCtx(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// launchBounded runs a bounded loop: compliant.
+func launchBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// launchConditionalReturn exits when the channel closes: compliant.
+func launchConditionalReturn(jobs chan int) {
+	go func() {
+		for {
+			j, ok := <-jobs
+			if !ok {
+				return
+			}
+			_ = j
+		}
+	}()
+}
+
+// launchDaemon documents a deliberate process-lifetime goroutine with a
+// reasoned ignore: the diagnostic is recorded as suppressed, not dropped.
+func launchDaemon() {
+	//lint:ignore goleak this daemon intentionally runs for the whole process lifetime
+	go spin() // want-suppressed "goroutine reaches spin"
+}

@@ -72,5 +72,5 @@ func FormatKey(gen uint64, k string) string {
 // DP core's compute-path interning uses.
 func coldIntern(r *run, set uint64, k string) {
 	//lint:ignore hotalloc fixture: interning write on a compute path that runs at most once per subset
-	r.keys[set] = k
+	r.keys[set] = k // want-suppressed "looks like string interning"
 }

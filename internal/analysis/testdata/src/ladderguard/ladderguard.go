@@ -84,3 +84,15 @@ func shadowedRecover() {
 }
 
 func mayPanic() {}
+
+// toplevelRecover documents a process-boundary recover with a reasoned
+// ignore: the diagnostic is recorded as suppressed, not dropped.
+func toplevelRecover() {
+	defer func() {
+		//lint:ignore ladderguard process-boundary guard; the caller logs and exits, no ladder is in flight
+		if recover() != nil { // want-suppressed `recover\(\) without recording a FallbackReason`
+			return
+		}
+	}()
+	mayPanic()
+}

@@ -75,5 +75,5 @@ func (c *Counter) ByPointer(f func(*atomic.Int64)) {
 // IgnoredCopy is suppressed with a reason.
 func (c *Counter) IgnoredCopy() atomic.Int64 {
 	//lint:ignore lockorder fixture: demonstrates reasoned suppression
-	return c.hits
+	return c.hits // want-suppressed "accessed non-atomically"
 }

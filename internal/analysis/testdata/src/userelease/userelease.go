@@ -1,0 +1,151 @@
+// Package userelease is the fixture of the userelease analyzer: the arena
+// lifetime contract of core.Run pooling. Release must be the last use of the
+// run and of every arena-backed view obtained from it, at most once per run;
+// scalar copy-out is the sanctioned way to keep data past Release.
+package userelease
+
+import (
+	"condsel/internal/core"
+	"condsel/internal/engine"
+)
+
+// scalarCopyOut is the sanctioned pattern: copy scalars out of the Result
+// before releasing, return the copies.
+func scalarCopyOut(est *core.Estimator, q *engine.Query, set engine.PredSet) float64 {
+	r := est.NewRun(q)
+	res := r.GetSelectivity(set)
+	sel := res.Sel // scalar copy detaches from the arena
+	r.Release()
+	return sel // ok: float64 survives the arena
+}
+
+// useAfterRelease reads an arena-backed Result after the run died.
+func useAfterRelease(est *core.Estimator, q *engine.Query, set engine.PredSet) float64 {
+	r := est.NewRun(q)
+	res := r.GetSelectivity(set)
+	r.Release()
+	return res.Sel // want "use of arena-backed res after Release of its run"
+}
+
+// runAfterRelease touches the run itself after Release.
+func runAfterRelease(est *core.Estimator, q *engine.Query, set engine.PredSet) float64 {
+	r := est.NewRun(q)
+	r.Release()
+	return r.EstimateCardinality(set) // want "use of run r after Release"
+}
+
+// doubleRelease releases the same run twice on one path.
+func doubleRelease(est *core.Estimator, q *engine.Query) {
+	r := est.NewRun(q)
+	r.Release()
+	r.Release() // want "second Release of r"
+}
+
+// deferThenRelease releases explicitly under a deferred Release: two
+// releases at run time.
+func deferThenRelease(est *core.Estimator, q *engine.Query) {
+	r := est.NewRun(q)
+	defer r.Release()
+	r.Release() // want "second Release of r"
+}
+
+// branchRelease releases on exclusive paths: fine.
+func branchRelease(est *core.Estimator, q *engine.Query, cond bool) {
+	r := est.NewRun(q)
+	if cond {
+		r.Release()
+		return
+	}
+	r.Release() // ok: the other Release is on the excluded path
+}
+
+type sink struct {
+	factors []core.Factor
+	run     *core.Run
+}
+
+// sliceEscape retains the arena-backed Factors slice past Release.
+func sliceEscape(s *sink, est *core.Estimator, q *engine.Query, set engine.PredSet) {
+	r := est.NewRun(q)
+	res := r.GetSelectivity(set)
+	s.factors = res.Factors // want "arena-backed stored value outlives Release of r"
+	r.Release()
+}
+
+// returnPastDefer hands the caller a Result that the deferred Release kills
+// on the way out.
+func returnPastDefer(est *core.Estimator, q *engine.Query, set engine.PredSet) *core.Result {
+	r := est.NewRun(q)
+	defer r.Release()
+	return r.GetSelectivity(set) // want "arena-backed returned value outlives Release of r"
+}
+
+// storeThenRelease parks the run in a struct and then releases it: the
+// stored pointer dangles into the next query's arena.
+func storeThenRelease(s *sink, est *core.Estimator, q *engine.Query) {
+	r := est.NewRun(q)
+	s.run = r // want "arena-backed stored value outlives Release of r"
+	r.Release()
+}
+
+// storeOrRelease is the estimator's error-path idiom: release on failure,
+// store for later on success. The store has no Release ahead of it.
+func storeOrRelease(s *sink, est *core.Estimator, q *engine.Query, ok bool) {
+	r := est.NewRun(q)
+	if !ok {
+		r.Release()
+		return
+	}
+	s.run = r // ok: the Release is on the other path
+}
+
+// finish releases its run parameter — the summary fact call sites compose
+// with.
+func finish(r *core.Run) {
+	r.Release()
+}
+
+// finishIndirect releases transitively, through finish: the in-package
+// fixed point propagates the fact.
+func finishIndirect(r *core.Run) {
+	finish(r)
+}
+
+// helperReleases loses its run to finish and keeps reading the Result.
+func helperReleases(est *core.Estimator, q *engine.Query, set engine.PredSet) float64 {
+	r := est.NewRun(q)
+	res := r.GetSelectivity(set)
+	finish(r)
+	return res.Sel // want "use of arena-backed res after Release of its run"
+}
+
+// transitiveRelease is the same bug one call deeper.
+func transitiveRelease(est *core.Estimator, q *engine.Query, set engine.PredSet) float64 {
+	r := est.NewRun(q)
+	res := r.GetSelectivity(set)
+	finishIndirect(r)
+	return res.Sel // want "use of arena-backed res after Release of its run"
+}
+
+// loopRebind is the bench idiom: a fresh run per iteration, released at the
+// bottom; the rebinding resurrects the variable for the next pass.
+func loopRebind(est *core.Estimator, qs []*engine.Query, set engine.PredSet) float64 {
+	var total float64
+	for _, q := range qs {
+		r := est.NewRun(q)
+		res := r.GetSelectivity(set)
+		total += res.Sel
+		r.Release()
+	}
+	return total // ok: only scalars left the loop
+}
+
+// suppressedUse demonstrates a reasoned suppression: the diagnostic is
+// recorded as suppressed, not dropped.
+func suppressedUse(est *core.Estimator, q *engine.Query, set engine.PredSet) float64 {
+	r := est.NewRun(q)
+	res := r.GetSelectivity(set)
+	r.Release()
+	//lint:ignore userelease fixture demonstrates a reasoned suppression
+	return res.Sel // want-suppressed "use of arena-backed res after Release of its run"
+}

@@ -1,0 +1,639 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UseRelease enforces the arena lifetime contract of internal/core's pooled
+// runs (PR 7): Release() must be the caller's LAST use of a core.Run and of
+// every arena-backed value obtained from it (*core.Result, core.Result,
+// []core.Factor). Releases happen at most once. The sanctioned pattern for
+// keeping data past Release is the scalar copy-out — read Sel/Err into
+// plain floats before releasing; retaining the Result pointer or the
+// Factors slice is a use-after-free against the next query's arena.
+//
+// The analyzer is flow-sensitive over the per-function CFG, running the
+// generic solver in both directions:
+//
+//   - forward: which runs may already be released at each point, and which
+//     local variables are arena-backed views of which run — catches
+//     double-Release and any use after a (possible) Release;
+//   - backward: which runs have a Release ahead on some path (deferred
+//     Releases seed the exit boundary) — catches arena-backed values that
+//     escape the function (store to a field, global, deref, index, channel
+//     send, or return) while the run dies behind them.
+//
+// It is also interprocedural: a function that releases a *core.Run
+// parameter (directly or transitively) exports a "userelease.releases:<i>"
+// fact, and call sites passing a run to it treat the run as released.
+// internal/core itself is exempt — the implementation manages its arenas.
+type UseRelease struct{}
+
+// NewUseRelease returns the analyzer in its default configuration.
+func NewUseRelease() *UseRelease { return &UseRelease{} }
+
+// Name implements Analyzer.
+func (*UseRelease) Name() string { return "userelease" }
+
+// Doc implements Analyzer.
+func (*UseRelease) Doc() string {
+	return "core.Run.Release must be the last use of the run and of every arena-backed Result/Factor view of it, at most once; copy scalars out before releasing"
+}
+
+// corePkgPath is the import path of the arena implementation.
+const corePkgPath = "condsel/internal/core"
+
+// Run implements Analyzer.
+func (a *UseRelease) Run(pass *Pass) {
+	if !moduleWideScope(pass.Path, "userelease") || pass.Path == corePkgPath {
+		return
+	}
+	funcs := a.exportSummaries(pass)
+	for _, fd := range funcs {
+		checkReleaseDiscipline(pass, fd.Type.Params, fd.Body)
+		// Function literals run on their own schedule (goroutines, defers,
+		// callbacks); each body is checked as an independent function.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkReleaseDiscipline(pass, lit.Type.Params, lit.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// --- interprocedural summaries -------------------------------------------
+
+// exportSummaries computes, to a package-local fixed point, which *core.Run
+// parameters each function releases, exports the results as facts, and
+// returns the package's function declarations.
+func (a *UseRelease) exportSummaries(pass *Pass) []*ast.FuncDecl {
+	type fnDecl struct {
+		fn *types.Func
+		fd *ast.FuncDecl
+	}
+	var fns []fnDecl
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				fns = append(fns, fnDecl{fn, fd})
+			}
+		}
+	}
+	facts := pass.Session.Facts()
+	for changed := true; changed; {
+		changed = false
+		for _, e := range fns {
+			sig := e.fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if !isRunPtr(p.Type()) || facts.Bool(e.fn, releasesFact(i)) {
+					continue
+				}
+				if bodyReleasesObj(pass, e.fd.Body, p) {
+					facts.Export(e.fn, releasesFact(i), true)
+					changed = true
+				}
+			}
+		}
+	}
+	return decls
+}
+
+func releasesFact(i int) string { return fmt.Sprintf("userelease.releases:%d", i) }
+
+// bodyReleasesObj reports whether the body contains a call releasing obj —
+// a direct obj.Release(), or obj passed at a releasing parameter position of
+// a summarized callee. Function literals are included: a closure releasing
+// the parameter (deferred cleanups, goroutines) still ends its lifetime.
+func bodyReleasesObj(pass *Pass, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, released := range releasedByCall(pass, call) {
+			if released == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// releasedByCall resolves which local objects a call releases: the receiver
+// of core.Run.Release, plus any ident argument in a releasing parameter
+// position of the (fact-summarized) callee.
+func releasedByCall(pass *Pass, call *ast.CallExpr) []types.Object {
+	fn := CalleeOf(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	var out []types.Object
+	if fn.Name() == "Release" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isRunPtr(pass.TypeOf(sel.X)) {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+		return out
+	}
+	facts := pass.Session.Facts()
+	for i, arg := range call.Args {
+		if !facts.Bool(fn, releasesFact(i)) {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// --- type classification --------------------------------------------------
+
+// isRunPtr reports whether t is *core.Run.
+func isRunPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isCoreNamed(ptr.Elem(), "Run")
+}
+
+// isArenaRef reports whether values of t reference arena memory that dies at
+// Release: pointers to core.Run/Result/Factor, slices of (pointers to)
+// Result/Factor, and core.Result by value (it holds the arena-backed Factors
+// slice). A core.Factor by value and plain scalars detach — that is the
+// sanctioned copy-out.
+func isArenaRef(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return isCoreNamed(t.Elem(), "Run", "Result", "Factor")
+	case *types.Slice:
+		return isArenaRef(t.Elem()) || isCoreNamed(t.Elem(), "Result", "Factor")
+	case *types.Named:
+		return isCoreNamed(t, "Result")
+	}
+	return false
+}
+
+func isCoreNamed(t types.Type, names ...string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != corePkgPath {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// --- flow analysis --------------------------------------------------------
+
+// objSet is a small set of objects (run roots, released receivers).
+type objSet map[types.Object]bool
+
+func cloneObjSet(s objSet) objSet {
+	out := make(objSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func unionObjSet(dst, src objSet) (objSet, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// ureState is the forward state: srcs maps every tracked local (a run
+// variable or an arena-backed view) to its set of root run objects — a
+// freshly created run is its own root — and released holds the roots that
+// may already have been released.
+type ureState struct {
+	srcs     map[types.Object]objSet
+	released objSet
+}
+
+func cloneUre(s ureState) ureState {
+	out := ureState{
+		srcs:     make(map[types.Object]objSet, len(s.srcs)),
+		released: cloneObjSet(s.released),
+	}
+	for k, v := range s.srcs {
+		out.srcs[k] = cloneObjSet(v)
+	}
+	return out
+}
+
+func joinUre(dst, src ureState) (ureState, bool) {
+	changed := false
+	for k, v := range src.srcs {
+		if cur, ok := dst.srcs[k]; !ok {
+			dst.srcs[k] = cloneObjSet(v)
+			changed = true
+		} else if _, c := unionObjSet(cur, v); c {
+			changed = true
+		}
+	}
+	if _, c := unionObjSet(dst.released, src.released); c {
+		changed = true
+	}
+	return dst, changed
+}
+
+// checkReleaseDiscipline analyzes one function (or function-literal) body.
+func checkReleaseDiscipline(pass *Pass, params *ast.FieldList, body *ast.BlockStmt) {
+	g := NewCFG(body)
+
+	// Seed: *core.Run parameters are their own roots.
+	boundary := ureState{srcs: make(map[types.Object]objSet), released: make(objSet)}
+	if params != nil {
+		for _, field := range params.List {
+			for _, name := range field.Names {
+				obj := pass.ObjectOf(name)
+				if obj != nil && isRunPtr(obj.Type()) {
+					boundary.srcs[obj] = objSet{obj: true}
+				}
+			}
+		}
+	}
+
+	forward := Dataflow(g, DataflowSpec[ureState]{
+		Boundary: boundary,
+		Clone:    cloneUre,
+		Join:     joinUre,
+		Transfer: func(n ast.Node, s ureState) ureState {
+			ureTransfer(pass, n, &s, nil)
+			return s
+		},
+	})
+
+	// Backward: which objects have a Release ahead on some path. Deferred
+	// Releases run at function exit, so they seed the boundary.
+	backBoundary := make(objSet)
+	deferred := make(objSet)
+	for _, d := range g.Defers {
+		for _, obj := range releasedByCall(pass, d.Call) {
+			backBoundary[obj] = true
+			deferred[obj] = true
+		}
+	}
+	backward := Dataflow(g, DataflowSpec[objSet]{
+		Backward: true,
+		Boundary: backBoundary,
+		Clone:    cloneObjSet,
+		Join:     unionObjSet,
+		Transfer: func(n ast.Node, s objSet) objSet {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return s // already in the boundary
+			}
+			inspectCFGNode(n, func(c ast.Node) {
+				if call, ok := c.(*ast.CallExpr); ok {
+					for _, obj := range releasedByCall(pass, call) {
+						s[obj] = true
+					}
+				}
+			})
+			return s
+		},
+	})
+
+	// Reporting sweep: one pass per reachable block, forward state evolving
+	// node by node, with the backward "release ahead" state precomputed per
+	// node by a reverse scan from the block's backward input.
+	for _, blk := range g.Blocks {
+		in, ok := forward[blk]
+		if !ok {
+			continue // unreachable
+		}
+		ahead := aheadPerNode(pass, blk, backward[blk])
+		s := cloneUre(in)
+		for i, n := range blk.Nodes {
+			r := &ureReporter{pass: pass, state: &s, ahead: ahead[i], deferred: deferred}
+			ureTransfer(pass, n, &s, r)
+		}
+	}
+}
+
+// aheadPerNode returns, for each node index of the block, the set of objects
+// released strictly after that node (on some path), derived from the block's
+// backward input state.
+func aheadPerNode(pass *Pass, blk *CFGBlock, after objSet) []objSet {
+	out := make([]objSet, len(blk.Nodes))
+	s := cloneObjSet(after)
+	for i := len(blk.Nodes) - 1; i >= 0; i-- {
+		out[i] = cloneObjSet(s)
+		if _, ok := blk.Nodes[i].(*ast.DeferStmt); ok {
+			continue
+		}
+		inspectCFGNode(blk.Nodes[i], func(c ast.Node) {
+			if call, ok := c.(*ast.CallExpr); ok {
+				for _, obj := range releasedByCall(pass, call) {
+					s[obj] = true
+				}
+			}
+		})
+	}
+	return out
+}
+
+// ureReporter carries the reporting context of one node during the sweep.
+type ureReporter struct {
+	pass     *Pass
+	state    *ureState
+	ahead    objSet // objects released after this node on some path
+	deferred objSet // objects released by defers
+}
+
+// ureTransfer interprets one CFG node against the state: use checks and
+// escape checks (via r, when reporting), then Release marking, then
+// assignment binding. With r == nil it is the pure transfer function the
+// solver iterates.
+func ureTransfer(pass *Pass, n ast.Node, s *ureState, r *ureReporter) {
+	isDefer := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		isDefer = true
+		// A second deferred Release of an already-deferred run is a double
+		// release at exit; the state is otherwise untouched (defers run last).
+		if r != nil {
+			for _, obj := range releasedByCall(pass, d.Call) {
+				if s.released[obj] {
+					r.reportf(d.Pos(), "deferred Release of %s but %s may already be released on this path", obj.Name(), obj.Name())
+				}
+			}
+		}
+	}
+
+	// Phase 1 (reporting only): uses of released values, escapes ahead of a
+	// Release.
+	if r != nil {
+		r.checkNode(n)
+	}
+
+	if isDefer {
+		return
+	}
+
+	// Phase 2: Release marking.
+	inspectCFGNode(n, func(c ast.Node) {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, obj := range releasedByCall(pass, call) {
+			roots, ok := s.srcs[obj]
+			if !ok {
+				continue
+			}
+			for root := range roots {
+				if r != nil && (s.released[root] || r.deferred[root] || r.deferred[obj]) {
+					r.reportf(call.Pos(), "second Release of %s: a run is released at most once", obj.Name())
+				}
+				s.released[root] = true
+			}
+		}
+	})
+
+	// Phase 3: assignment binding.
+	inspectCFGNode(n, func(c ast.Node) {
+		as, ok := c.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		bindAssign(pass, as, s)
+	})
+}
+
+// bindAssign updates tracking for one assignment. Pairing is positional for
+// n:n assignments; an n:1 tuple assignment derives every LHS from the single
+// RHS call.
+func bindAssign(pass *Pass, as *ast.AssignStmt, s *ureState) {
+	for i, lhs := range as.Lhs {
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue // escaping stores are handled by the reporter
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		t := lhsType(pass, id, rhs, as, i)
+		sources := collectSources(pass, rhs, s)
+		switch {
+		case t != nil && isRunPtr(t):
+			if len(sources) == 0 {
+				// Fresh run (est.NewRun(...)): the variable is its own root,
+				// and rebinding resurrects it.
+				s.srcs[obj] = objSet{obj: true}
+				delete(s.released, obj)
+			} else {
+				s.srcs[obj] = sources // alias of an existing run
+			}
+		case t != nil && isArenaRef(t) && len(sources) > 0:
+			s.srcs[obj] = sources
+		default:
+			delete(s.srcs, obj) // scalar copy-out or untracked value detaches
+		}
+	}
+}
+
+// lhsType resolves the assigned variable's relevant type: the variable's own
+// declared type, falling back to the RHS expression type (covers tuple
+// positions).
+func lhsType(pass *Pass, id *ast.Ident, rhs ast.Expr, as *ast.AssignStmt, i int) types.Type {
+	if obj := pass.ObjectOf(id); obj != nil && obj.Type() != nil {
+		return obj.Type()
+	}
+	if len(as.Rhs) == len(as.Lhs) {
+		return pass.TypeOf(rhs)
+	}
+	return nil
+}
+
+// collectSources unions the root-run sets of every tracked ident mentioned
+// in expr (function literals excluded: they capture, not copy).
+func collectSources(pass *Pass, expr ast.Expr, s *ureState) objSet {
+	sources := make(objSet)
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if roots, ok := s.srcs[pass.ObjectOf(id)]; ok {
+				unionObjSet(sources, roots)
+			}
+		}
+		return true
+	})
+	return sources
+}
+
+// checkNode performs the reporting-only checks for one node.
+func (r *ureReporter) checkNode(n ast.Node) {
+	pass, s := r.pass, r.state
+
+	// Idents excluded from the use check: wholly reassigned LHS targets
+	// (rebinding a released run is legal) and Release receivers (their
+	// double-release diagnostic is more specific).
+	excluded := make(map[*ast.Ident]bool)
+	inspectCFGNode(n, func(c ast.Node) {
+		switch c := c.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range c.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					excluded[id] = true
+				}
+			}
+		case *ast.CallExpr:
+			if len(releasedByCall(pass, c)) > 0 {
+				if sel, ok := c.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						excluded[id] = true
+					}
+				}
+			}
+		}
+	})
+
+	// Use-after-release.
+	inspectCFGNode(n, func(c ast.Node) {
+		id, ok := c.(*ast.Ident)
+		if !ok || excluded[id] {
+			return
+		}
+		obj := pass.ObjectOf(id)
+		roots, ok := s.srcs[obj]
+		if !ok {
+			return
+		}
+		for root := range roots {
+			if s.released[root] {
+				if isRunPtr(obj.Type()) {
+					r.reportf(id.Pos(), "use of run %s after Release", id.Name)
+				} else {
+					r.reportf(id.Pos(), "use of arena-backed %s after Release of its run", id.Name)
+				}
+				return
+			}
+		}
+	})
+
+	// Escapes with a Release ahead: stores to memory outliving the call, and
+	// returns, of values whose run dies on some later path (including defers).
+	inspectCFGNode(n, func(c ast.Node) {
+		switch c := c.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range c.Lhs {
+				if !escapingLHS(pass, lhs) {
+					continue
+				}
+				rhs := c.Rhs[0]
+				if len(c.Rhs) == len(c.Lhs) {
+					rhs = c.Rhs[i]
+				}
+				r.checkEscape(rhs, "stored value")
+			}
+		case *ast.SendStmt:
+			r.checkEscape(c.Value, "sent value")
+		case *ast.ReturnStmt:
+			for _, res := range c.Results {
+				r.checkEscape(res, "returned value")
+			}
+		}
+	})
+}
+
+// checkEscape reports if expr is an arena-backed (or run) value whose root
+// is released after this point on some path.
+func (r *ureReporter) checkEscape(expr ast.Expr, what string) {
+	t := r.pass.TypeOf(expr)
+	if t == nil || (!isArenaRef(t) && !isRunPtr(t)) {
+		return
+	}
+	sources := collectSources(r.pass, expr, r.state)
+	for root := range sources {
+		if r.ahead[root] {
+			r.reportf(expr.Pos(),
+				"arena-backed %s outlives Release of %s: copy scalars out before releasing", what, root.Name())
+			return
+		}
+	}
+}
+
+func (r *ureReporter) reportf(pos token.Pos, format string, args ...any) {
+	r.pass.Reportf(pos, format, args...)
+}
+
+// escapingLHS reports whether the assignment target outlives the function
+// frame: a field, a dereference, an element, or a package-level variable.
+func escapingLHS(pass *Pass, lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.ObjectOf(lhs)
+		v, ok := obj.(*types.Var)
+		return ok && v.Parent() == pass.Pkg.Scope()
+	}
+	return false
+}
+
+// inspectCFGNode walks one CFG node's subtree the way transfer functions
+// need: function-literal bodies are opaque (they execute elsewhere), and a
+// RangeStmt node stands only for its per-iteration assignment and operand —
+// its body statements live in other blocks.
+func inspectCFGNode(n ast.Node, fn func(ast.Node)) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		for _, e := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+			if e != nil {
+				inspectCFGNode(e, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok {
+			fn(c)
+			return false
+		}
+		fn(c)
+		return true
+	})
+}

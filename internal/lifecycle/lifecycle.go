@@ -826,7 +826,6 @@ func (m *Manager) Checkpoint() (string, error) {
 	seq := m.seq + 1
 	payload := snapshotPayload{Pool: poolBuf.Bytes(), Seq: seq}
 	ids := make([]string, 0, len(m.states))
-	//lint:ignore detmaprange the collected key slice is sorted immediately below, erasing iteration order
 	for id := range m.states {
 		ids = append(ids, id)
 	}
@@ -883,7 +882,6 @@ func (m *Manager) Health() Health {
 	h.CheckpointSeq = m.seq
 	h.CorruptSnapshots = append([]SnapshotIssue(nil), m.corrupt...)
 	h.States = make([]StatusRecord, 0, len(m.states))
-	//lint:ignore detmaprange the collected records are sorted by ID immediately below, erasing iteration order
 	for _, st := range m.states {
 		h.States = append(h.States, StatusRecord{
 			ID: st.id, State: st.state, EWMA: st.ewma, Obs: st.obs,

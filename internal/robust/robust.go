@@ -143,6 +143,7 @@ func (e *Estimator) Selectivity(ctx context.Context, q *engine.Query, set engine
 	// aborted run above is safe), same deadline, no node budget — the
 	// chain's O(n²) factor count bounds it structurally.
 	r2 := e.Core.NewBudgetedRun(ctx, q, 0)
+	//lint:ignore ctxflow the run carries ctx from NewBudgetedRun and polls its deadline between factors; the transitive sleep is the SlowFactor fault-injection point, active only under the faults harness
 	sel, _, reason := r2.GreedyChainGuarded(set)
 	r2.Release()
 	if reason == "" {

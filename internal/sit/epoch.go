@@ -79,7 +79,6 @@ func (p *Pool) Rebuilt(s *SIT) *Pool {
 // specs are what rebuilds are made from) that the public SITs() hides.
 func (p *Pool) allSITs() []*SIT {
 	out := make([]*SIT, 0, len(p.byID))
-	//lint:ignore detmaprange the collected slice is sorted by ID immediately below, erasing iteration order
 	for _, s := range p.byID {
 		out = append(out, s)
 	}

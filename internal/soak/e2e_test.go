@@ -83,7 +83,7 @@ func TestE2ESelfHealingArc(t *testing.T) {
 	if err := mgr.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := quiesce(mgr, 60*time.Second); err != nil {
+	if err := quiesce(ctx, mgr, 60*time.Second); err != nil {
 		t.Fatal(err)
 	}
 

@@ -251,11 +251,11 @@ func (h *Harness) Run(ctx context.Context) (*Report, error) {
 			var err error
 			switch phase {
 			case PhaseFlash, PhaseChurn, PhaseAdversarial:
-				err = h.estimationPhase(cycle, phase, false)
+				err = h.estimationPhase(ctx, cycle, phase, false)
 			case PhaseDrift:
 				err = h.driftPhase(ctx, cycle)
 			case PhaseFaults:
-				err = h.faultsPhase(cycle)
+				err = h.faultsPhase(ctx, cycle)
 			case PhaseRecover:
 				err = h.recoverPhase(cycle)
 			}
@@ -339,7 +339,7 @@ func (h *Harness) lifeTotals() (rebuilds, failures, swaps int64) {
 // feedback is produced, so every recorded count is deterministic. With
 // faulted set the phase's tier counts are excluded from the fault-free
 // quality metric.
-func (h *Harness) estimationPhase(cycle int, phase string, faulted bool) error {
+func (h *Harness) estimationPhase(ctx context.Context, cycle int, phase string, faulted bool) error {
 	var spec workload.PhaseSpec
 	switch phase {
 	case PhaseFlash:
@@ -370,7 +370,7 @@ func (h *Harness) estimationPhase(cycle int, phase string, faulted bool) error {
 			lad := robust.New(sh.mgr.Estimator(), robust.Config{})
 			missesBefore := sh.cache.Stats().Misses
 			qStart := time.Now()
-			_, prov := lad.Selectivity(nil, pq.Query, pq.Query.All())
+			_, prov := lad.Selectivity(ctx, pq.Query, pq.Query.All())
 			h.lats = append(h.lats, float64(time.Since(qStart).Nanoseconds()))
 			if sh.cache.Stats().Misses == missesBefore {
 				stat.CacheServed++
@@ -478,7 +478,7 @@ func (h *Harness) driftPhase(ctx context.Context, cycle int) error {
 		if err := sh.mgr.Start(ctx); err != nil {
 			return fmt.Errorf("soak: cycle %d drift shard %d restart: %w", cycle, i, err)
 		}
-		if err := quiesce(sh.mgr, 60*time.Second); err != nil {
+		if err := quiesce(ctx, sh.mgr, 60*time.Second); err != nil {
 			return fmt.Errorf("soak: cycle %d drift shard %d: %w", cycle, i, err)
 		}
 	}
@@ -506,14 +506,14 @@ func (h *Harness) driftPhase(ctx context.Context, cycle int) error {
 // heal once the schedule is disarmed. SlowFactor and deadline-dependent
 // points are deliberately absent: their firing depends on wall-clock timing
 // and would break event-log determinism.
-func (h *Harness) faultsPhase(cycle int) error {
+func (h *Harness) faultsPhase(ctx context.Context, cycle int) error {
 	sched := faults.NewSchedule(h.cfg.Seed+int64(cycle)*131).
 		Set(faults.NaNSelectivity, faults.Rule{Every: 5}).
 		Set(faults.PanicInFactor, faults.Rule{Every: 7}).
 		Set(faults.CacheEvictStorm, faults.Rule{Every: 11}).
 		Set(faults.CorruptBucket, faults.Rule{Limit: 2})
 	faults.Arm(sched)
-	err := h.estimationPhase(cycle, PhaseFaults, true)
+	err := h.estimationPhase(ctx, cycle, PhaseFaults, true)
 	faults.Disarm()
 	if err != nil {
 		return err
@@ -528,7 +528,7 @@ func (h *Harness) faultsPhase(cycle int) error {
 	r0, _, _ := h.lifeTotals()
 	for i, sh := range h.shards {
 		sh.mgr.SyncQuarantine()
-		if err := quiesce(sh.mgr, 60*time.Second); err != nil {
+		if err := quiesce(ctx, sh.mgr, 60*time.Second); err != nil {
 			return fmt.Errorf("soak: cycle %d faults shard %d: %w", cycle, i, err)
 		}
 	}
@@ -605,8 +605,9 @@ func (h *Harness) verifyBitIdentity() bool {
 	return ok
 }
 
-// quiesce waits until the manager has no stale or in-flight rebuilds left.
-func quiesce(m *lifecycle.Manager, timeout time.Duration) error {
+// quiesce waits until the manager has no stale or in-flight rebuilds left,
+// polling under ctx so cancellation interrupts the wait.
+func quiesce(ctx context.Context, m *lifecycle.Manager, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		hl := m.Health()
@@ -617,7 +618,11 @@ func quiesce(m *lifecycle.Manager, timeout time.Duration) error {
 			return fmt.Errorf("lifecycle did not quiesce within %s (stale=%d rebuilding=%d)",
 				timeout, hl.Stale, hl.Rebuilding)
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 }
 
