@@ -8,13 +8,16 @@
 // ("est": shared estimator under concurrent load, with or without the
 // cross-query selectivity cache), and the getSelectivity hot-path benchmark
 // ("dp": NoFastPath baseline vs the optimized DP across query sizes, search
-// modes and error models), and the large-scale soak harness ("soak": a grown
+// modes and error models), the large-scale soak harness ("soak": a grown
 // 100+-table schema driven through repeated drift → rebuild → hot-swap →
-// fault → recovery arcs under phased adversarial workloads).
+// fault → recovery arcs under phased adversarial workloads), and the
+// service-layer load arc ("serve": a real sitserve-shaped HTTP server driven
+// through open → overload → drain phases, recording per-phase status/tier/
+// shed distributions and the un-armed service overhead).
 //
 // Usage:
 //
-//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp|robust|lifecycle|soak]
+//	sitbench [-fig all|5|6|7|8|lemma1|ablations|a1..a6|p1|est|dp|robust|lifecycle|soak|serve]
 //	         [-fact N] [-queries N] [-joins 3,5,7] [-maxpool N]
 //	         [-subsets N] [-seed N] [-filtersel F] [-csv FILE]
 //	         [-workers N] [-cache] [-cachecap N] [-rounds N] [-json FILE]
@@ -36,10 +39,14 @@
 // the internal/soak harness: -tables sizes the grown schema, -cycles runs
 // that many compressed arcs (deterministic event log, the CI mode),
 // -duration keeps cycling until the clock expires, and -phases selects a
-// subset of the arc. All five write a -json artifact in the shared
-// condsel-bench/v1 envelope (defaults: BENCH_estimation.json for est,
-// BENCH_dp.json for dp, BENCH_robust.json for robust, BENCH_lifecycle.json
-// for lifecycle, BENCH_soak.json for soak).
+// subset of the arc. -fig serve drives the estimation service itself:
+// -slots sizes admission, -phase the per-phase wall clock, and the report
+// asserts-by-numbers the overload contract (zero 5xx, provenance on every
+// answer, sheds absorbed by cheaper tiers). All six write a -json artifact
+// in the shared condsel-bench/v1 envelope (defaults: BENCH_estimation.json
+// for est, BENCH_dp.json for dp, BENCH_robust.json for robust,
+// BENCH_lifecycle.json for lifecycle, BENCH_soak.json for soak,
+// BENCH_serve.json for serve).
 package main
 
 import (
@@ -58,7 +65,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust, lifecycle, soak")
+		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust, lifecycle, soak, serve")
 		fact      = flag.Int("fact", 20000, "fact table rows")
 		queries   = flag.Int("queries", 25, "queries per workload")
 		joins     = flag.String("joins", "3,5,7", "workload join counts (comma separated)")
@@ -80,6 +87,8 @@ func main() {
 		tables    = flag.Int("tables", 0, "grown-schema table count for -fig soak (0 = default 104)")
 		duration  = flag.Duration("duration", 0, "for -fig soak: keep cycling until this wall-clock budget expires (0 = -cycles mode)")
 		phases    = flag.String("phases", "", "for -fig soak: comma-separated phase subset (default: the full arc)")
+		slots     = flag.Int("slots", 0, "admission slots for -fig serve (0 = default 4)")
+		phaseDur  = flag.Duration("phase", 0, "per-phase wall clock for -fig serve (0 = default 3s)")
 	)
 	flag.Parse()
 
@@ -114,6 +123,7 @@ func main() {
 	dpCfg := bench.DPBenchConfig{Sizes: ns, Iters: *iters}
 	robustCfg := bench.RobustBenchConfig{Iters: *iters, Faults: *withFault}
 	lifecycleCfg := bench.LifecycleBenchConfig{Iters: *iters, Cycles: *cycles}
+	serveCfg := bench.ServeBenchConfig{Slots: *slots, Phase: *phaseDur}
 	soakCfg := soak.Config{
 		Seed:     *seed,
 		Tables:   *tables,
@@ -124,14 +134,14 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, soakCfg, *jsonPath, *gatePath); err != nil {
+	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, soakCfg, serveCfg, *jsonPath, *gatePath); err != nil {
 		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, soakCfg soak.Config, jsonPath, gatePath string) error {
+func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, soakCfg soak.Config, serveCfg bench.ServeBenchConfig, jsonPath, gatePath string) error {
 	withJSON := func(def string, write func(*os.File) error) error {
 		path := jsonPath
 		if path == "" {
@@ -254,6 +264,13 @@ func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchCo
 		bench.RenderLifecycle(os.Stdout, report)
 		return withJSON("BENCH_lifecycle.json", func(f *os.File) error {
 			return bench.WriteLifecycleJSON(f, report)
+		})
+	case "serve":
+		e := bench.NewEnv(opts)
+		report := e.ServeBench(serveCfg)
+		bench.RenderServe(os.Stdout, report)
+		return withJSON("BENCH_serve.json", func(f *os.File) error {
+			return bench.WriteServeJSON(f, report)
 		})
 	case "soak":
 		h, err := soak.New(soakCfg)

@@ -1,0 +1,188 @@
+// Command sitserve runs the estimation service: the robust ladder behind an
+// overload-safe HTTP front end with admission control, deadline-mapped
+// degradation, SLO-driven tier capping, Prometheus metrics and graceful
+// drain. It provisions the paper's synthetic snowflake database and a
+// lifecycle-managed SIT pool, then serves estimates until SIGTERM/SIGINT,
+// at which point it stops admitting, drains in-flight requests and flushes
+// a final SITSNAP checkpoint (when -snapdir is set).
+//
+// Usage:
+//
+//	sitserve [-addr :8080] [-fact N] [-seed N] [-queries N] [-joins N]
+//	         [-maxpool N] [-deadline-ms N] [-max-deadline-ms N]
+//	         [-concurrency N] [-queue N] [-slo-ms N] [-cache N]
+//	         [-snapdir DIR] [-drain-s N]
+//
+// Endpoints:
+//
+//	GET/POST /estimate        one query (?q= or body), JSON estimate
+//	GET/POST /estimate/batch  newline-separated queries, JSON array
+//	GET      /metrics         Prometheus text exposition
+//	GET      /healthz         liveness (always 200 while the process runs)
+//	GET      /readyz          readiness (503 once draining)
+//
+// Per-request deadlines: X-Condsel-Deadline-Ms header or ?deadline_ms=.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"condsel/internal/core"
+	"condsel/internal/datagen"
+	"condsel/internal/lifecycle"
+	"condsel/internal/serve"
+	"condsel/internal/sit"
+	"condsel/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		fact        = flag.Int("fact", 20000, "fact table rows")
+		seed        = flag.Int64("seed", 42, "random seed")
+		queries     = flag.Int("queries", 25, "workload queries used to build the SIT pool")
+		joins       = flag.Int("joins", 3, "joins per workload query")
+		maxPool     = flag.Int("maxpool", 3, "largest SIT pool J_i to build")
+		deadlineMs  = flag.Int("deadline-ms", 250, "default per-request deadline")
+		maxDeadline = flag.Int("max-deadline-ms", 5000, "largest accepted per-request deadline")
+		concurrency = flag.Int("concurrency", 0, "admission slots (0: GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "admission wait-queue bound (0: 4x slots)")
+		sloMs       = flag.Int("slo-ms", 500, "p99 latency SLO target (negative disables)")
+		cacheCap    = flag.Int("cache", 4096, "selectivity cache capacity (0 disables)")
+		snapDir     = flag.String("snapdir", "", "SITSNAP checkpoint directory (empty disables persistence)")
+		drainS      = flag.Int("drain-s", 10, "graceful-drain deadline in seconds")
+	)
+	flag.Parse()
+	// The process-root context is minted here and only here ("no minted
+	// roots past main"): cancelled on SIGTERM/SIGINT, everything below
+	// inherits it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, stop, *addr, options{
+		fact: *fact, seed: *seed, queries: *queries, joins: *joins, maxPool: *maxPool,
+		deadline:    time.Duration(*deadlineMs) * time.Millisecond,
+		maxDeadline: time.Duration(*maxDeadline) * time.Millisecond,
+		concurrency: *concurrency, queue: *queue,
+		slo:      time.Duration(*sloMs) * time.Millisecond,
+		cacheCap: *cacheCap, snapDir: *snapDir,
+		drain: time.Duration(*drainS) * time.Second,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sitserve:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	fact        int
+	seed        int64
+	queries     int
+	joins       int
+	maxPool     int
+	deadline    time.Duration
+	maxDeadline time.Duration
+	concurrency int
+	queue       int
+	slo         time.Duration
+	cacheCap    int
+	snapDir     string
+	drain       time.Duration
+}
+
+func run(ctx context.Context, stop context.CancelFunc, addr string, opt options) error {
+	fmt.Printf("sitserve: generating snowflake database (fact=%d seed=%d)\n", opt.fact, opt.seed)
+	db := datagen.Generate(datagen.Config{Seed: opt.seed, FactRows: opt.fact})
+	gen := workload.NewGenerator(db, workload.Config{
+		Seed: opt.seed, NumQueries: opt.queries, Joins: opt.joins, Filters: 3,
+	})
+	wl, err := gen.Generate()
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	fmt.Printf("sitserve: building SIT pool J%d over %d queries\n", opt.maxPool, len(wl))
+	pool := sit.BuildWorkloadPoolParallel(db.Cat, wl, opt.maxPool, runtime.GOMAXPROCS(0), nil)
+
+	var cache *core.SelCacheStore
+	if opt.cacheCap > 0 {
+		cache = core.NewSelCache(opt.cacheCap)
+	}
+	lcfg := lifecycle.Config{Dir: opt.snapDir, Cache: cache, Seed: opt.seed}
+	var mgr *lifecycle.Manager
+	if opt.snapDir != "" {
+		// Recover from the newest intact checkpoint when one exists; the
+		// freshly built pool is only the fallback.
+		mgr, err = lifecycle.Open(db.Cat, pool, lcfg)
+		if err != nil {
+			return fmt.Errorf("lifecycle: %w", err)
+		}
+	} else {
+		mgr = lifecycle.New(db.Cat, pool, lcfg)
+	}
+	if err := mgr.Start(ctx); err != nil {
+		return fmt.Errorf("lifecycle: %w", err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Catalog:         db.Cat,
+		Estimator:       serve.LadderSource(mgr.Estimator),
+		MaxConcurrent:   opt.concurrency,
+		MaxQueue:        opt.queue,
+		DefaultDeadline: opt.deadline,
+		MaxDeadline:     opt.maxDeadline,
+		SLO:             serve.SLOConfig{TargetP99: opt.slo},
+		DrainDeadline:   opt.drain,
+		Cache:           cache,
+		Pool:            func() *sit.Pool { return mgr.Estimator().Pool },
+		Lifecycle:       mgr,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sitserve: listening on %s (pool generation %d)\n", ln.Addr(), mgr.Generation())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		_ = mgr.Stop()
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, finish in-flight work under the drain
+	// deadline, then flush the final checkpoint through the lifecycle
+	// manager. stop() restores default signal handling first, so a second
+	// SIGTERM kills the process instead of being swallowed mid-drain.
+	stop()
+	fmt.Println("sitserve: draining")
+	// The drain budget hangs off the root via WithoutCancel: the root is
+	// already cancelled (that is why we are draining), but the drain itself
+	// still deserves its own deadline rather than a minted Background.
+	drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), opt.drain+time.Second)
+	defer cancel()
+	shutdownErr := srv.Shutdown(drainCtx)
+	if err := mgr.Stop(); err != nil {
+		return fmt.Errorf("lifecycle stop: %w", err)
+	}
+	if opt.snapDir != "" {
+		fmt.Printf("sitserve: final checkpoint flushed to %s\n", opt.snapDir)
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	fmt.Println("sitserve: drained cleanly")
+	return nil
+}

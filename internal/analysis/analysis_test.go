@@ -69,6 +69,13 @@ func TestCtxFlowFixture(t *testing.T) {
 	testFixture(t, "ctxflow", []Analyzer{NewCtxFlow()})
 }
 
+// TestCtxFlowMainFixture: the package-main fixture — func main may mint the
+// process root, everything else in the binary is held to the threading rule.
+func TestCtxFlowMainFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "ctxflowmain", []Analyzer{NewCtxFlow()})
+}
+
 func TestAtomicMixFixture(t *testing.T) {
 	t.Parallel()
 	testFixture(t, "atomicmix", []Analyzer{NewAtomicMix()})

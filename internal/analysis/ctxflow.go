@@ -6,12 +6,16 @@ import (
 )
 
 // CtxFlow enforces context threading on the request paths of the robust
-// ladder, the lifecycle manager and the soak harness: those packages receive
-// deadlines and cancellation from their callers, so
+// ladder, the lifecycle manager, the soak harness and the estimation
+// service: those packages receive deadlines and cancellation from their
+// callers, so
 //
 //   - context.Background() / context.TODO() must not be minted inside them —
 //     a fresh root context silently detaches the callee from the caller's
-//     deadline and the budgeted-run machinery it feeds;
+//     deadline and the budgeted-run machinery it feeds. The single allowed
+//     minting site is func main of a package main: a binary's entrypoint has
+//     no caller to inherit from, so the process-root context is minted there
+//     and threaded down ("no minted roots past main");
 //   - nil must never be passed where a callee expects a context.Context;
 //   - a function that carries a ctx parameter must not sleep blindly:
 //     calling time.Sleep directly, or calling a module function without a
@@ -32,6 +36,8 @@ func NewCtxFlow() *CtxFlow {
 		"condsel/internal/robust",
 		"condsel/internal/lifecycle",
 		"condsel/internal/soak",
+		"condsel/internal/serve",
+		"condsel/cmd/sitserve",
 		"testdata/src/ctxflow",
 	}}
 }
@@ -123,10 +129,14 @@ func (a *CtxFlow) checkFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 		callee := CalleeOf(pass.Info, call)
 
-		// Rule 1: no minted root contexts anywhere in scoped packages.
+		// Rule 1: no minted root contexts anywhere in scoped packages — except
+		// func main of a package main, the one function with no caller whose
+		// ctx it could thread. Everything below main inherits that root.
 		if isContextFunc(callee, "Background") || isContextFunc(callee, "TODO") {
-			pass.Reportf(call.Pos(),
-				"context.%s() minted on a request path: thread the caller's ctx instead", callee.Name())
+			if !isMainEntrypoint(pass, fd) {
+				pass.Reportf(call.Pos(),
+					"context.%s() minted on a request path: thread the caller's ctx instead", callee.Name())
+			}
 			return true
 		}
 
@@ -190,6 +200,13 @@ func funcTakesCtx(fn *types.Func) bool {
 		}
 	}
 	return false
+}
+
+// isMainEntrypoint reports whether fd is func main of a package main — the
+// one place a scoped binary is allowed to mint its process-root context.
+func isMainEntrypoint(pass *Pass, fd *ast.FuncDecl) bool {
+	return pass.Pkg != nil && pass.Pkg.Name() == "main" &&
+		fd.Recv == nil && fd.Name.Name == "main"
 }
 
 // isContextFunc reports whether fn is context.<name>.

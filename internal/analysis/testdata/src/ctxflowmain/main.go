@@ -1,0 +1,41 @@
+// Command ctxflowmain is the package-main fixture of the ctxflow analyzer:
+// func main is the one function allowed to mint the process-root context
+// ("no minted roots past main"); every other function in the binary must
+// thread a caller's ctx.
+package main
+
+import (
+	"context"
+	"time"
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background()) // ok: the entrypoint mints the root
+	defer cancel()
+	if err := run(ctx, time.Millisecond); err != nil {
+		panic(err)
+	}
+}
+
+// run receives main's root context and threads it down: compliant.
+func run(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// reRoot is package main but not the entrypoint: minting is still banned.
+func reRoot(ctx context.Context, d time.Duration) error {
+	_ = ctx
+	return run(context.Background(), d) // want `context\.Background\(\) minted on a request path`
+}
+
+// todoHelper shows the exception is for main alone, not the whole package.
+func todoHelper() context.Context {
+	return context.TODO() // want `context\.TODO\(\) minted on a request path`
+}

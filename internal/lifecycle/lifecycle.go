@@ -867,6 +867,54 @@ func (m *Manager) Checkpoint() (string, error) {
 	return path, nil
 }
 
+// Counters is the allocation-light slice of Health a metrics scrape reads:
+// state counts and lifetime counters, no per-statistic records.
+type Counters struct {
+	Healthy, Stale, Rebuilding, Parked    int
+	PoolGeneration                        uint64
+	Rebuilds, Failures, Swaps, DroppedObs int64
+	CheckpointSeq                         uint64
+	CorruptSnapshots                      int
+}
+
+// CountersSnapshot reports the manager's state counts and lifetime counters
+// without materializing per-statistic records — cheap enough to call on
+// every metrics scrape.
+func (m *Manager) CountersSnapshot() Counters {
+	c := Counters{
+		PoolGeneration: m.Generation(),
+		Rebuilds:       m.rebuilds.Load(),
+		Failures:       m.failures.Load(),
+		Swaps:          m.swaps.Load(),
+		DroppedObs:     m.dropped.Load(),
+	}
+	m.mu.Lock()
+	c.CheckpointSeq = m.seq
+	c.CorruptSnapshots = len(m.corrupt)
+	tracked := len(m.states)
+	for _, st := range m.states {
+		switch st.state {
+		case StateHealthy:
+			c.Healthy++
+		case StateStale:
+			c.Stale++
+		case StateRebuilding:
+			c.Rebuilding++
+		case StateParked:
+			c.Parked++
+		}
+	}
+	m.mu.Unlock()
+	// Pool statistics with no state record yet are healthy by definition.
+	if extra := m.ep.Load().pool.Size() - tracked; extra > 0 {
+		c.Healthy += extra
+	}
+	if c.Healthy < 0 {
+		c.Healthy = 0
+	}
+	return c
+}
+
 // Health reports the manager's current world: state counts, lifetime
 // counters, the published generation, corrupt snapshots found at recovery,
 // and per-statistic records in ID order.

@@ -1,0 +1,61 @@
+package robust
+
+import "time"
+
+// This file maps caller-supplied deadlines onto ladder configurations — the
+// service layer's "deadline → budget" translation. The bands are chosen from
+// the repository's own measurements (BENCH_dp.json, BENCH_robust.json): a
+// full DP over the workload's n≤13-predicate queries completes in hundreds
+// of microseconds to low milliseconds when healthy, the greedy chain and GVM
+// tiers in tens of microseconds, and the independence tier in microseconds.
+// A request that arrives with (or has, after queueing) only a few
+// milliseconds of budget left therefore should not start an enumeration it
+// will almost certainly have to abort — entering the ladder at a cheaper
+// rung answers sooner AND frees the slot sooner, which is exactly how
+// overload sheds: fidelity degrades, availability does not.
+
+// The deadline bands, exported so the service layer and its documentation
+// stay in sync with the mapping actually applied.
+const (
+	// FullBudgetDeadline admits the unrestricted full DP (default node
+	// budget) at or above this remaining deadline.
+	FullBudgetDeadline = 200 * time.Millisecond
+	// TightBudgetDeadline admits the full DP under TightNodeBudget nodes.
+	TightBudgetDeadline = 50 * time.Millisecond
+	// ChainDeadline admits at most the greedy decomposition chain.
+	ChainDeadline = 10 * time.Millisecond
+	// GVMDeadline admits at most greedy view matching; below it only the
+	// independence tier (plus its closed-form floor) runs.
+	GVMDeadline = 2 * time.Millisecond
+
+	// TightNodeBudget is the DP node cap of the TightBudgetDeadline band:
+	// large enough for every healthy workload query in this repository,
+	// small enough that a pathological enumeration aborts in milliseconds.
+	TightNodeBudget = 25_000
+)
+
+// BudgetForDeadline translates a request's remaining deadline into a ladder
+// configuration: the entry tier and the DP node budget. The mapping is
+// monotone — less time never buys a higher tier — and total: zero or
+// negative remaining time still yields a valid config (independence tier
+// only), because the ladder answers always.
+//
+// The returned config carries SkipReason "deadline-mapped" so the skipped
+// rungs are attributed to the deadline, not to a fault.
+func BudgetForDeadline(remaining time.Duration) Config {
+	cfg := Config{SkipReason: "deadline-mapped"}
+	switch {
+	case remaining >= FullBudgetDeadline:
+		cfg.MaxTier = TierFullDP
+	case remaining >= TightBudgetDeadline:
+		cfg.MaxTier = TierFullDP
+		cfg.NodeBudget = TightNodeBudget
+	case remaining >= ChainDeadline:
+		cfg.MaxTier = TierBudgetedDP
+	case remaining >= GVMDeadline:
+		cfg.MaxTier = TierGVM
+	default:
+		cfg.MaxTier = TierNoSIT
+	}
+	return cfg
+}

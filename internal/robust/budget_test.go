@@ -1,0 +1,107 @@
+package robust
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMaxTierSkipsHigherRungs: capping the admitted tier enters the ladder
+// at the cap, records every skipped rung with the skip reason, and still
+// answers in range.
+func TestMaxTierSkipsHigherRungs(t *testing.T) {
+	t.Parallel()
+	f := newFixture(11)
+	cases := []struct {
+		max     Tier
+		skipped []string
+	}{
+		{TierBudgetedDP, []string{"full-dp: skipped"}},
+		{TierGVM, []string{"full-dp: skipped", "budgeted-dp: skipped"}},
+		{TierNoSIT, []string{"full-dp: skipped", "budgeted-dp: skipped", "gvm: skipped"}},
+	}
+	for _, tc := range cases {
+		lad := f.ladder(Config{MaxTier: tc.max, SkipReason: "admission-shed"})
+		sel, prov := lad.Selectivity(context.Background(), f.query, f.query.All())
+		checkValue(t, "capped sel", sel)
+		if sel > 1 {
+			t.Fatalf("MaxTier=%v: sel = %v > 1", tc.max, sel)
+		}
+		if prov.Tier < tc.max {
+			t.Fatalf("MaxTier=%v answered above the cap: %v", tc.max, prov.Tier)
+		}
+		for _, want := range tc.skipped {
+			if !strings.Contains(prov.FallbackReason, want) {
+				t.Fatalf("MaxTier=%v reason %q missing %q", tc.max, prov.FallbackReason, want)
+			}
+		}
+		if !strings.Contains(prov.FallbackReason, "admission-shed") {
+			t.Fatalf("MaxTier=%v reason %q does not carry the skip reason", tc.max, prov.FallbackReason)
+		}
+	}
+}
+
+// TestMaxTierZeroIsBitIdentical: the zero config still runs the full ladder
+// from the top — MaxTier plumbing must not perturb the default path.
+func TestMaxTierZeroIsBitIdentical(t *testing.T) {
+	t.Parallel()
+	f := newFixture(12)
+	want, provWant := f.ladder(Config{}).Selectivity(context.Background(), f.query, f.query.All())
+	got, provGot := f.ladder(Config{MaxTier: TierFullDP}).Selectivity(context.Background(), f.query, f.query.All())
+	if got != want || provGot != provWant {
+		t.Fatalf("explicit TierFullDP diverged: %v (%+v) vs %v (%+v)", got, provGot, want, provWant)
+	}
+	if provWant.Tier != TierFullDP {
+		t.Fatalf("healthy fixture did not answer at full-dp: %+v", provWant)
+	}
+}
+
+// TestConfigCap: Cap only ever lowers fidelity and records the new reason.
+func TestConfigCap(t *testing.T) {
+	t.Parallel()
+	c := Config{MaxTier: TierBudgetedDP, SkipReason: "deadline-mapped"}
+	if got := c.Cap(TierGVM, "slo-capped"); got.MaxTier != TierGVM || got.SkipReason != "slo-capped" {
+		t.Fatalf("Cap down = %+v", got)
+	}
+	if got := c.Cap(TierFullDP, "slo-capped"); got != c {
+		t.Fatalf("Cap up must be a no-op, got %+v", got)
+	}
+}
+
+// TestBudgetForDeadlineBands pins the mapping table documented in DESIGN.md.
+func TestBudgetForDeadlineBands(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		remaining time.Duration
+		tier      Tier
+		budget    int
+	}{
+		{time.Second, TierFullDP, 0},
+		{FullBudgetDeadline, TierFullDP, 0},
+		{100 * time.Millisecond, TierFullDP, TightNodeBudget},
+		{TightBudgetDeadline, TierFullDP, TightNodeBudget},
+		{20 * time.Millisecond, TierBudgetedDP, 0},
+		{ChainDeadline, TierBudgetedDP, 0},
+		{5 * time.Millisecond, TierGVM, 0},
+		{GVMDeadline, TierGVM, 0},
+		{time.Millisecond, TierNoSIT, 0},
+		{0, TierNoSIT, 0},
+		{-time.Second, TierNoSIT, 0},
+	}
+	prev := TierFullDP
+	for _, tc := range cases {
+		cfg := BudgetForDeadline(tc.remaining)
+		if cfg.MaxTier != tc.tier || cfg.NodeBudget != tc.budget {
+			t.Fatalf("BudgetForDeadline(%v) = {tier %v, budget %d}, want {%v, %d}",
+				tc.remaining, cfg.MaxTier, cfg.NodeBudget, tc.tier, tc.budget)
+		}
+		if cfg.SkipReason != "deadline-mapped" {
+			t.Fatalf("BudgetForDeadline(%v).SkipReason = %q", tc.remaining, cfg.SkipReason)
+		}
+		if cfg.MaxTier < prev {
+			t.Fatalf("mapping not monotone at %v", tc.remaining)
+		}
+		prev = cfg.MaxTier
+	}
+}

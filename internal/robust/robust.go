@@ -91,6 +91,38 @@ type Config struct {
 	// NodeBudget caps TierFullDP's DP nodes: 0 means DefaultNodeBudget,
 	// negative means unlimited.
 	NodeBudget int
+
+	// MaxTier is the highest-fidelity tier the ladder may attempt; rungs
+	// above it are skipped outright, with SkipReason recorded per skipped
+	// rung in the answer's FallbackReason. The zero value (TierFullDP)
+	// admits the whole ladder. A service layer uses this to shed load by
+	// degrading fidelity instead of erroring: an overloaded or deadline-
+	// starved request enters the ladder at a rung cheap enough to answer
+	// within what remains of its budget.
+	MaxTier Tier
+
+	// SkipReason says why tiers above MaxTier were skipped (e.g.
+	// "deadline-mapped", "slo-capped", "admission-shed"). Empty selects
+	// "capped".
+	SkipReason string
+}
+
+func (c Config) skipReason() string {
+	if c.SkipReason == "" {
+		return "capped"
+	}
+	return c.SkipReason
+}
+
+// Cap lowers the config's admitted tier to t when t is below the current
+// MaxTier, recording reason for the skipped rungs. Capping never raises
+// fidelity: a config already restricted further is returned unchanged.
+func (c Config) Cap(t Tier, reason string) Config {
+	if t > c.MaxTier {
+		c.MaxTier = t
+		c.SkipReason = reason
+	}
+	return c
 }
 
 func (c Config) nodeBudget() int {
@@ -122,46 +154,60 @@ func New(e *core.Estimator, cfg Config) *Estimator {
 // selectivity is always finite and in [0,1], whatever fails underneath.
 func (e *Estimator) Selectivity(ctx context.Context, q *engine.Query, set engine.PredSet) (float64, Provenance) {
 	gen := e.Core.Pool.Generation()
+	var fall string
 
 	// Tier 1: full DP under deadline + node budget. The selectivity is
 	// copied out before Release — Results live in the run's arenas and are
 	// invalid once the run returns to the pool.
-	r := e.Core.NewBudgetedRun(ctx, q, e.Cfg.nodeBudget())
-	res, reason := r.SelectivityGuarded(set)
-	var tier1Sel float64
-	if reason == "" {
-		tier1Sel = res.Sel
+	if e.Cfg.MaxTier > TierFullDP {
+		fall = "full-dp: skipped (" + e.Cfg.skipReason() + ")"
+	} else {
+		r := e.Core.NewBudgetedRun(ctx, q, e.Cfg.nodeBudget())
+		res, reason := r.SelectivityGuarded(set)
+		var tier1Sel float64
+		if reason == "" {
+			tier1Sel = res.Sel
+		}
+		r.Release()
+		if reason == "" {
+			return tier1Sel, Provenance{Tier: TierFullDP, Generation: gen}
+		}
+		fall = "full-dp: " + reason
 	}
-	r.Release()
-	if reason == "" {
-		return tier1Sel, Provenance{Tier: TierFullDP, Generation: gen}
-	}
-	fall := "full-dp: " + reason
 
 	// Tier 2: greedy chain on a fresh run (the aborted run's memo may hold
 	// poisoned partial results — Release wipes the memo, so pooling the
 	// aborted run above is safe), same deadline, no node budget — the
 	// chain's O(n²) factor count bounds it structurally.
-	r2 := e.Core.NewBudgetedRun(ctx, q, 0)
-	//lint:ignore ctxflow the run carries ctx from NewBudgetedRun and polls its deadline between factors; the transitive sleep is the SlowFactor fault-injection point, active only under the faults harness
-	sel, _, reason := r2.GreedyChainGuarded(set)
-	r2.Release()
-	if reason == "" {
-		return sel, Provenance{Tier: TierBudgetedDP, FallbackReason: fall, Generation: gen}
+	if e.Cfg.MaxTier > TierBudgetedDP {
+		fall += "; budgeted-dp: skipped (" + e.Cfg.skipReason() + ")"
+	} else {
+		r2 := e.Core.NewBudgetedRun(ctx, q, 0)
+		//lint:ignore ctxflow the run carries ctx from NewBudgetedRun and polls its deadline between factors; the transitive sleep is the SlowFactor fault-injection point, active only under the faults harness
+		sel, _, reason := r2.GreedyChainGuarded(set)
+		r2.Release()
+		if reason == "" {
+			return sel, Provenance{Tier: TierBudgetedDP, FallbackReason: fall, Generation: gen}
+		}
+		fall += "; budgeted-dp: " + reason
 	}
-	fall += "; budgeted-dp: " + reason
 
 	// Tier 3: greedy view matching, deadline-polled between rounds.
-	sel, reason = e.gvmGuarded(ctx, q, set)
-	if reason == "" {
-		return sel, Provenance{Tier: TierGVM, FallbackReason: fall, Generation: gen}
+	if e.Cfg.MaxTier > TierGVM {
+		fall += "; gvm: skipped (" + e.Cfg.skipReason() + ")"
+	} else {
+		sel, reason := e.gvmGuarded(ctx, q, set)
+		if reason == "" {
+			return sel, Provenance{Tier: TierGVM, FallbackReason: fall, Generation: gen}
+		}
+		fall += "; gvm: " + reason
 	}
-	fall += "; gvm: " + reason
 
 	// Tier 4: independence over base histograms — no deadline: this tier
-	// must answer, and it performs no search to bound.
+	// must answer, and it performs no search to bound. MaxTier never skips
+	// it; the ladder's availability contract ends here, not at the floor.
 	r4 := e.Core.NewRun(q)
-	sel, reason = r4.IndependenceGuarded(set)
+	sel, reason := r4.IndependenceGuarded(set)
 	r4.Release()
 	if reason == "" {
 		return sel, Provenance{Tier: TierNoSIT, FallbackReason: fall, Generation: gen}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Shed causes, as reported in AdmitResult.ShedCause, in Provenance skip
+// reasons and as the `cause` label of condsel_shed_total.
+const (
+	// ShedQueueFull: the wait queue was already at capacity on arrival.
+	ShedQueueFull = "queue-full"
+	// ShedDeadline: waiting for a slot would have exhausted the request's
+	// remaining deadline (or the deadline expired while queued).
+	ShedDeadline = "deadline"
+)
+
+// Limiter is the token-based admission controller: a fixed number of
+// concurrency slots plus a bounded wait pool. A request that cannot take a
+// slot immediately may wait — but only as long as its own deadline affords,
+// so queue-wait time is charged against the request's budget, never added on
+// top of it. A request that would exhaust its deadline queuing, or that
+// arrives with the wait pool full, is *shed*: not rejected, but redirected
+// by the caller to a ladder tier cheap enough to answer without a slot.
+//
+// Waiters are released in scheduler order, not strict FIFO; the bound is on
+// how many may wait, not on their order. All methods are safe for concurrent
+// use.
+type Limiter struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	admitted atomic.Int64 // slots currently held
+}
+
+// AdmitResult reports one admission decision.
+type AdmitResult struct {
+	// Admitted says a slot was granted; the caller must call the returned
+	// release function when done.
+	Admitted bool
+	// ShedCause names why admission was denied ("" when admitted).
+	ShedCause string
+	// Waited is how long the request spent queued, whatever the outcome.
+	Waited time.Duration
+}
+
+// NewLimiter returns a limiter with the given concurrency slots and wait-
+// queue bound (minimums of 1 and 0 are enforced).
+func NewLimiter(slots, maxQueue int) *Limiter {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	ch := make(chan struct{}, slots)
+	for i := 0; i < slots; i++ {
+		ch <- struct{}{}
+	}
+	return &Limiter{slots: ch, maxQueue: int64(maxQueue)}
+}
+
+// Acquire takes a slot, waiting at most maxWait (and never past ctx's
+// deadline). On admission the returned release function returns the slot —
+// it must be called exactly once. On shed the release function is nil.
+func (l *Limiter) Acquire(ctx context.Context, maxWait time.Duration) (func(), AdmitResult) {
+	select {
+	case <-l.slots:
+		return l.release(), AdmitResult{Admitted: true}
+	default:
+	}
+	if maxWait <= 0 {
+		return nil, AdmitResult{ShedCause: ShedDeadline}
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return nil, AdmitResult{ShedCause: ShedQueueFull}
+	}
+	defer l.queued.Add(-1)
+
+	start := time.Now()
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case <-l.slots:
+		return l.release(), AdmitResult{Admitted: true, Waited: time.Since(start)}
+	case <-timer.C:
+		return nil, AdmitResult{ShedCause: ShedDeadline, Waited: time.Since(start)}
+	case <-ctx.Done():
+		return nil, AdmitResult{ShedCause: ShedDeadline, Waited: time.Since(start)}
+	}
+}
+
+// release builds the slot-return closure for one successful acquisition.
+func (l *Limiter) release() func() {
+	l.admitted.Add(1)
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			l.admitted.Add(-1)
+			l.slots <- struct{}{}
+		}
+	}
+}
+
+// QueueDepth is the number of requests currently waiting for a slot.
+func (l *Limiter) QueueDepth() int64 { return l.queued.Load() }
+
+// InFlight is the number of slots currently held.
+func (l *Limiter) InFlight() int64 { return l.admitted.Load() }
+
+// Capacity returns the limiter's slot count.
+func (l *Limiter) Capacity() int { return cap(l.slots) }

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"condsel/internal/engine"
+	"condsel/internal/robust"
+)
+
+// blockingEstimator parks inside Estimate until released, signalling entry —
+// the probe that lets the drain test hold a request genuinely in flight.
+type blockingEstimator struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (e *blockingEstimator) Estimate(ctx context.Context, q *engine.Query, cfg robust.Config) (float64, robust.Provenance) {
+	e.entered <- struct{}{}
+	select {
+	case <-e.release:
+	case <-ctx.Done():
+	}
+	return 7, robust.Provenance{Tier: cfg.MaxTier, Generation: 1}
+}
+
+// TestGracefulDrain exercises the full shutdown sequence over a real
+// listener: a request caught in flight completes with 200, requests arriving
+// after BeginDrain get 503 + Retry-After, Shutdown closes the listener, and
+// no goroutines are left behind.
+func TestGracefulDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	f := newTestFixture(9)
+	stub := &blockingEstimator{entered: make(chan struct{}), release: make(chan struct{})}
+	s := f.server(t, Config{
+		Estimator:       stub,
+		MaxConcurrent:   2,
+		DefaultDeadline: 5 * time.Second,
+		DrainDeadline:   5 * time.Second,
+		RetryAfter:      2 * time.Second,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Put one request genuinely in flight (parked inside the estimator).
+	inFlight := make(chan EstimateResult, 1)
+	inFlightCode := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/estimate?q=" + urlQuery(f.query))
+		if err != nil {
+			inFlightCode <- -1
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var res EstimateResult
+		_ = json.Unmarshal(body, &res)
+		inFlightCode <- resp.StatusCode
+		inFlight <- res
+	}()
+	select {
+	case <-stub.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never reached the estimator")
+	}
+
+	s.BeginDrain()
+
+	// New work is refused with 503 and a Retry-After hint.
+	resp, err := http.Get(base + "/estimate?q=" + urlQuery(f.query))
+	if err != nil {
+		t.Fatalf("post-drain request: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	var refused EstimateResult
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &refused); err != nil || refused.Error == "" {
+		t.Fatalf("503 body %q not a JSON error (%v)", body, err)
+	}
+
+	// Readiness reports draining; liveness stays up.
+	if resp, err := http.Get(base + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Release the parked request, then shut down: Shutdown must wait for it.
+	close(stub.release)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code := <-inFlightCode; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", code)
+	}
+	if res := <-inFlight; res.Cardinality != 7 {
+		t.Fatalf("in-flight result = %+v, want the stub's answer", res)
+	}
+
+	// The listener is closed: Serve returned ErrServerClosed and new dials
+	// are refused.
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if conn, err := net.DialTimeout("tcp", ln.Addr().String(), 500*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after Shutdown")
+	}
+
+	// No goroutine leaks: the count settles back to (about) where it began.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDrainDeadlineExpires: a request that outlives the drain deadline makes
+// Shutdown return an error instead of hanging forever.
+func TestDrainDeadlineExpires(t *testing.T) {
+	t.Parallel()
+	f := newTestFixture(10)
+	stub := &blockingEstimator{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	s := f.server(t, Config{
+		Estimator:       stub,
+		DefaultDeadline: 30 * time.Second, // the request itself would run long
+		DrainDeadline:   50 * time.Millisecond,
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/estimate?q="+urlQuery(f.query), nil))
+	}()
+	<-stub.entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.Shutdown(ctx)
+	if err == nil || !strings.Contains(err.Error(), "drain deadline") {
+		t.Fatalf("Shutdown = %v, want drain-deadline error", err)
+	}
+	close(stub.release)
+	<-done
+}

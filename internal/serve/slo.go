@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"condsel/internal/robust"
+)
+
+// Clock abstracts time.Now so the SLO controller's hysteresis is
+// deterministic under test: production uses the real clock, tests drive a
+// fake one and feed scripted latencies.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// SLOConfig tunes the tail-latency controller. The zero value of each field
+// takes the default; TargetP99 <= 0 disables the controller entirely (the
+// admitted tier stays TierFullDP).
+type SLOConfig struct {
+	// TargetP99 is the rolling-p99 latency objective.
+	TargetP99 time.Duration
+	// Window is the rolling sample window size (default 256).
+	Window int
+	// MinSamples is how many samples the window needs before any decision
+	// (default max(Window/4, 16)). The window is cleared after every tier
+	// change, so each step is judged on fresh evidence.
+	MinSamples int
+	// HoldDown is the minimum interval between consecutive tightening steps
+	// (default 250ms) — one breach moves one rung, not a freefall.
+	HoldDown time.Duration
+	// HoldUp is how long p99 must stay below ReopenFraction·TargetP99
+	// before one rung of fidelity is restored (default 1s). Re-opening is
+	// deliberately slower than tightening.
+	HoldUp time.Duration
+	// ReopenFraction is the recovery threshold as a fraction of TargetP99
+	// (default 0.5): hysteresis, so the controller does not oscillate
+	// around the target.
+	ReopenFraction float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 4
+		if c.MinSamples < 16 {
+			c.MinSamples = 16
+		}
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.HoldDown <= 0 {
+		c.HoldDown = 250 * time.Millisecond
+	}
+	if c.HoldUp <= 0 {
+		c.HoldUp = time.Second
+	}
+	if c.ReopenFraction <= 0 || c.ReopenFraction >= 1 {
+		c.ReopenFraction = 0.5
+	}
+	return c
+}
+
+// TierTransition records one controller decision, for tests and operators.
+type TierTransition struct {
+	At       time.Time
+	From, To robust.Tier
+	P99      time.Duration // the rolling p99 that triggered the move
+}
+
+// SLOController keeps a rolling latency window per endpoint group and
+// adaptively caps the ladder tier admission may grant: when the rolling p99
+// breaches the target, the admitted tier steps one rung down (cheaper, so
+// the tail shrinks); when p99 stays below the reopen threshold for HoldUp,
+// fidelity steps back up. Both directions carry hysteresis — HoldDown
+// between tightenings, HoldUp plus a lower threshold before re-opening —
+// so the controller converges instead of oscillating. Deterministic given a
+// deterministic Clock and observation sequence.
+type SLOController struct {
+	cfg   SLOConfig
+	clock Clock
+
+	mu          sync.Mutex
+	window      []time.Duration
+	scratch     []time.Duration
+	n, next     int
+	tier        robust.Tier
+	lastTighten time.Time
+	calmSince   time.Time
+	tightenings int64
+	reopenings  int64
+	transitions []TierTransition
+}
+
+// maxTransitions bounds the retained decision trace (oldest dropped).
+const maxTransitions = 256
+
+// NewSLOController returns a controller at TierFullDP. A nil clock selects
+// the real one.
+func NewSLOController(cfg SLOConfig, clock Clock) *SLOController {
+	cfg = cfg.withDefaults()
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &SLOController{
+		cfg:     cfg,
+		clock:   clock,
+		window:  make([]time.Duration, cfg.Window),
+		scratch: make([]time.Duration, cfg.Window),
+	}
+}
+
+// Admitted returns the highest-fidelity tier the controller currently
+// allows.
+func (c *SLOController) Admitted() robust.Tier {
+	if c == nil || c.cfg.TargetP99 <= 0 {
+		return robust.TierFullDP
+	}
+	c.mu.Lock()
+	t := c.tier
+	c.mu.Unlock()
+	return t
+}
+
+// Observe records one request's latency and re-evaluates the admitted tier.
+func (c *SLOController) Observe(d time.Duration) {
+	if c == nil || c.cfg.TargetP99 <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.window[c.next] = d
+	c.next = (c.next + 1) % len(c.window)
+	if c.n < len(c.window) {
+		c.n++
+	}
+	if c.n < c.cfg.MinSamples {
+		return
+	}
+	p99 := c.p99Locked()
+	now := c.clock.Now()
+	switch {
+	case p99 > c.cfg.TargetP99:
+		c.calmSince = time.Time{}
+		if c.tier < robust.TierNoSIT &&
+			(c.lastTighten.IsZero() || now.Sub(c.lastTighten) >= c.cfg.HoldDown) {
+			c.stepLocked(c.tier+1, p99, now)
+			c.lastTighten = now
+			c.tightenings++
+		}
+	case c.tier > robust.TierFullDP &&
+		float64(p99) <= c.cfg.ReopenFraction*float64(c.cfg.TargetP99):
+		if c.calmSince.IsZero() {
+			c.calmSince = now
+		} else if now.Sub(c.calmSince) >= c.cfg.HoldUp {
+			c.stepLocked(c.tier-1, p99, now)
+			c.reopenings++
+			c.calmSince = now // a further re-opening needs its own calm period
+		}
+	default:
+		c.calmSince = time.Time{}
+	}
+}
+
+// stepLocked moves the admitted tier and clears the window so the next
+// decision rests on evidence gathered under the new tier.
+func (c *SLOController) stepLocked(to robust.Tier, p99 time.Duration, now time.Time) {
+	c.transitions = append(c.transitions, TierTransition{At: now, From: c.tier, To: to, P99: p99})
+	if len(c.transitions) > maxTransitions {
+		c.transitions = c.transitions[len(c.transitions)-maxTransitions:]
+	}
+	c.tier = to
+	c.n, c.next = 0, 0
+}
+
+// p99Locked computes the window's p99 by nearest rank over a scratch copy.
+func (c *SLOController) p99Locked() time.Duration {
+	s := c.scratch[:c.n]
+	if c.n == len(c.window) {
+		copy(s, c.window)
+	} else {
+		copy(s, c.window[:c.n])
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(0.99*float64(len(s)-1))]
+}
+
+// SLOStats is a point-in-time snapshot of the controller's counters.
+type SLOStats struct {
+	AdmittedTier robust.Tier
+	Tightenings  int64
+	Reopenings   int64
+	WindowFill   int
+}
+
+// Stats snapshots the controller.
+func (c *SLOController) Stats() SLOStats {
+	if c == nil {
+		return SLOStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SLOStats{AdmittedTier: c.tier, Tightenings: c.tightenings, Reopenings: c.reopenings, WindowFill: c.n}
+}
+
+// Transitions returns a copy of the retained decision trace in order.
+func (c *SLOController) Transitions() []TierTransition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TierTransition(nil), c.transitions...)
+}

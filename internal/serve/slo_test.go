@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"condsel/internal/robust"
+)
+
+// fakeClock is a manually advanced clock: with it the SLO controller is a
+// pure function of the observation sequence.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testSLOConfig() SLOConfig {
+	return SLOConfig{
+		TargetP99:      100 * time.Millisecond,
+		Window:         16,
+		MinSamples:     8,
+		HoldDown:       10 * time.Millisecond,
+		HoldUp:         50 * time.Millisecond,
+		ReopenFraction: 0.5,
+	}
+}
+
+// feed pushes n observations of latency d, advancing the clock by step per
+// observation.
+func feed(c *SLOController, clk *fakeClock, n int, d, step time.Duration) {
+	for i := 0; i < n; i++ {
+		clk.advance(step)
+		c.Observe(d)
+	}
+}
+
+// TestSLOTightensMonotonicallyUnderBreach: sustained p99 breach walks the
+// admitted tier down one rung at a time, respecting hold-down spacing, and
+// stops at the floor.
+func TestSLOTightensMonotonicallyUnderBreach(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := NewSLOController(testSLOConfig(), clk)
+
+	if got := c.Admitted(); got != robust.TierFullDP {
+		t.Fatalf("initial tier = %v, want full-dp", got)
+	}
+	// 200ms observations breach the 100ms target. 1ms steps mean each
+	// refilled window (8 samples) also satisfies the 10ms hold-down.
+	feed(c, clk, 200, 200*time.Millisecond, 2*time.Millisecond)
+	if got := c.Admitted(); got != robust.TierNoSIT {
+		t.Fatalf("after sustained breach tier = %v, want no-sit floor", got)
+	}
+	trans := c.Transitions()
+	if len(trans) != 3 {
+		t.Fatalf("got %d transitions, want 3 (one per rung): %+v", len(trans), trans)
+	}
+	for i, tr := range trans {
+		if tr.To != tr.From+1 {
+			t.Fatalf("transition %d not a single downward rung: %+v", i, tr)
+		}
+		if i > 0 && trans[i].At.Sub(trans[i-1].At) < c.cfg.HoldDown {
+			t.Fatalf("transitions %d,%d closer than hold-down: %+v", i-1, i, trans)
+		}
+	}
+	if st := c.Stats(); st.Tightenings != 3 || st.Reopenings != 0 {
+		t.Fatalf("stats = %+v, want 3 tightenings, 0 reopenings", st)
+	}
+}
+
+// TestSLOReopensAfterSustainedCalm: once p99 stays under the reopen
+// threshold for the hold-up window, fidelity returns one rung at a time all
+// the way to full-dp.
+func TestSLOReopensAfterSustainedCalm(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := NewSLOController(testSLOConfig(), clk)
+
+	feed(c, clk, 200, 200*time.Millisecond, 2*time.Millisecond)
+	if got := c.Admitted(); got != robust.TierNoSIT {
+		t.Fatalf("setup: tier = %v, want no-sit", got)
+	}
+	// 10ms observations are calm (≤ 50ms reopen threshold). Each reopening
+	// needs MinSamples plus a full 50ms hold-up of continuous calm; 2ms
+	// steps give 25 observations per hold-up, so 3 rungs need well under
+	// 300 observations.
+	feed(c, clk, 300, 10*time.Millisecond, 2*time.Millisecond)
+	if got := c.Admitted(); got != robust.TierFullDP {
+		t.Fatalf("after sustained calm tier = %v, want full-dp restored", got)
+	}
+	st := c.Stats()
+	if st.Reopenings != 3 {
+		t.Fatalf("reopenings = %d, want 3", st.Reopenings)
+	}
+}
+
+// TestSLOHysteresisHoldsThroughBriefCalm: calm shorter than hold-up must not
+// re-open — one quiet moment is not a recovery.
+func TestSLOHysteresisHoldsThroughBriefCalm(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := NewSLOController(testSLOConfig(), clk)
+
+	feed(c, clk, 60, 200*time.Millisecond, 2*time.Millisecond)
+	tier := c.Admitted()
+	if tier == robust.TierFullDP {
+		t.Fatal("setup: controller never tightened")
+	}
+	// 20ms of calm (< 50ms hold-up), then breach again: tier must not have
+	// re-opened in between.
+	feed(c, clk, 10, 10*time.Millisecond, 2*time.Millisecond)
+	if got := c.Admitted(); got < tier {
+		t.Fatalf("re-opened after only 20ms calm: %v -> %v", tier, got)
+	}
+}
+
+// TestSLOMidLatencyIsStable: p99 between the reopen threshold and the target
+// neither tightens nor re-opens — the dead band is what prevents
+// oscillation.
+func TestSLOMidLatencyIsStable(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := NewSLOController(testSLOConfig(), clk)
+
+	feed(c, clk, 60, 200*time.Millisecond, 2*time.Millisecond)
+	tier := c.Admitted()
+	before := c.Stats()
+	// 80ms: below the 100ms target, above the 50ms reopen threshold.
+	feed(c, clk, 500, 80*time.Millisecond, 2*time.Millisecond)
+	after := c.Stats()
+	if after.AdmittedTier != tier {
+		t.Fatalf("dead-band latency moved the tier: %v -> %v", tier, after.AdmittedTier)
+	}
+	if after.Tightenings != before.Tightenings || after.Reopenings != before.Reopenings {
+		t.Fatalf("dead-band latency changed counters: %+v -> %+v", before, after)
+	}
+}
+
+// TestSLODisabled: a non-positive target disables the controller outright.
+func TestSLODisabled(t *testing.T) {
+	t.Parallel()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := NewSLOController(SLOConfig{TargetP99: -1}, clk)
+	feed(c, clk, 100, time.Hour, time.Millisecond)
+	if got := c.Admitted(); got != robust.TierFullDP {
+		t.Fatalf("disabled controller tightened to %v", got)
+	}
+}
+
+// TestSLODeterminism: identical observation sequences produce identical
+// transition traces — the property the overload tests rely on.
+func TestSLODeterminism(t *testing.T) {
+	t.Parallel()
+	run := func() []TierTransition {
+		clk := &fakeClock{t: time.Unix(0, 0)}
+		c := NewSLOController(testSLOConfig(), clk)
+		feed(c, clk, 120, 150*time.Millisecond, 3*time.Millisecond)
+		feed(c, clk, 120, 20*time.Millisecond, 3*time.Millisecond)
+		return c.Transitions()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("traces differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -255,6 +255,22 @@ func (p *Pool) HealthSnapshot() Health {
 	}
 }
 
+// HealthCounts is HealthSnapshot without the per-statistic records: the
+// counts a metrics scrape wants, cheap enough to read on every scrape (no
+// per-record allocation, one lock acquisition).
+func (p *Pool) HealthCounts() (sits, quarantined int, generation uint64) {
+	p.qmu.Lock()
+	quarantined = len(p.quar)
+	//lint:ignore detmaprange the body only increments a count; the result is independent of iteration order
+	for id := range p.byID {
+		if _, q := p.quar[id]; !q {
+			sits++
+		}
+	}
+	p.qmu.Unlock()
+	return sits, quarantined, p.gen.Load()
+}
+
 // NewPool returns an empty pool over the catalog.
 func NewPool(cat *engine.Catalog) *Pool {
 	p := &Pool{
