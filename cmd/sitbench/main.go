@@ -65,7 +65,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust, lifecycle, soak, serve")
+		fig       = flag.String("fig", "all", "figure to regenerate: all, 5, 6, 7, 8, lemma1, ablations, a1..a7, p1, est, dp, robust, lifecycle, soak, serve, cluster")
 		fact      = flag.Int("fact", 20000, "fact table rows")
 		queries   = flag.Int("queries", 25, "queries per workload")
 		joins     = flag.String("joins", "3,5,7", "workload join counts (comma separated)")
@@ -88,6 +88,7 @@ func main() {
 		duration  = flag.Duration("duration", 0, "for -fig soak: keep cycling until this wall-clock budget expires (0 = -cycles mode)")
 		phases    = flag.String("phases", "", "for -fig soak: comma-separated phase subset (default: the full arc)")
 		slots     = flag.Int("slots", 0, "admission slots for -fig serve (0 = default 4)")
+		nodes     = flag.Int("nodes", 0, "cluster size for -fig cluster (0 = default 3)")
 		phaseDur  = flag.Duration("phase", 0, "per-phase wall clock for -fig serve (0 = default 3s)")
 	)
 	flag.Parse()
@@ -124,6 +125,7 @@ func main() {
 	robustCfg := bench.RobustBenchConfig{Iters: *iters, Faults: *withFault}
 	lifecycleCfg := bench.LifecycleBenchConfig{Iters: *iters, Cycles: *cycles}
 	serveCfg := bench.ServeBenchConfig{Slots: *slots, Phase: *phaseDur}
+	clusterCfg := bench.ClusterBenchConfig{Nodes: *nodes}
 	soakCfg := soak.Config{
 		Seed:     *seed,
 		Tables:   *tables,
@@ -134,14 +136,14 @@ func main() {
 	}
 
 	start := time.Now()
-	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, soakCfg, serveCfg, *jsonPath, *gatePath); err != nil {
+	if err := run(*fig, opts, *csvPath, estCfg, dpCfg, robustCfg, lifecycleCfg, soakCfg, serveCfg, clusterCfg, *jsonPath, *gatePath); err != nil {
 		fmt.Fprintf(os.Stderr, "sitbench: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, soakCfg soak.Config, serveCfg bench.ServeBenchConfig, jsonPath, gatePath string) error {
+func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchConfig, dpCfg bench.DPBenchConfig, robustCfg bench.RobustBenchConfig, lifecycleCfg bench.LifecycleBenchConfig, soakCfg soak.Config, serveCfg bench.ServeBenchConfig, clusterCfg bench.ClusterBenchConfig, jsonPath, gatePath string) error {
 	withJSON := func(def string, write func(*os.File) error) error {
 		path := jsonPath
 		if path == "" {
@@ -271,6 +273,13 @@ func run(fig string, opts bench.Options, csvPath string, estCfg bench.EstBenchCo
 		bench.RenderServe(os.Stdout, report)
 		return withJSON("BENCH_serve.json", func(f *os.File) error {
 			return bench.WriteServeJSON(f, report)
+		})
+	case "cluster":
+		e := bench.NewEnv(opts)
+		report := e.ClusterBench(clusterCfg)
+		bench.RenderCluster(os.Stdout, report)
+		return withJSON("BENCH_cluster.json", func(f *os.File) error {
+			return bench.WriteClusterJSON(f, report)
 		})
 	case "soak":
 		h, err := soak.New(soakCfg)

@@ -29,6 +29,11 @@ func TestCacheKeyGenFixture(t *testing.T) {
 	testFixture(t, "cachekeygen", []Analyzer{NewCacheKeyGen()})
 }
 
+func TestClusterFenceFixture(t *testing.T) {
+	t.Parallel()
+	testFixture(t, "clusterfence", []Analyzer{NewClusterFence()})
+}
+
 func TestLockOrderFixture(t *testing.T) {
 	t.Parallel()
 	testFixture(t, "lockorder", []Analyzer{NewLockOrder()})

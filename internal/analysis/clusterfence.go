@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ClusterFence checks that epoch ordering in the distributed statistics
+// tier goes through the fencing helper, never through raw comparison
+// operators.
+//
+// The cluster's staleness fence is lexicographic over (epoch, generation):
+// a frame wins only if its epoch is newer, or the epoch ties and the
+// generation is newer. Code that compares epochs with a bare `<`/`>` has
+// re-derived half of that rule — and every distributed-systems postmortem
+// features the other half missing: an epoch tie falls through and a stale
+// generation is admitted, or the comparison is written `<=` and a replayed
+// duplicate wins. So ordered comparisons (`<`, `>`, `<=`, `>=`) where
+// either operand is the cluster `Epoch` type — directly or through an
+// integer conversion — are flagged everywhere in scope except methods
+// declared on the Stamp type itself, which is where the one sanctioned
+// comparison (Stamp.Newer) lives. Equality checks are fine: `==`/`!=`
+// carry no ordering claim.
+type ClusterFence struct {
+	// Scope lists the package paths the check applies to.
+	Scope []string
+}
+
+// NewClusterFence returns the analyzer scoped to the cluster tier and its
+// fixture.
+func NewClusterFence() *ClusterFence {
+	return &ClusterFence{Scope: []string{
+		"condsel/internal/cluster",
+		"condsel/cmd/sitnode",
+		"testdata/src/clusterfence",
+	}}
+}
+
+// Name implements Analyzer.
+func (*ClusterFence) Name() string { return "clusterfence" }
+
+// Doc implements Analyzer.
+func (*ClusterFence) Doc() string {
+	return "epoch ordering must use the Stamp fencing helper (Stamp.Newer), not raw </>/<=/>= on Epoch values"
+}
+
+// Run implements Analyzer.
+func (a *ClusterFence) Run(pass *Pass) {
+	if !inScope(pass.Path, a.Scope) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isStampMethod(pass, fd) {
+				continue // the fencing helper itself compares epochs
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch bin.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				default:
+					return true
+				}
+				if epochOperand(pass, bin.X) || epochOperand(pass, bin.Y) {
+					pass.Reportf(bin.OpPos,
+						"raw %s comparison on Epoch values: epoch order is half the fence — use Stamp.Newer so generation ties break correctly", bin.Op)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isStampMethod reports whether fd is a method whose receiver base type is
+// named Stamp — the sanctioned home of epoch comparisons.
+func isStampMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Stamp"
+}
+
+// epochOperand reports whether the expression is Epoch-typed, either
+// directly or laundered through an integer conversion like
+// uint64(s.Epoch).
+func epochOperand(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if isEpochType(pass.TypeOf(e)) {
+		return true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	// A conversion's Fun is a type expression, not a *types.Func.
+	if _, isConv := pass.TypeOf(call.Fun).(*types.Basic); !isConv {
+		if CalleeOf(pass.Info, call) != nil {
+			return false // a real call: its result is whatever it is
+		}
+	}
+	return isEpochType(pass.TypeOf(ast.Unparen(call.Args[0])))
+}
+
+// isEpochType reports whether t is a named integer type called Epoch.
+func isEpochType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Epoch" {
+		return false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

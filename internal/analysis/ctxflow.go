@@ -37,7 +37,9 @@ func NewCtxFlow() *CtxFlow {
 		"condsel/internal/lifecycle",
 		"condsel/internal/soak",
 		"condsel/internal/serve",
+		"condsel/internal/cluster",
 		"condsel/cmd/sitserve",
+		"condsel/cmd/sitnode",
 		"testdata/src/ctxflow",
 	}}
 }

@@ -12,6 +12,7 @@ func Suite() []Analyzer {
 	analyzers := []Analyzer{
 		NewAtomicMix(),
 		NewCacheKeyGen(),
+		NewClusterFence(),
 		NewCtxFlow(),
 		NewCtxLoop(),
 		NewDetMapRange(),

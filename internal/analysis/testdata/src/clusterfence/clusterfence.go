@@ -1,0 +1,64 @@
+// Package clusterfence is the fixture for the clusterfence analyzer: epoch
+// ordering must go through the Stamp fencing helper, never raw comparison
+// operators. The types mirror condsel/internal/cluster.
+package clusterfence
+
+// Epoch mirrors cluster.Epoch: a per-node rebuild counter.
+type Epoch uint64
+
+// Stamp mirrors cluster.Stamp: the lexicographic (epoch, generation)
+// fencing token.
+type Stamp struct {
+	Epoch Epoch
+	Gen   uint64
+}
+
+// Newer is the sanctioned comparison — methods on Stamp are exempt.
+func (s Stamp) Newer(o Stamp) bool {
+	if s.Epoch != o.Epoch {
+		return s.Epoch > o.Epoch
+	}
+	return s.Gen > o.Gen
+}
+
+// IsZero is also exempt by receiver type, comparisons and all.
+func (s Stamp) IsZero() bool {
+	return s.Epoch <= 0 && s.Gen == 0
+}
+
+// badDirect re-derives half the fence with a raw operator.
+func badDirect(a, b Stamp) bool {
+	return a.Epoch < b.Epoch // want `raw < comparison on Epoch values`
+}
+
+// badLocal compares free-standing Epoch values.
+func badLocal(e Epoch) bool {
+	var floor Epoch = 3
+	return e >= floor // want `raw >= comparison on Epoch values`
+}
+
+// badConverted launders the epoch through an integer conversion.
+func badConverted(a, b Stamp) bool {
+	return uint64(a.Epoch) > uint64(b.Epoch) // want `raw > comparison on Epoch values`
+}
+
+// goodFenced routes ordering through the helper.
+func goodFenced(a, b Stamp) bool {
+	return a.Newer(b)
+}
+
+// goodEquality carries no ordering claim — replay detection needs it.
+func goodEquality(a, b Stamp) bool {
+	return a.Epoch == b.Epoch && a.Gen != b.Gen
+}
+
+// goodOtherInts is not about epochs at all.
+func goodOtherInts(a, b Stamp) bool {
+	return a.Gen < b.Gen
+}
+
+// suppressed documents the one audited exception.
+func suppressed(a, b Stamp) bool {
+	//lint:ignore clusterfence metric rendering only orders epochs for display, never admits a frame
+	return a.Epoch > b.Epoch // want-suppressed `raw > comparison on Epoch values`
+}

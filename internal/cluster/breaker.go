@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-peer circuit breaker. A partitioned peer must not cost every estimate
+// a fetch deadline: after Threshold consecutive failures the breaker trips
+// and Allow refuses instantly (the caller answers from the local ladder
+// with provenance) until Cooldown has passed, at which point exactly one
+// half-open probe is let through. A successful probe closes the breaker;
+// a failed one re-trips it for another cooldown.
+//
+// The clock is injected so tests and the bench harness drive trip/heal arcs
+// deterministically without real waiting.
+
+// Default breaker tuning (used when Config leaves the fields zero).
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 2 * time.Second
+)
+
+// Breaker is a failure-counting circuit breaker. The zero value is not
+// usable; create with newBreaker.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu      sync.Mutex
+	fails   int       // consecutive failures while closed
+	tripped bool      // open (or half-open) state
+	until   time.Time // end of the current cooldown window
+	probing bool      // the single half-open probe is in flight
+	trips   int64     // cumulative trips, for gauges
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call to the peer may proceed. While open it
+// refuses until the cooldown elapses, then admits a single half-open probe;
+// further calls keep being refused until that probe reports Success or
+// Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.tripped {
+		return true
+	}
+	if b.probing || b.now().Before(b.until) {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful call, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.tripped = false
+	b.probing = false
+}
+
+// Failure records a failed call. Threshold consecutive failures — or one
+// failed half-open probe — trip (re-trip) the breaker for a cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tripped {
+		// The half-open probe failed: restart the cooldown.
+		b.probing = false
+		b.until = b.now().Add(b.cooldown)
+		b.trips++
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.tripped = true
+		b.probing = false
+		b.until = b.now().Add(b.cooldown)
+		b.trips++
+	}
+}
+
+// Tripped reports whether the breaker is currently open.
+func (b *Breaker) Tripped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripped
+}
+
+// Trips returns the cumulative trip count.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced breaker clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestBreakerTripAndHalfOpen: threshold consecutive failures trip the
+// breaker; after the cooldown exactly one half-open probe is admitted; its
+// outcome closes or re-trips.
+func TestBreakerTripAndHalfOpen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("refused below threshold (failure %d)", i)
+		}
+		b.Failure()
+	}
+	if b.Tripped() {
+		t.Fatal("tripped below threshold")
+	}
+	b.Failure() // third consecutive failure
+	if !b.Tripped() {
+		t.Fatal("not tripped at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("allowed during cooldown")
+	}
+
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.Failure() // probe failed: re-trip
+	if b.Allow() {
+		t.Fatal("allowed right after failed probe")
+	}
+	if got := b.Trips(); got != 2 {
+		t.Fatalf("Trips = %d, want 2", got)
+	}
+
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second half-open probe refused")
+	}
+	b.Success()
+	if b.Tripped() {
+		t.Fatal("still tripped after successful probe")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refuses")
+	}
+}
+
+// TestBreakerSuccessResetsCount: interleaved successes keep the failure
+// count from accumulating across healthy calls.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if b.Tripped() {
+		t.Fatal("tripped although failures never ran consecutively to threshold")
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Epoch fencing. Every node stamps its shard with a (Epoch, Gen) pair:
+// the epoch counts full local rebuilds (a restart, a from-scratch pool
+// reconstruction) and the generation is the sit.Pool content stamp within
+// that epoch. A frame from a peer is admitted only when its stamp is
+// strictly newer than the last admitted one, so a replayed or duplicated
+// frame — however it arrives: retried fetch, partitioned-then-healed link
+// delivering queued traffic, a proxy re-sending — can never roll a replica
+// backwards or bump a merged-pool generation.
+//
+// The ordering is lexicographic: epochs dominate generations, because
+// generations are only comparable within one epoch (a rebuilt pool restarts
+// content stamps from whatever the process counter says). All comparisons
+// go through Stamp.Newer — raw <  on Epoch values fences nothing and is
+// rejected by the sitlint clusterfence analyzer.
+
+// NodeID names one cluster member. IDs are compared as opaque strings and
+// hashed onto the ring; they must be unique and stable across restarts.
+type NodeID string
+
+// Epoch counts full local rebuilds of a node's shard. Compare epochs only
+// through Stamp.Newer (enforced by sitlint's clusterfence analyzer): a raw
+// comparison ignores the generation half and silently accepts replays.
+type Epoch uint64
+
+// Stamp is the fencing token a node attaches to every frame it ships: its
+// current epoch and the shard pool's content generation within it.
+type Stamp struct {
+	Epoch Epoch  `json:"epoch"`
+	Gen   uint64 `json:"gen"`
+}
+
+// Newer reports whether s is strictly newer than o in fencing order:
+// a higher epoch always wins, and within one epoch a higher generation
+// wins. Equal stamps are not newer — re-delivering the admitted frame is a
+// no-op, not progress. This method is the single sanctioned epoch
+// comparison in the module.
+func (s Stamp) Newer(o Stamp) bool {
+	if s.Epoch != o.Epoch {
+		return s.Epoch > o.Epoch
+	}
+	return s.Gen > o.Gen
+}
+
+// IsZero reports whether the stamp is the zero value (nothing admitted yet).
+func (s Stamp) IsZero() bool { return s == Stamp{} }
+
+// String renders the stamp as e<epoch>/g<gen> for provenance and logs.
+func (s Stamp) String() string { return fmt.Sprintf("e%d/g%d", uint64(s.Epoch), s.Gen) }
+
+// GenVector is the cluster-wide generation vector: the newest admitted
+// stamp per peer. It is the fence — Admit refuses anything not strictly
+// newer — and the invalidation signal: when Admit moves a peer's stamp
+// forward, every selectivity cached against a merged pool containing the
+// peer's previous shard must be evicted (the caller owns that; see
+// Node.installReplica).
+type GenVector struct {
+	mu       sync.Mutex
+	admitted map[NodeID]Stamp
+	rejected int64 // stale frames refused by the fence
+}
+
+// NewGenVector returns an empty vector.
+func NewGenVector() *GenVector {
+	return &GenVector{admitted: make(map[NodeID]Stamp)}
+}
+
+// Admit installs the stamp for the node when it is strictly newer than the
+// currently admitted one and reports whether it did. A refused stamp bumps
+// the rejection counter and changes nothing else — a stale-epoch replay
+// must not move any generation.
+func (v *GenVector) Admit(n NodeID, s Stamp) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if cur, ok := v.admitted[n]; ok && !s.Newer(cur) {
+		v.rejected++
+		return false
+	}
+	v.admitted[n] = s
+	return true
+}
+
+// Get returns the admitted stamp for the node (zero when none).
+func (v *GenVector) Get(n NodeID) Stamp {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.admitted[n]
+}
+
+// Rejected returns how many frames the fence has refused.
+func (v *GenVector) Rejected() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.rejected
+}
+
+// Snapshot returns the vector as a deterministic (NodeID-sorted) slice of
+// entries, for logs and the cluster gauges.
+func (v *GenVector) Snapshot() []VectorEntry {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]VectorEntry, 0, len(v.admitted))
+	for n, s := range v.admitted {
+		out = append(out, VectorEntry{Node: n, Stamp: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// VectorEntry is one (node, stamp) pair of a GenVector snapshot.
+type VectorEntry struct {
+	Node  NodeID
+	Stamp Stamp
+}

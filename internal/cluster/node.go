@@ -1,0 +1,604 @@
+// Package cluster is the distributed statistics tier: SIT pools sharded
+// across N nodes by (table, attribute) on a deterministic consistent-hash
+// ring, replicated by shipping the checksummed SITSNAP pool payload over a
+// length-prefixed wire codec, and fenced by per-node epochs plus a
+// cluster-wide generation vector so a rebuilt pool on one node invalidates
+// every remotely cached selectivity computed against its old shard.
+//
+// Robustness is the contract: estimation NEVER errors because a peer is
+// slow, partitioned or recovering. A remote fetch runs under a per-call
+// deadline with capped-exponential retry and deterministic jitter
+// (lifecycle.Backoff); a per-peer failure-counting breaker trips
+// partitioned peers out of the fetch path; and any shard that stays
+// unreachable is answered by the local degradation ladder with
+// `remote-shard-unavailable: <peer>/<reason>` provenance — fidelity
+// degrades, availability does not, end to end through internal/serve.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"condsel/internal/core"
+	"condsel/internal/engine"
+	"condsel/internal/lifecycle"
+	"condsel/internal/robust"
+	"condsel/internal/sit"
+)
+
+// Default remote-call tuning (used when Config leaves the fields zero).
+const (
+	DefaultFetchDeadline = 200 * time.Millisecond
+	DefaultMaxAttempts   = 3
+	DefaultBackoffBase   = 5 * time.Millisecond
+	DefaultBackoffCap    = 100 * time.Millisecond
+)
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// Self is this node's identity; it must appear in Nodes.
+	Self NodeID
+	// Nodes is the full membership. Every node must be configured with the
+	// same set (order irrelevant) — the ring is derived from it.
+	Nodes []NodeID
+	// VNodes is the virtual-node count per member (0: DefaultVNodes).
+	VNodes int
+
+	// Model is the estimation error model (nil: Diff, the paper's default).
+	Model core.ErrorModel
+	// Cache, when non-nil, is the cross-query selectivity cache shared by
+	// the merged estimators. Entries are keyed by merged-pool generation,
+	// so admitting a newer peer shard retires them (see installLocked).
+	Cache *core.SelCacheStore
+
+	// FetchDeadline bounds each remote fetch attempt (0: 200ms).
+	FetchDeadline time.Duration
+	// MaxAttempts is how many times one Replicate call tries a peer before
+	// giving up (0: 3). Attempts after the first wait lifecycle.Backoff
+	// with deterministic per-(seed,peer,attempt) jitter.
+	MaxAttempts int
+	// BackoffBase/BackoffCap shape the retry schedule (0: 5ms/100ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed drives the deterministic retry jitter.
+	Seed int64
+
+	// BreakerThreshold consecutive failures trip a peer's breaker for
+	// BreakerCooldown (0: 3 and 2s). Now is the breaker clock (nil: real
+	// time) — injectable so arcs are test-driven without waiting.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	Now              func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Model == nil {
+		c.Model = core.Diff{}
+	}
+	if c.FetchDeadline <= 0 {
+		c.FetchDeadline = DefaultFetchDeadline
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = DefaultBackoffCap
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// replica is one peer's admitted shard.
+type replica struct {
+	stamp Stamp
+	pool  *sit.Pool
+}
+
+// merged is the immutable estimation state the hot path reads with one
+// atomic load: the merged pool (local shard + every admitted replica), its
+// warmed estimator, and the precomputed set of peers with no admitted
+// shard. When missing is empty — the steady state — Estimate costs exactly
+// one atomic load more than a single-node ladder.
+type merged struct {
+	pool *sit.Pool
+	est  *core.Estimator
+	// ladder is the prebuilt zero-config degradation ladder: the steady
+	// state answers through it without any per-call construction.
+	ladder *robust.Estimator
+	// missing lists peers with no admitted replica, sorted; missingSet is
+	// the same as a set.
+	missing    []NodeID
+	missingSet map[NodeID]bool
+}
+
+// ladderFor returns the ladder configured with cfg, reusing the prebuilt
+// one for the (overwhelmingly common) zero config.
+func (m *merged) ladderFor(cfg robust.Config) *robust.Estimator {
+	if cfg == (robust.Config{}) {
+		return m.ladder
+	}
+	return robust.New(m.est, cfg)
+}
+
+// Node is one member of the distributed statistics tier. It owns the local
+// shard, serves it to peers as wire frames, pulls and fences peer shards,
+// and estimates over the merged pool with degraded-local fallback.
+//
+// Concurrency: Estimate and ShardFrame are safe for arbitrary concurrent
+// use; Replicate may run concurrently with both and with itself;
+// RebuildLocal serializes against Replicate internally.
+type Node struct {
+	cfg  Config
+	cat  *engine.Catalog
+	ring *Ring
+	tr   Transport
+
+	// epoch is this node's own rebuild epoch, bumped by RebuildLocal.
+	epoch atomic.Uint64
+
+	// mu guards local, replicas and merged-state installation. The hot
+	// path never takes it — it loads cur.
+	mu       sync.Mutex
+	local    *sit.Pool
+	replicas map[NodeID]*replica
+	vec      *GenVector
+
+	cur atomic.Pointer[merged]
+
+	// breakers is created at construction and read-only after; each entry
+	// is internally synchronized.
+	breakers map[NodeID]*Breaker
+
+	// counters
+	replications atomic.Int64 // admitted peer frames
+	replFailures atomic.Int64 // Replicate calls that gave up
+	degraded     atomic.Int64 // estimates answered below full fidelity due to a missing shard
+	retries      atomic.Int64 // fetch attempts beyond the first
+}
+
+// NewNode builds a node from its local shard. The shard should be
+// ring.Shard(full, cfg.Self) — NewNode does not re-filter, so warm-start
+// flows (recovering a shard from a SITSNAP checkpoint) can hand any pool.
+func NewNode(cfg Config, cat *engine.Catalog, local *sit.Pool, tr Transport) (*Node, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, id := range ring.Nodes() {
+		if id == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q not in membership %v", cfg.Self, cfg.Nodes)
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("cluster: nil transport")
+	}
+	n := &Node{
+		cfg:      cfg,
+		cat:      cat,
+		ring:     ring,
+		tr:       tr,
+		local:    local,
+		replicas: make(map[NodeID]*replica),
+		vec:      NewGenVector(),
+		breakers: make(map[NodeID]*Breaker),
+	}
+	n.epoch.Store(1)
+	for _, id := range ring.Nodes() {
+		if id != cfg.Self {
+			n.breakers[id] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+		}
+	}
+	n.mu.Lock()
+	n.installLocked()
+	n.mu.Unlock()
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() NodeID { return n.cfg.Self }
+
+// Ring returns the node's ring view.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Stamp returns the node's current fencing stamp: its rebuild epoch and the
+// local shard's content generation.
+func (n *Node) Stamp() Stamp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stamp{Epoch: Epoch(n.epoch.Load()), Gen: n.local.Generation()}
+}
+
+// MergedGeneration returns the content generation of the merged pool the
+// hot path currently estimates over.
+func (n *Node) MergedGeneration() uint64 { return n.cur.Load().pool.Generation() }
+
+// MergedPool returns the merged pool the hot path currently estimates over
+// (local shard plus admitted replicas). Callers must treat it as immutable —
+// it is the published estimation state, replaced wholesale on every admit.
+func (n *Node) MergedPool() *sit.Pool { return n.cur.Load().pool }
+
+// ShardFrame encodes the local shard as a replication frame carrying the
+// node's fencing stamp.
+func (n *Node) ShardFrame() (*Frame, error) {
+	n.mu.Lock()
+	local := n.local
+	stamp := Stamp{Epoch: Epoch(n.epoch.Load()), Gen: local.Generation()}
+	n.mu.Unlock()
+	var buf payloadBuffer
+	if err := local.Encode(&buf); err != nil {
+		return nil, fmt.Errorf("cluster: encoding shard: %w", err)
+	}
+	return &Frame{Node: n.cfg.Self, Stamp: stamp, Payload: buf.b}, nil
+}
+
+// payloadBuffer is a minimal growing write buffer (avoids importing bytes
+// just for one sink).
+type payloadBuffer struct{ b []byte }
+
+func (p *payloadBuffer) Write(d []byte) (int, error) {
+	p.b = append(p.b, d...)
+	return len(d), nil
+}
+
+// RebuildLocal replaces the local shard wholesale and bumps the node's
+// epoch — the fencing event: peers that admitted the old shard will see a
+// strictly newer stamp on their next fetch, and any frame of the old epoch
+// that is still in flight is refused by their fences.
+func (n *Node) RebuildLocal(pool *sit.Pool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epoch.Add(1)
+	n.local = pool
+	n.installLocked()
+}
+
+// installLocked rebuilds the merged pool from the local shard plus every
+// admitted replica and publishes it, retiring the previous merged
+// generation from the caches. Callers hold n.mu.
+func (n *Node) installLocked() {
+	pool := sit.NewPool(n.cat)
+	for _, s := range n.local.SITs() {
+		pool.Add(s)
+	}
+	for _, s := range n.local.SITs2D() {
+		pool.Add2D(s)
+	}
+	peers := make([]NodeID, 0, len(n.replicas))
+	for id := range n.replicas {
+		peers = append(peers, id)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, id := range peers {
+		rep := n.replicas[id]
+		for _, s := range rep.pool.SITs() {
+			pool.Add(s)
+		}
+		for _, s := range rep.pool.SITs2D() {
+			pool.Add2D(s)
+		}
+	}
+
+	var missing []NodeID
+	missingSet := make(map[NodeID]bool)
+	for _, id := range n.ring.Nodes() {
+		if id == n.cfg.Self {
+			continue
+		}
+		if _, ok := n.replicas[id]; !ok {
+			missing = append(missing, id)
+			missingSet[id] = true
+		}
+	}
+
+	est := core.NewEstimator(n.cat, pool, n.cfg.Model)
+	if n.cfg.Cache != nil {
+		est.Cache = n.cfg.Cache
+	}
+	prev := n.cur.Swap(&merged{
+		pool: pool, est: est, ladder: robust.New(est, robust.Config{}),
+		missing: missing, missingSet: missingSet,
+	})
+	if prev != nil {
+		gen := prev.pool.Generation()
+		if n.cfg.Cache != nil {
+			n.cfg.Cache.EvictIf(func(k core.CacheKey) bool { return k.Gen == gen })
+		}
+		core.EvictHistJoinGeneration(gen)
+	}
+}
+
+// Replicate fetches the peer's current shard, fences it against the
+// generation vector and, when admitted, installs it into the merged pool.
+// A frame equal to the admitted stamp is a no-op success (duplicate
+// delivery); an older one is rejected by the fence and reported as an
+// error without touching any state. Retries honor ctx and the per-peer
+// breaker.
+func (n *Node) Replicate(ctx context.Context, peer NodeID) error {
+	if peer == n.cfg.Self {
+		return nil
+	}
+	br := n.breakers[peer]
+	if br == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
+	}
+	if !br.Allow() {
+		return ErrBreakerOpen
+	}
+	var err error
+	for attempt := 0; attempt < n.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			n.retries.Add(1)
+			d := lifecycle.Backoff(n.cfg.BackoffBase, n.cfg.BackoffCap, n.cfg.Seed, string(peer), attempt-1)
+			if serr := sleepCtx(ctx, d); serr != nil {
+				err = serr
+				break
+			}
+		}
+		var frame *Frame
+		frame, err = n.fetchOnce(ctx, peer)
+		if err == nil {
+			err = n.admit(peer, frame)
+		}
+		if err == nil {
+			br.Success()
+			return nil
+		}
+		if errors.Is(err, errStaleFrame) || ctx.Err() != nil {
+			// A fenced replay is not a connectivity failure — retrying the
+			// same stale source is pointless, and the breaker should not
+			// trip over it. A dead parent context ends the loop either way.
+			break
+		}
+		br.Failure()
+		if br.Tripped() {
+			break
+		}
+	}
+	n.replFailures.Add(1)
+	return err
+}
+
+// fetchOnce performs one transport fetch under the per-call deadline.
+func (n *Node) fetchOnce(ctx context.Context, peer NodeID) (*Frame, error) {
+	cctx, cancel := context.WithTimeout(ctx, n.cfg.FetchDeadline)
+	defer cancel()
+	frame, err := n.tr.Fetch(cctx, n.cfg.Self, peer)
+	if err != nil {
+		return nil, err
+	}
+	if frame.Node != peer {
+		return nil, fmt.Errorf("cluster: frame from %q, want %q", frame.Node, peer)
+	}
+	return frame, nil
+}
+
+// errStaleFrame marks a frame the fence refused.
+var errStaleFrame = errors.New("stale-epoch")
+
+// admit fences and installs one fetched frame.
+func (n *Node) admit(peer NodeID, frame *Frame) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur, have := n.replicas[peer]
+	if have && frame.Stamp == cur.stamp {
+		// Duplicate delivery of the admitted frame: idempotent no-op —
+		// crucially, no generation bump, so caches stay warm.
+		return nil
+	}
+	pool, err := frame.DecodePool(n.cat)
+	if err != nil {
+		return fmt.Errorf("decoding shard of %s: %w", peer, err)
+	}
+	if !n.vec.Admit(peer, frame.Stamp) {
+		return fmt.Errorf("%w: frame %s from %s is not newer than admitted %s",
+			errStaleFrame, frame.Stamp, peer, n.vec.Get(peer))
+	}
+	n.replicas[peer] = &replica{stamp: frame.Stamp, pool: pool}
+	n.replications.Add(1)
+	n.installLocked()
+	return nil
+}
+
+// WarmUp replicates every peer once, returning the first error (the node
+// remains usable — missing shards degrade, they do not disable).
+func (n *Node) WarmUp(ctx context.Context) error {
+	var first error
+	for _, peer := range n.ring.Nodes() {
+		if peer == n.cfg.Self {
+			continue
+		}
+		if err := n.Replicate(ctx, peer); err != nil && first == nil {
+			first = fmt.Errorf("warming %s: %w", peer, err)
+		}
+	}
+	return first
+}
+
+// ReplicateLoop re-replicates every peer each interval until ctx is done —
+// the anti-entropy tick that picks up a healed partition or a peer rebuild
+// without waiting for a query to need the shard. Re-admitting an unchanged
+// shard is a fenced no-op (same stamp), so a quiet cluster pays one fetch
+// per peer per tick and zero generation churn. Errors are absorbed: an
+// unreachable peer is the degraded-fallback path's job, not the loop's.
+func (n *Node) ReplicateLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			for _, peer := range n.ring.Nodes() {
+				if peer == n.cfg.Self {
+					continue
+				}
+				_ = n.Replicate(ctx, peer)
+			}
+		}
+	}
+}
+
+// Estimate answers the query through the degradation ladder over the
+// node's merged statistics view. When every shard is admitted — the steady
+// state — the cost over a single-node ladder is one atomic load. When
+// shards are missing, Estimate first tries to replicate the owners the
+// query actually needs (bounded by the per-call deadline, retries and
+// breakers); owners that stay unreachable cap the ladder at the GVM tier
+// with `remote-shard-unavailable: <peer>/<reason>` provenance, so the
+// answer comes from local statistics rather than an error. Estimate never
+// fails: the contract of robust.Estimator carries through unchanged.
+func (n *Node) Estimate(ctx context.Context, q *engine.Query, cfg robust.Config) (float64, robust.Provenance) {
+	ms := n.cur.Load()
+	if len(ms.missing) != 0 {
+		if peers := n.neededPeers(q, ms); len(peers) != 0 {
+			for _, peer := range peers {
+				if err := n.Replicate(ctx, peer); err != nil {
+					cfg = cfg.Cap(robust.TierGVM, robust.RemoteUnavailableReason(string(peer), errorReason(err)))
+					n.degraded.Add(1)
+				}
+			}
+			ms = n.cur.Load() // successful replications installed a new view
+		}
+	}
+	return ms.ladderFor(cfg).Cardinality(ctx, q)
+}
+
+// Selectivity is Estimate for a predicate subset; same contract.
+func (n *Node) Selectivity(ctx context.Context, q *engine.Query, set engine.PredSet, cfg robust.Config) (float64, robust.Provenance) {
+	ms := n.cur.Load()
+	if len(ms.missing) != 0 {
+		if peers := n.neededPeers(q, ms); len(peers) != 0 {
+			for _, peer := range peers {
+				if err := n.Replicate(ctx, peer); err != nil {
+					cfg = cfg.Cap(robust.TierGVM, robust.RemoteUnavailableReason(string(peer), errorReason(err)))
+					n.degraded.Add(1)
+				}
+			}
+			ms = n.cur.Load()
+		}
+	}
+	return ms.ladderFor(cfg).Selectivity(ctx, q, set)
+}
+
+// neededPeers returns, sorted, the currently missing shard owners the
+// query's attributes hash to.
+func (n *Node) neededPeers(q *engine.Query, ms *merged) []NodeID {
+	var peers []NodeID
+	seen := make(map[NodeID]bool)
+	for _, p := range q.Preds {
+		for _, attr := range predAttrs(p) {
+			owner := n.ring.OwnerOfAttr(n.cat, attr)
+			if owner != n.cfg.Self && ms.missingSet[owner] && !seen[owner] {
+				seen[owner] = true
+				peers = append(peers, owner)
+			}
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}
+
+// predAttrs lists the attributes a predicate touches.
+func predAttrs(p engine.Pred) []engine.AttrID {
+	if p.IsJoin() {
+		return []engine.AttrID{p.Left, p.Right}
+	}
+	return []engine.AttrID{p.Attr}
+}
+
+// errorReason compresses a replication error to the short cause recorded
+// in provenance: sentinel errors keep their name, context errors map to
+// "deadline"/"canceled", anything else becomes "fetch-failed".
+func errorReason(err error) string {
+	switch {
+	case errors.Is(err, ErrPartitioned):
+		return "partitioned"
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker-open"
+	case errors.Is(err, errStaleFrame):
+		return "stale-epoch"
+	case errors.Is(err, ErrUnknownPeer):
+		return "unknown-peer"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "fetch-failed"
+	}
+}
+
+// Counters is a point-in-time snapshot of the node's cluster state for
+// gauges and reports.
+type Counters struct {
+	Nodes            int    // membership size
+	PeersAdmitted    int    // peers with an admitted replica
+	PeersMissing     int    // peers with no admitted replica
+	PeersTripped     int    // peers whose breaker is currently open
+	Epoch            uint64 // this node's rebuild epoch
+	LocalGeneration  uint64 // local shard content generation
+	MergedGeneration uint64 // merged pool content generation
+	Replications     int64  // admitted peer frames
+	ReplFailures     int64  // replicate calls that gave up
+	FenceRejections  int64  // frames refused by the generation vector
+	Degraded         int64  // estimates degraded by an unreachable shard
+	Retries          int64  // fetch retries beyond first attempts
+	BreakerTrips     int64  // cumulative breaker trips across peers
+}
+
+// Counters returns the snapshot.
+func (n *Node) Counters() Counters {
+	ms := n.cur.Load()
+	n.mu.Lock()
+	admitted := len(n.replicas)
+	localGen := n.local.Generation()
+	n.mu.Unlock()
+	c := Counters{
+		Nodes:            len(n.ring.Nodes()),
+		PeersAdmitted:    admitted,
+		PeersMissing:     len(ms.missing),
+		Epoch:            n.epoch.Load(),
+		LocalGeneration:  localGen,
+		MergedGeneration: ms.pool.Generation(),
+		Replications:     n.replications.Load(),
+		ReplFailures:     n.replFailures.Load(),
+		FenceRejections:  n.vec.Rejected(),
+		Degraded:         n.degraded.Load(),
+		Retries:          n.retries.Load(),
+	}
+	for _, br := range n.breakers {
+		if br.Tripped() {
+			c.PeersTripped++
+		}
+		c.BreakerTrips += br.Trips()
+	}
+	return c
+}

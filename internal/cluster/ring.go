@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"condsel/internal/engine"
+	"condsel/internal/selcache"
+	"condsel/internal/sit"
+)
+
+// Consistent-hash ring. Shard ownership is a pure function of the
+// membership list: every node contributes VNodes virtual points derived
+// from seeded hashes of its ID, the points are sorted, and a key (a
+// qualified attribute name, "table.column") belongs to the first point at
+// or after its own hash. Every node computes the same ring from the same
+// membership, with no coordination and no clock — the determinism
+// discipline the rest of the module runs under.
+//
+// Statistics are sharded by the (table, attribute) the SIT predicts —
+// SIT.Attr for 1-D statistics, the X attribute for 2-D ones — so all
+// statistics over one attribute land on one owner and a query's candidate
+// set for that attribute is either fully local or fully on one peer.
+
+// DefaultVNodes is the virtual-node count per member when RingConfig leaves
+// it zero: enough for a low-variance split at small N without making ring
+// construction noticeable.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over a fixed membership.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []NodeID    // membership, sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash uint64
+	node NodeID
+}
+
+// NewRing builds the ring for the membership with vnodes virtual points per
+// node (<=0 selects DefaultVNodes). Membership order does not matter; the
+// ring is identical for any permutation.
+func NewRing(nodes []NodeID, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	members := append([]NodeID(nil), nodes...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for i := 1; i < len(members); i++ {
+		if members[i] == members[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", members[i])
+		}
+	}
+	r := &Ring{nodes: members, points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, n := range members {
+		base := selcache.HashString(string(n))
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: selcache.HashCombine(base, uint64(i)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by ID so every node still
+		// computes the same ring.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the membership in sorted order. Callers must not mutate it.
+func (r *Ring) Nodes() []NodeID { return r.nodes }
+
+// Owner returns the node owning the key (a qualified attribute name).
+func (r *Ring) Owner(key string) NodeID {
+	h := selcache.HashUint64(selcache.HashString(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is a circle
+	}
+	return r.points[i].node
+}
+
+// OwnerOfAttr returns the node owning the attribute.
+func (r *Ring) OwnerOfAttr(cat *engine.Catalog, attr engine.AttrID) NodeID {
+	return r.Owner(cat.AttrName(attr))
+}
+
+// QueryOwners returns the deduplicated, sorted set of nodes owning shards a
+// query's predicates draw statistics from — the peers a node must have
+// replicated (or degrade around) to answer it.
+func (r *Ring) QueryOwners(cat *engine.Catalog, q *engine.Query) []NodeID {
+	seen := make(map[NodeID]bool)
+	for _, p := range q.Preds {
+		for _, attr := range predAttrs(p) {
+			seen[r.OwnerOfAttr(cat, attr)] = true
+		}
+	}
+	owners := make([]NodeID, 0, len(seen))
+	for id := range seen {
+		owners = append(owners, id)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	return owners
+}
+
+// Shard extracts the sub-pool of full owned by node under this ring: every
+// 1-D SIT whose predicted attribute hashes to the node, and every 2-D SIT
+// whose X attribute does. Shards of distinct nodes are disjoint and their
+// union over the membership is the full pool.
+func (r *Ring) Shard(full *sit.Pool, node NodeID) *sit.Pool {
+	cat := full.Cat
+	shard := full.Filter(func(s *sit.SIT) bool {
+		return r.OwnerOfAttr(cat, s.Attr) == node
+	})
+	for _, s := range full.SITs2D() {
+		if r.OwnerOfAttr(cat, s.X) == node {
+			shard.Add2D(s)
+		}
+	}
+	return shard
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterministicAcrossPermutations: every node must compute the same
+// ring from the same membership, whatever order the config lists it in.
+func TestRingDeterministicAcrossPermutations(t *testing.T) {
+	ids := HarnessIDs(5)
+	ref, err := NewRing(ids, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	keys := []string{"orders.price", "customer.nation", "lineitem.qty", "orders.id", "customer.id", "lineitem.oid"}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]NodeID(nil), ids...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		r, err := NewRing(perm, 0)
+		if err != nil {
+			t.Fatalf("NewRing(perm): %v", err)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: Owner(%q) = %s, reference says %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingRejectsBadMembership: empty and duplicate memberships are errors.
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("NewRing(nil) accepted an empty membership")
+	}
+	if _, err := NewRing([]NodeID{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("NewRing accepted a duplicate node id")
+	}
+}
+
+// TestRingBalance: with enough virtual nodes every member owns a
+// non-degenerate share of a large key space.
+func TestRingBalance(t *testing.T) {
+	ids := HarnessIDs(4)
+	r, err := NewRing(ids, 128)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	counts := make(map[NodeID]int)
+	const keys = 10_000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(string(rune('a'+i%26))+string(rune('0'+i%10))+"key"+string(rune(i)))]++
+	}
+	for _, id := range ids {
+		share := float64(counts[id]) / keys
+		if share < 0.05 {
+			t.Errorf("node %s owns %.1f%% of keys — degenerate split: %v", id, 100*share, counts)
+		}
+	}
+}
+
+// TestShardsDisjointAndCovering: the per-node shards of a pool partition
+// it — no SIT lost, none duplicated.
+func TestShardsDisjointAndCovering(t *testing.T) {
+	fx := newClusterFixture(t)
+	ids := HarnessIDs(3)
+	r, err := NewRing(ids, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	seen := make(map[string]NodeID)
+	total := 0
+	for _, id := range ids {
+		shard := r.Shard(fx.pool, id)
+		for _, s := range shard.SITs() {
+			if prev, dup := seen[s.ID()]; dup {
+				t.Fatalf("SIT %s owned by both %s and %s", s.ID(), prev, id)
+			}
+			seen[s.ID()] = id
+			total++
+		}
+	}
+	if want := len(fx.pool.SITs()); total != want {
+		t.Fatalf("shards cover %d SITs, pool has %d", total, want)
+	}
+}

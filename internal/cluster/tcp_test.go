@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"condsel/internal/robust"
+)
+
+// TestTCPReplication: two nodes over real loopback sockets — each serves
+// its shard with ServeReplication, fetches the peer's via TCPTransport,
+// and the warmed pair answers like a single node; context cancellation
+// shuts both servers down cleanly.
+func TestTCPReplication(t *testing.T) {
+	fx := newClusterFixture(t)
+	ids := HarnessIDs(2)
+	ring, err := NewRing(ids, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+
+	tr := NewTCPTransport(nil)
+	cfg := fastConfig()
+	cfg.Nodes = ids
+	cfg.FetchDeadline = 2 * time.Second // loopback, but CI machines stall
+
+	nodes := make([]*Node, len(ids))
+	for i, id := range ids {
+		c := cfg
+		c.Self = id
+		n, err := NewNode(c, fx.cat, ring.Shard(fx.pool, id), tr)
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", id, err)
+		}
+		nodes[i] = n
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, len(ids))
+	for i, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		tr.SetAddr(id, ln.Addr().String())
+		n := nodes[i]
+		go func() { done <- n.ServeReplication(ctx, ln) }()
+	}
+
+	for _, n := range nodes {
+		if err := n.WarmUp(ctx); err != nil {
+			t.Fatalf("%s: WarmUp over TCP: %v", n.ID(), err)
+		}
+	}
+
+	ref := fx.reference()
+	for _, q := range fx.queries {
+		want, _ := ref.Cardinality(ctx, q)
+		for _, n := range nodes {
+			got, prov := n.Estimate(ctx, q, robust.Config{})
+			if got != want {
+				t.Fatalf("%s: %s: TCP-warmed answer %v, single-node %v", n.ID(), q, got, want)
+			}
+			if prov.Tier != robust.TierFullDP {
+				t.Fatalf("%s: warmed node answered from %s", n.ID(), prov.Tier)
+			}
+		}
+	}
+
+	cancel()
+	for range ids {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("ServeReplication returned %v on cancellation", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("ServeReplication did not exit after cancellation")
+		}
+	}
+}

@@ -55,6 +55,24 @@ const (
 	// FsyncError makes the snapshot writer's fsync report an I/O error
 	// before the atomic rename (internal/lifecycle).
 	FsyncError
+	// NetPartition makes a cluster transport call fail as if the peer were
+	// unreachable across a network partition (internal/cluster).
+	NetPartition
+	// NetSlowPeer delays a cluster transport call by the schedule's
+	// SlowFactorDelay before it proceeds, for remote-deadline testing
+	// (internal/cluster).
+	NetSlowPeer
+	// NetTruncatedStream cuts a shard replication stream mid-frame, so the
+	// wire decoder must reject the truncated SITSNAP payload
+	// (internal/cluster).
+	NetTruncatedStream
+	// NetStaleEpoch replays the oldest frame ever served for the peer in
+	// place of the current one, so epoch fencing must reject it
+	// (internal/cluster).
+	NetStaleEpoch
+	// NetDuplicateDelivery re-delivers the previously delivered frame for
+	// the peer, so admission must be idempotent (internal/cluster).
+	NetDuplicateDelivery
 
 	// NumPoints is the number of injection points.
 	NumPoints
@@ -79,6 +97,16 @@ func (p Point) String() string {
 		return "rebuild-fail"
 	case FsyncError:
 		return "fsync-error"
+	case NetPartition:
+		return "net-partition"
+	case NetSlowPeer:
+		return "net-slow-peer"
+	case NetTruncatedStream:
+		return "net-truncated-stream"
+	case NetStaleEpoch:
+		return "net-stale-epoch"
+	case NetDuplicateDelivery:
+		return "net-duplicate-delivery"
 	}
 	return fmt.Sprintf("point(%d)", uint8(p))
 }

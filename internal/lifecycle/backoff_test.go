@@ -1,6 +1,8 @@
 package lifecycle
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -72,5 +74,76 @@ func TestBackoffDefaults(t *testing.T) {
 	d = Backoff(time.Second, time.Millisecond, 0, "z", 5)
 	if d < time.Second/2 || d >= time.Second {
 		t.Fatalf("cap below base: delay %v outside [%v, %v)", d, time.Second/2, time.Second)
+	}
+}
+
+// TestBackoffConcurrentDeterminism is the property test the cluster retry
+// path depends on: Backoff is a pure function — 16 goroutines hammering the
+// same (seed, id, attempt) space under -race must observe bit-identical
+// schedules with every delay inside the capped-exponential envelope
+// [raw/2, raw) where raw = min(base·2^attempt, cap), and a different seed
+// must actually move the jitter.
+func TestBackoffConcurrentDeterminism(t *testing.T) {
+	const (
+		base  = 5 * time.Millisecond
+		cap   = 100 * time.Millisecond
+		seed  = 42
+		nIDs  = 8
+		nAtts = 12
+		gor   = 16
+	)
+	ids := make([]string, nIDs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("peer-%d", i)
+	}
+	want := make([][]time.Duration, nIDs)
+	for i, id := range ids {
+		want[i] = make([]time.Duration, nAtts)
+		for a := 0; a < nAtts; a++ {
+			want[i][a] = Backoff(base, cap, seed, id, a)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < gor; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				i := (g + rep) % nIDs
+				for a := 0; a < nAtts; a++ {
+					got := Backoff(base, cap, seed, ids[i], a)
+					if got != want[i][a] {
+						t.Errorf("goroutine %d: Backoff(%s, %d) = %v, first call said %v", g, ids[i], a, got, want[i][a])
+						return
+					}
+					raw := base << a
+					if raw > cap || raw <= 0 {
+						raw = cap
+					}
+					if got < raw/2 || got >= raw {
+						t.Errorf("Backoff(%s, %d) = %v outside envelope [%v, %v)", ids[i], a, got, raw/2, raw)
+						return
+					}
+					if got > cap {
+						t.Errorf("Backoff(%s, %d) = %v exceeds cap %v", ids[i], a, got, cap)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	moved := false
+	for i, id := range ids {
+		for a := 0; a < nAtts; a++ {
+			if Backoff(base, cap, seed+1, id, a) != want[i][a] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("changing the seed changed no delay — jitter is not seed-derived")
 	}
 }

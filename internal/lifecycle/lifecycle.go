@@ -281,9 +281,18 @@ type Manager struct {
 	// nothing else.
 	ep atomic.Pointer[epoch]
 
-	mu      sync.Mutex
-	states  map[string]*sitState
-	seq     uint64 // last successful checkpoint sequence
+	mu     sync.Mutex
+	states map[string]*sitState
+	seq    uint64 // last successful checkpoint sequence
+	// ckptMu serializes Checkpoint end to end: seq computation, payload
+	// encode and the snapshot write share one critical section. m.mu alone
+	// is not enough — it is released before writeSnapshot, so two
+	// concurrent checkpoints (a periodic one racing Stop's final flush on
+	// SIGTERM, or a replication-triggered one) would compute the same seq
+	// and interleave writes to the same temp path, publishing a torn
+	// SITSNAP to anyone replicating the snapshot directory. Ordered after
+	// m.mu is never held while taking it (Checkpoint takes ckptMu first).
+	ckptMu  sync.Mutex
 	corrupt []SnapshotIssue
 	running bool
 	cancel  context.CancelFunc
@@ -811,6 +820,8 @@ func (m *Manager) Checkpoint() (string, error) {
 	if m.cfg.Dir == "" {
 		return "", fmt.Errorf("lifecycle: no snapshot directory configured")
 	}
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
 	// Fold the pool's quarantine ledger into the state machine first: the
 	// pool snapshot cannot carry quarantined statistics (Encode skips them),
 	// so their rebuild specs survive restarts only through state records.

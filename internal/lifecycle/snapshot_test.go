@@ -1,10 +1,12 @@
 package lifecycle
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"condsel/internal/datagen"
@@ -190,6 +192,78 @@ func TestPruneSnapshots(t *testing.T) {
 	for _, seq := range []uint64{4, 5} {
 		if _, err := os.Stat(snapshotPath(dir, seq)); err != nil {
 			t.Fatalf("snapshot %d missing after prune: %v", seq, err)
+		}
+	}
+}
+
+// TestConcurrentCheckpointsNeverTear is the serve-drain regression: periodic
+// and replication-triggered checkpoints racing Stop's final SIGTERM flush
+// must never publish a half-written snapshot. Before Checkpoint was
+// serialized end to end, two racers computed the same sequence and
+// interleaved writes through the same temp path; a replicator reading the
+// directory could ship a torn SITSNAP. Every snapshot on disk — and every
+// path a racer returned — must verify, and no two successes may share a
+// sequence.
+func TestConcurrentCheckpointsNeverTear(t *testing.T) {
+	db, _, pool := snapEnv(t)
+	dir := t.TempDir()
+	m := New(db.Cat, pool, Config{Dir: dir, Workers: 1, Keep: 1000})
+	if err := m.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const racers = 8
+	paths := make(chan string, racers*4+1)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				path, err := m.Checkpoint()
+				if err != nil {
+					t.Errorf("Checkpoint: %v", err)
+					return
+				}
+				paths <- path
+			}
+		}()
+	}
+	// Stop's final flush races the periodic checkpoints above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := m.Stop(); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+	}()
+	wg.Wait()
+	close(paths)
+
+	seen := make(map[string]bool)
+	for path := range paths {
+		if seen[path] {
+			t.Fatalf("two checkpoints published the same path %s", path)
+		}
+		seen[path] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("orphaned temp file %s after all checkpoints returned", e.Name())
+		}
+		payload, err := readSnapshot(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("snapshot %s does not verify: %v", e.Name(), err)
+		}
+		if _, ok := parseSnapshotSeq(e.Name()); !ok {
+			t.Fatalf("unexpected file %s in snapshot dir", e.Name())
+		}
+		if _, err := sit.ReadPool(db.Cat, strings.NewReader(string(payload.Pool))); err != nil {
+			t.Fatalf("snapshot %s carries an undecodable pool: %v", e.Name(), err)
 		}
 	}
 }

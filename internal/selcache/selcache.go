@@ -146,6 +146,15 @@ func HashUint64(x uint64) uint64 {
 	return x
 }
 
+// HashCombine folds two 64-bit hashes into one with the golden-ratio
+// mixer, exported for callers composing multi-part keys (the cluster ring
+// derives virtual-node points from a node hash combined with the replica
+// index this way). Non-commutative: order matters, as it should for
+// (node, index) pairs.
+func HashCombine(a, b uint64) uint64 {
+	return HashUint64(a ^ (b*0x9e3779b97f4a7c15 + 0x517cc1b727220a95))
+}
+
 func (c *Cache[K, V]) shardFor(key K) *shard[K, V] {
 	return &c.shards[c.hash(key)%uint64(len(c.shards))]
 }

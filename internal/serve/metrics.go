@@ -218,6 +218,37 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP condsel_lifecycle_corrupt_snapshots Corrupt snapshot files detected at recovery.\n# TYPE condsel_lifecycle_corrupt_snapshots gauge\n")
 		fmt.Fprintf(w, "condsel_lifecycle_corrupt_snapshots %d\n", lc.CorruptSnapshots)
 	}
+
+	if s.cfg.Cluster != nil {
+		cc := s.cfg.Cluster()
+		fmt.Fprintf(w, "# HELP condsel_cluster_nodes Cluster membership size.\n# TYPE condsel_cluster_nodes gauge\n")
+		fmt.Fprintf(w, "condsel_cluster_nodes %d\n", cc.Nodes)
+		fmt.Fprintf(w, "# HELP condsel_cluster_peers Peer shards by replication state.\n# TYPE condsel_cluster_peers gauge\n")
+		for _, kv := range []struct {
+			state string
+			n     int
+		}{{"admitted", cc.PeersAdmitted}, {"missing", cc.PeersMissing}, {"tripped", cc.PeersTripped}} {
+			fmt.Fprintf(w, "condsel_cluster_peers{state=%q} %d\n", kv.state, kv.n)
+		}
+		fmt.Fprintf(w, "# HELP condsel_cluster_epoch This node's rebuild epoch (fencing major component).\n# TYPE condsel_cluster_epoch gauge\n")
+		fmt.Fprintf(w, "condsel_cluster_epoch %d\n", cc.Epoch)
+		fmt.Fprintf(w, "# HELP condsel_cluster_local_generation Local shard content generation.\n# TYPE condsel_cluster_local_generation gauge\n")
+		fmt.Fprintf(w, "condsel_cluster_local_generation %d\n", cc.LocalGeneration)
+		fmt.Fprintf(w, "# HELP condsel_cluster_merged_generation Merged (local+replicas) pool content generation.\n# TYPE condsel_cluster_merged_generation gauge\n")
+		fmt.Fprintf(w, "condsel_cluster_merged_generation %d\n", cc.MergedGeneration)
+		fmt.Fprintf(w, "# HELP condsel_cluster_replications_total Peer shard frames admitted.\n# TYPE condsel_cluster_replications_total counter\n")
+		fmt.Fprintf(w, "condsel_cluster_replications_total %d\n", cc.Replications)
+		fmt.Fprintf(w, "# HELP condsel_cluster_replication_failures_total Replicate calls that exhausted their retries.\n# TYPE condsel_cluster_replication_failures_total counter\n")
+		fmt.Fprintf(w, "condsel_cluster_replication_failures_total %d\n", cc.ReplFailures)
+		fmt.Fprintf(w, "# HELP condsel_cluster_fence_rejections_total Frames refused by epoch/generation fencing.\n# TYPE condsel_cluster_fence_rejections_total counter\n")
+		fmt.Fprintf(w, "condsel_cluster_fence_rejections_total %d\n", cc.FenceRejections)
+		fmt.Fprintf(w, "# HELP condsel_cluster_degraded_total Estimates answered from the local ladder because a peer shard was unreachable.\n# TYPE condsel_cluster_degraded_total counter\n")
+		fmt.Fprintf(w, "condsel_cluster_degraded_total %d\n", cc.Degraded)
+		fmt.Fprintf(w, "# HELP condsel_cluster_retries_total Shard fetch retries beyond first attempts.\n# TYPE condsel_cluster_retries_total counter\n")
+		fmt.Fprintf(w, "condsel_cluster_retries_total %d\n", cc.Retries)
+		fmt.Fprintf(w, "# HELP condsel_cluster_breaker_trips_total Cumulative per-peer breaker trips.\n# TYPE condsel_cluster_breaker_trips_total counter\n")
+		fmt.Fprintf(w, "condsel_cluster_breaker_trips_total %d\n", cc.BreakerTrips)
+	}
 }
 
 // formatFloat renders a float the way Prometheus clients expect: shortest

@@ -109,6 +109,29 @@ type Config struct {
 	Cache     *core.SelCacheStore
 	Pool      func() *sit.Pool
 	Lifecycle *lifecycle.Manager
+	// Cluster is an optional metrics source for the distributed statistics
+	// tier. The service stays decoupled from internal/cluster: a cluster
+	// front end (cmd/sitnode) adapts its node's counters into this struct.
+	Cluster func() ClusterCounters
+}
+
+// ClusterCounters is the /metrics slice of a cluster node's state. Field
+// meanings mirror cluster.Counters; the duplicate type keeps serve free of
+// a cluster dependency so single-node deployments don't link the tier.
+type ClusterCounters struct {
+	Nodes            int    // membership size
+	PeersAdmitted    int    // peers with an admitted replica
+	PeersMissing     int    // peers with no admitted replica
+	PeersTripped     int    // peers whose breaker is currently open
+	Epoch            uint64 // this node's rebuild epoch
+	LocalGeneration  uint64 // local shard content generation
+	MergedGeneration uint64 // merged pool content generation
+	Replications     int64  // admitted peer frames
+	ReplFailures     int64  // replicate calls that gave up
+	FenceRejections  int64  // frames refused by the generation vector
+	Degraded         int64  // estimates degraded by an unreachable shard
+	Retries          int64  // fetch retries beyond first attempts
+	BreakerTrips     int64  // cumulative breaker trips across peers
 }
 
 func (c Config) withDefaults() Config {

@@ -388,6 +388,50 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsClusterGauges: a configured Cluster source renders the
+// distributed-tier series; without one they are absent.
+func TestMetricsClusterGauges(t *testing.T) {
+	t.Parallel()
+	f := newTestFixture(6)
+	s := f.server(t, Config{Cluster: func() ClusterCounters {
+		return ClusterCounters{
+			Nodes: 3, PeersAdmitted: 1, PeersMissing: 1, PeersTripped: 1,
+			Epoch: 2, LocalGeneration: 7, MergedGeneration: 9,
+			Replications: 4, ReplFailures: 2, FenceRejections: 1,
+			Degraded: 5, Retries: 3, BreakerTrips: 1,
+		}
+	}})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	samples := parsePrometheus(t, rec.Body.String())
+	for series, want := range map[string]float64{
+		"condsel_cluster_nodes":                      3,
+		`condsel_cluster_peers{state="admitted"}`:    1,
+		`condsel_cluster_peers{state="missing"}`:     1,
+		`condsel_cluster_peers{state="tripped"}`:     1,
+		"condsel_cluster_epoch":                      2,
+		"condsel_cluster_local_generation":           7,
+		"condsel_cluster_merged_generation":          9,
+		"condsel_cluster_replications_total":         4,
+		"condsel_cluster_replication_failures_total": 2,
+		"condsel_cluster_fence_rejections_total":     1,
+		"condsel_cluster_degraded_total":             5,
+		"condsel_cluster_retries_total":              3,
+		"condsel_cluster_breaker_trips_total":        1,
+	} {
+		if got := samples[series]; got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+
+	bare := f.server(t, Config{})
+	rec = httptest.NewRecorder()
+	bare.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if strings.Contains(rec.Body.String(), "condsel_cluster_") {
+		t.Fatal("cluster series rendered with no Cluster source configured")
+	}
+}
+
 func urlQuery(q string) string {
 	r := strings.NewReplacer(" ", "%20", "=", "%3D", "<", "%3C", ">", "%3E")
 	return r.Replace(q)
