@@ -13,8 +13,13 @@
 // Usage:
 //
 //	sitnode -id node-0 -nodes 3 -peers node-1=host:9091,node-2=host:9092
-//	        [-raddr :9090] [-addr :8080] [-fact N] [-seed N] [-queries N]
-//	        [-joins N] [-maxpool N] [-cache N] [-repl-ms N] [-drain-s N]
+//	        [-raddr :9090] [-addr :8080] [-state dir] [-fact N] [-seed N]
+//	        [-queries N] [-joins N] [-maxpool N] [-cache N] [-repl-ms N]
+//	        [-drain-s N]
+//
+// -state names a directory whose EPOCH file persists the node's rebuild
+// epoch across restarts; without it the epoch restarts at 1 and peers that
+// admitted the previous run fence every frame from the new one.
 //
 // Endpoints are sitserve's (/estimate, /estimate/batch, /metrics, /healthz,
 // /readyz) plus condsel_cluster_* gauges on /metrics; -raddr speaks the
@@ -57,6 +62,7 @@ func main() {
 		cacheCap = flag.Int("cache", 4096, "selectivity cache capacity (0 disables)")
 		replMs   = flag.Int("repl-ms", 2000, "anti-entropy replication interval")
 		drainS   = flag.Int("drain-s", 10, "graceful-drain deadline in seconds")
+		stateDir = flag.String("state", "", "state directory persisting the rebuild epoch across restarts (empty: ephemeral epoch, peers will fence a restarted node)")
 	)
 	flag.Parse()
 	// The process-root context is minted here and only here ("no minted
@@ -67,7 +73,7 @@ func main() {
 	if err := run(ctx, stop, options{
 		id: *id, nodes: *nodes, peers: *peers, raddr: *raddr, addr: *addr,
 		fact: *fact, seed: *seed, queries: *queries, joins: *joins,
-		maxPool: *maxPool, cacheCap: *cacheCap,
+		maxPool: *maxPool, cacheCap: *cacheCap, stateDir: *stateDir,
 		repl:  time.Duration(*replMs) * time.Millisecond,
 		drain: time.Duration(*drainS) * time.Second,
 	}); err != nil {
@@ -88,6 +94,7 @@ type options struct {
 	joins    int
 	maxPool  int
 	cacheCap int
+	stateDir string
 	repl     time.Duration
 	drain    time.Duration
 }
@@ -146,12 +153,37 @@ func run(ctx context.Context, stop context.CancelFunc, opt options) error {
 	if opt.cacheCap > 0 {
 		cache = core.NewSelCache(opt.cacheCap)
 	}
+	// The rebuild epoch must outlive the process — peers fence on it, and a
+	// restarted node that reuses an old epoch is fenced out forever. With a
+	// state dir the EpochFile counts restarts durably; without one every
+	// boot stamps epoch 1 and only a fresh cluster will admit this node.
+	var (
+		epoch     uint64
+		epochSink func(uint64)
+	)
+	if opt.stateDir != "" {
+		ef, e, err := cluster.OpenEpochFile(opt.stateDir)
+		if err != nil {
+			return err
+		}
+		epoch = e
+		epochSink = func(ep uint64) {
+			if err := ef.Store(ep); err != nil {
+				fmt.Fprintf(os.Stderr, "sitnode %s: persisting epoch %d: %v\n", opt.id, ep, err)
+			}
+		}
+	} else {
+		fmt.Printf("sitnode %s: no -state dir: epoch is ephemeral, peers will fence this node after a restart\n", opt.id)
+	}
+
 	tr := cluster.NewTCPTransport(book)
 	node, err := cluster.NewNode(cluster.Config{
-		Self:  self,
-		Nodes: ids,
-		Seed:  opt.seed,
-		Cache: cache,
+		Self:      self,
+		Nodes:     ids,
+		Seed:      opt.seed,
+		Cache:     cache,
+		Epoch:     epoch,
+		EpochSink: epochSink,
 	}, db.Cat, ring.Shard(full, self), tr)
 	if err != nil {
 		return err

@@ -75,6 +75,19 @@ func (b *Breaker) Success() {
 	b.probing = false
 }
 
+// CancelProbe releases an in-flight half-open probe whose call ended
+// without a definitive outcome — the caller's context died or the frame
+// was fenced as a stale replay, neither of which says anything about the
+// peer's reachability. The breaker stays in its current state (open stays
+// open, with the already-elapsed cooldown), so the next Allow can admit a
+// fresh probe instead of refusing forever. A no-op when no probe is
+// pending.
+func (b *Breaker) CancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
 // Failure records a failed call. Threshold consecutive failures — or one
 // failed half-open probe — trip (re-trip) the breaker for a cooldown.
 func (b *Breaker) Failure() {

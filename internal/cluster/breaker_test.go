@@ -64,6 +64,39 @@ func TestBreakerTripAndHalfOpen(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelProbe: a half-open probe whose call ends without a
+// definitive outcome is released, not leaked — the next Allow admits a
+// fresh probe instead of refusing the peer forever.
+func TestBreakerCancelProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(2, time.Second, clk.now)
+	b.Failure()
+	b.Failure()
+	if !b.Tripped() {
+		t.Fatal("not tripped at threshold")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.CancelProbe()
+	if !b.Allow() {
+		t.Fatal("probe leaked: Allow refuses after CancelProbe")
+	}
+	b.Success()
+	if b.Tripped() {
+		t.Fatal("still tripped after successful probe")
+	}
+	// On a closed breaker CancelProbe is a no-op.
+	b.CancelProbe()
+	if !b.Allow() {
+		t.Fatal("closed breaker refuses after CancelProbe")
+	}
+}
+
 // TestBreakerSuccessResetsCount: interleaved successes keep the failure
 // count from accumulating across healthy calls.
 func TestBreakerSuccessResetsCount(t *testing.T) {

@@ -411,6 +411,108 @@ func TestBreakerFailsFast(t *testing.T) {
 	}
 }
 
+// TestProbeCancelledContextDoesNotStrandBreaker is the probe-leak
+// regression arc: trip the breaker, elapse the cooldown, fail the
+// half-open probe with a dead request context (Estimate hands the request
+// ctx straight through, so a request-deadline expiry during the probe is
+// routine). The probe must be released — before the fix, probing stayed
+// true forever and every later call, anti-entropy included, got
+// ErrBreakerOpen until process restart.
+func TestProbeCancelledContextDoesNotStrandBreaker(t *testing.T) {
+	fx := newClusterFixture(t)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	cfg := fastConfig()
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour
+	cfg.Now = clk.now
+	h, err := NewHarness(fx.cat, fx.pool, 2, cfg)
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	ctx := context.Background()
+	victim, lost := h.Node(0), h.IDs[1]
+	h.Transport.Partition(victim.ID(), lost)
+	for i := 0; i < 3 && !victim.breakers[lost].Tripped(); i++ {
+		_ = victim.Replicate(ctx, lost)
+	}
+	if !victim.breakers[lost].Tripped() {
+		t.Fatal("breaker never tripped on a hard partition")
+	}
+
+	// Cooldown elapses; the admitted half-open probe runs under an
+	// already-cancelled context and exits without Success or Failure.
+	clk.advance(2 * time.Hour)
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := victim.Replicate(dead, lost); err == nil {
+		t.Fatal("probe under a cancelled context reported success")
+	}
+
+	// The partition heals; the very next call must run as a fresh probe.
+	h.Transport.HealAll()
+	if err := victim.Replicate(ctx, lost); err != nil {
+		t.Fatalf("breaker stranded after a cancelled probe: %v", err)
+	}
+	if victim.breakers[lost].Tripped() {
+		t.Fatal("breaker still open after a successful probe")
+	}
+}
+
+// TestProbeFencedReplayDoesNotStrandBreaker: the other indeterminate probe
+// outcome — the fetch succeeds but the frame is a stale-epoch replay the
+// fence refuses. The breaker must neither re-trip (the peer was reachable)
+// nor leak the probe.
+func TestProbeFencedReplayDoesNotStrandBreaker(t *testing.T) {
+	fx := newClusterFixture(t)
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	cfg := fastConfig()
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour
+	cfg.Now = clk.now
+	h, err := NewHarness(fx.cat, fx.pool, 2, cfg)
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	ctx := context.Background()
+	victim, peer := h.Node(0), h.Node(1)
+	// Record the epoch-1 frame as the transport's replayable "oldest", then
+	// admit the peer's epoch-2 rebuild so a replay is genuinely stale.
+	if err := victim.Replicate(ctx, peer.ID()); err != nil {
+		t.Fatalf("initial replicate: %v", err)
+	}
+	peer.RebuildLocal(h.Ring.Shard(fx.pool, peer.ID()))
+	if err := victim.Replicate(ctx, peer.ID()); err != nil {
+		t.Fatalf("replicate after rebuild: %v", err)
+	}
+
+	h.Transport.Partition(victim.ID(), peer.ID())
+	for i := 0; i < 3 && !victim.breakers[peer.ID()].Tripped(); i++ {
+		_ = victim.Replicate(ctx, peer.ID())
+	}
+	if !victim.breakers[peer.ID()].Tripped() {
+		t.Fatal("breaker never tripped")
+	}
+	h.Transport.HealAll()
+	clk.advance(2 * time.Hour)
+
+	// The half-open probe fetches a stale replay; the fence refuses it.
+	sched := faults.NewSchedule(1).Set(faults.NetStaleEpoch, faults.Rule{Limit: 1})
+	faults.Arm(sched)
+	err = victim.Replicate(ctx, peer.ID())
+	faults.Disarm()
+	if err == nil || !strings.Contains(err.Error(), "stale-epoch") {
+		t.Fatalf("probe replay failed with %v, want stale-epoch rejection", err)
+	}
+
+	// The probe was released: the next call is admitted and heals.
+	if err := victim.Replicate(ctx, peer.ID()); err != nil {
+		t.Fatalf("breaker stranded after a fenced probe: %v", err)
+	}
+	if victim.breakers[peer.ID()].Tripped() {
+		t.Fatal("breaker still open after a successful probe")
+	}
+}
+
 // TestSlowPeerHonorsDeadline: a slow peer burns the per-call deadline, not
 // the estimate — the answer arrives degraded within the fetch budget.
 func TestSlowPeerHonorsDeadline(t *testing.T) {

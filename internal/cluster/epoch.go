@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Epoch persistence. Fencing only works if a node's epoch survives the
+// node: stamps are compared lexicographically (epoch first), and pool
+// generations restart with the process, so a restarted node that comes
+// back with epoch 1 and a small fresh generation is NOT strictly newer
+// than the e1/g-large stamp peers admitted from its previous run — every
+// frame it ships would be fenced as stale and peers would keep serving the
+// pre-restart shard forever. EpochFile makes the epoch a durable restart
+// counter: opening it restores the last recorded epoch, increments it (a
+// restart IS a rebuild event) and persists the result with the same
+// temp+fsync+rename discipline the lifecycle snapshots use, so the new
+// run's stamps dominate everything the previous run ever shipped.
+//
+// Deployments that cannot mount a state dir must instead supply a
+// strictly increasing Config.Epoch themselves (e.g. from a deploy
+// counter); leaving it zero on every boot re-introduces the fence-out.
+
+// epochFileName is the epoch file's base name inside the state dir.
+const epochFileName = "EPOCH"
+
+// epochMagic opens the file; the single value follows on the same line.
+const epochMagic = "SITEPOCH"
+
+// EpochFile durably tracks one node's rebuild epoch in a state directory.
+type EpochFile struct {
+	path string
+}
+
+// OpenEpochFile restores the epoch recorded under dir (zero when the file
+// does not exist yet), increments it and durably stores the result,
+// returning the epoch this run must stamp its frames with. A corrupt or
+// unreadable epoch file is an error — silently restarting from epoch 1
+// would be exactly the fence-out the file exists to prevent.
+func OpenEpochFile(dir string) (*EpochFile, uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("cluster: epoch dir: %w", err)
+	}
+	f := &EpochFile{path: filepath.Join(dir, epochFileName)}
+	prev, err := f.load()
+	if err != nil {
+		return nil, 0, err
+	}
+	epoch := prev + 1
+	if err := f.Store(epoch); err != nil {
+		return nil, 0, err
+	}
+	return f, epoch, nil
+}
+
+// load reads the recorded epoch; a missing file is epoch zero.
+func (f *EpochFile) load() (uint64, error) {
+	data, err := os.ReadFile(f.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("cluster: reading epoch file: %w", err)
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) != 2 || fields[0] != epochMagic {
+		return 0, fmt.Errorf("cluster: epoch file %s is corrupt: %q", f.path, string(data))
+	}
+	epoch, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: epoch file %s is corrupt: %w", f.path, err)
+	}
+	return epoch, nil
+}
+
+// Store durably records the epoch: temp file, fsync, rename, directory
+// sync — the same publish discipline as the lifecycle snapshots, so a
+// crash mid-store leaves the previous epoch readable and the next boot
+// still increments past it.
+func (f *EpochFile) Store(epoch uint64) error {
+	tmp := f.path + ".tmp"
+	file, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: epoch temp: %w", err)
+	}
+	_, err = fmt.Fprintf(file, "%s %d\n", epochMagic, epoch)
+	if err == nil {
+		err = file.Sync()
+	}
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: epoch write: %w", err)
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: epoch publish: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(f.path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

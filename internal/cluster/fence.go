@@ -25,7 +25,10 @@ import (
 // hashed onto the ring; they must be unique and stable across restarts.
 type NodeID string
 
-// Epoch counts full local rebuilds of a node's shard. Compare epochs only
+// Epoch counts full local rebuilds of a node's shard. It must be strictly
+// increasing across restarts too — generations reset with the process, so
+// a reused epoch strands the node behind the fence; EpochFile persists it
+// as a durable restart counter. Compare epochs only
 // through Stamp.Newer (enforced by sitlint's clusterfence analyzer): a raw
 // comparison ignores the generation half and silently accepts replays.
 type Epoch uint64

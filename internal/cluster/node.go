@@ -74,6 +74,19 @@ type Config struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 	Now              func() time.Time
+
+	// Epoch is the node's starting rebuild epoch (0: 1). Epochs must be
+	// strictly increasing across the node's lifetime INCLUDING restarts —
+	// peers fence on (epoch, generation) and pool generations reset with
+	// the process, so a restarted node that reuses an old epoch is fenced
+	// out forever. Restore it from an EpochFile (which counts restarts
+	// durably) or another monotonic source.
+	Epoch uint64
+	// EpochSink, when non-nil, is invoked synchronously with the new epoch
+	// each time RebuildLocal bumps it, before any frame can carry the new
+	// stamp — wire it to (*EpochFile).Store so the on-disk epoch never
+	// falls behind the one peers have admitted.
+	EpochSink func(uint64)
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +116,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
 	}
 	return c
 }
@@ -207,7 +223,7 @@ func NewNode(cfg Config, cat *engine.Catalog, local *sit.Pool, tr Transport) (*N
 		vec:      NewGenVector(),
 		breakers: make(map[NodeID]*Breaker),
 	}
-	n.epoch.Store(1)
+	n.epoch.Store(cfg.Epoch)
 	for _, id := range ring.Nodes() {
 		if id != cfg.Self {
 			n.breakers[id] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
@@ -272,7 +288,12 @@ func (p *payloadBuffer) Write(d []byte) (int, error) {
 func (n *Node) RebuildLocal(pool *sit.Pool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.epoch.Add(1)
+	epoch := n.epoch.Add(1)
+	if n.cfg.EpochSink != nil {
+		// Persist before the new stamp can leave the node: once a peer
+		// admits it, a restart must come back with a higher epoch still.
+		n.cfg.EpochSink(epoch)
+	}
 	n.local = pool
 	n.installLocked()
 }
@@ -339,6 +360,13 @@ func (n *Node) installLocked() {
 // error without touching any state. Retries honor ctx and the per-peer
 // breaker.
 func (n *Node) Replicate(ctx context.Context, peer NodeID) error {
+	return n.replicate(ctx, peer, n.cfg.MaxAttempts)
+}
+
+// replicate is Replicate with an explicit attempt budget: the anti-entropy
+// and warm-up paths retry up to cfg.MaxAttempts, the estimate path fetches
+// once (see Estimate).
+func (n *Node) replicate(ctx context.Context, peer NodeID, attempts int) error {
 	if peer == n.cfg.Self {
 		return nil
 	}
@@ -350,12 +378,15 @@ func (n *Node) Replicate(ctx context.Context, peer NodeID) error {
 		return ErrBreakerOpen
 	}
 	var err error
-	for attempt := 0; attempt < n.cfg.MaxAttempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			n.retries.Add(1)
 			d := lifecycle.Backoff(n.cfg.BackoffBase, n.cfg.BackoffCap, n.cfg.Seed, string(peer), attempt-1)
 			if serr := sleepCtx(ctx, d); serr != nil {
 				err = serr
+				// The call ended without learning anything about the peer:
+				// release a half-open probe so the breaker can probe again.
+				br.CancelProbe()
 				break
 			}
 		}
@@ -372,6 +403,10 @@ func (n *Node) Replicate(ctx context.Context, peer NodeID) error {
 			// A fenced replay is not a connectivity failure — retrying the
 			// same stale source is pointless, and the breaker should not
 			// trip over it. A dead parent context ends the loop either way.
+			// Neither outcome may strand an admitted half-open probe: if one
+			// is in flight, release it so Allow recovers after the cooldown
+			// instead of refusing the peer until process restart.
+			br.CancelProbe()
 			break
 		}
 		br.Failure()
@@ -470,42 +505,44 @@ func (n *Node) ReplicateLoop(ctx context.Context, interval time.Duration) {
 // node's merged statistics view. When every shard is admitted — the steady
 // state — the cost over a single-node ladder is one atomic load. When
 // shards are missing, Estimate first tries to replicate the owners the
-// query actually needs (bounded by the per-call deadline, retries and
-// breakers); owners that stay unreachable cap the ladder at the GVM tier
-// with `remote-shard-unavailable: <peer>/<reason>` provenance, so the
-// answer comes from local statistics rather than an error. Estimate never
-// fails: the contract of robust.Estimator carries through unchanged.
+// query actually needs, spending at most ONE fetch attempt per owner (the
+// per-call deadline, no backoff retries — the anti-entropy loop owns
+// retrying, a query's latency budget does not); owners that stay
+// unreachable cap the ladder at the GVM tier with
+// `remote-shard-unavailable: <peer>/<reason>` provenance, so the answer
+// comes from local statistics rather than an error. Estimate never fails:
+// the contract of robust.Estimator carries through unchanged.
 func (n *Node) Estimate(ctx context.Context, q *engine.Query, cfg robust.Config) (float64, robust.Provenance) {
-	ms := n.cur.Load()
-	if len(ms.missing) != 0 {
-		if peers := n.neededPeers(q, ms); len(peers) != 0 {
-			for _, peer := range peers {
-				if err := n.Replicate(ctx, peer); err != nil {
-					cfg = cfg.Cap(robust.TierGVM, robust.RemoteUnavailableReason(string(peer), errorReason(err)))
-					n.degraded.Add(1)
-				}
-			}
-			ms = n.cur.Load() // successful replications installed a new view
-		}
-	}
+	ms, cfg := n.fetchMissing(ctx, q, cfg)
 	return ms.ladderFor(cfg).Cardinality(ctx, q)
 }
 
 // Selectivity is Estimate for a predicate subset; same contract.
 func (n *Node) Selectivity(ctx context.Context, q *engine.Query, set engine.PredSet, cfg robust.Config) (float64, robust.Provenance) {
+	ms, cfg := n.fetchMissing(ctx, q, cfg)
+	return ms.ladderFor(cfg).Selectivity(ctx, q, set)
+}
+
+// fetchMissing performs the estimate path's bounded on-demand replication:
+// one fetch attempt per missing owner the query needs, degradation
+// provenance for each that stays unreachable. It returns the view to
+// estimate over and the (possibly capped) ladder config.
+func (n *Node) fetchMissing(ctx context.Context, q *engine.Query, cfg robust.Config) (*merged, robust.Config) {
 	ms := n.cur.Load()
-	if len(ms.missing) != 0 {
-		if peers := n.neededPeers(q, ms); len(peers) != 0 {
-			for _, peer := range peers {
-				if err := n.Replicate(ctx, peer); err != nil {
-					cfg = cfg.Cap(robust.TierGVM, robust.RemoteUnavailableReason(string(peer), errorReason(err)))
-					n.degraded.Add(1)
-				}
-			}
-			ms = n.cur.Load()
+	if len(ms.missing) == 0 {
+		return ms, cfg
+	}
+	peers := n.neededPeers(q, ms)
+	if len(peers) == 0 {
+		return ms, cfg
+	}
+	for _, peer := range peers {
+		if err := n.replicate(ctx, peer, 1); err != nil {
+			cfg = cfg.Cap(robust.TierGVM, robust.RemoteUnavailableReason(string(peer), errorReason(err)))
+			n.degraded.Add(1)
 		}
 	}
-	return ms.ladderFor(cfg).Selectivity(ctx, q, set)
+	return n.cur.Load(), cfg // successful replications installed a new view
 }
 
 // neededPeers returns, sorted, the currently missing shard owners the

@@ -81,13 +81,22 @@ const connTimeout = 30 * time.Second
 // error otherwise.
 func (n *Node) ServeReplication(ctx context.Context, ln net.Listener) error {
 	var wg sync.WaitGroup
+	defer wg.Wait()
+	// done releases the watcher when ServeReplication returns for a reason
+	// other than ctx — an accept error with a live context — so the
+	// deferred wg.Wait cannot deadlock on it. Closed after wg.Wait is
+	// deferred: defers run LIFO, so the watcher is released first.
+	done := make(chan struct{})
+	defer close(done)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		<-ctx.Done()
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
 		ln.Close()
 	}()
-	defer wg.Wait()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -114,10 +123,12 @@ func (n *Node) handleReplication(ctx context.Context, conn net.Conn) {
 	if err := conn.SetDeadline(deadline); err != nil {
 		return
 	}
-	// The request frame identifies the caller; its payload is empty. A
-	// malformed request is dropped — the client's read then fails and its
-	// retry machinery owns the rest.
-	if _, err := ReadFrame(conn); err != nil {
+	// The request frame identifies the caller; its payload is defined to be
+	// empty, and the cap-0 read enforces that before allocating — the
+	// listener is unauthenticated, so a declared payload length must not
+	// buy an attacker a 64 MiB allocation. A malformed request is dropped —
+	// the client's read then fails and its retry machinery owns the rest.
+	if _, err := ReadFrameLimit(conn, 0); err != nil {
 		return
 	}
 	frame, err := n.ShardFrame()

@@ -81,3 +81,86 @@ func TestTCPReplication(t *testing.T) {
 		}
 	}
 }
+
+// TestServeReplicationAcceptErrorReturns: a listener failure while the
+// context is still live must surface as an error from ServeReplication —
+// the ctx watcher goroutine must not pin the deferred wg.Wait until
+// process shutdown (the sitnode supervisor reads this channel to learn the
+// replication plane died).
+func TestServeReplicationAcceptErrorReturns(t *testing.T) {
+	fx := newClusterFixture(t)
+	h, err := NewHarness(fx.cat, fx.pool, 1, fastConfig())
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- h.Node(0).ServeReplication(context.Background(), ln) }()
+	ln.Close() // the accept loop fails with the context still live
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("ServeReplication returned nil for an accept error under a live context")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeReplication hung after the listener failed (watcher goroutine leaked)")
+	}
+}
+
+// TestReplicationListenerRejectsRequestPayload: request frames are defined
+// to carry an empty payload, and the unauthenticated listener must refuse
+// one that declares a payload instead of allocating for it — the client
+// gets no shard frame back.
+func TestReplicationListenerRejectsRequestPayload(t *testing.T) {
+	fx := newClusterFixture(t)
+	h, err := NewHarness(fx.cat, fx.pool, 1, fastConfig())
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- h.Node(0).ServeReplication(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	req := &Frame{Node: "node-0", Payload: []byte("request frames carry no payload")}
+	if err := WriteFrame(conn, req); err != nil {
+		t.Fatalf("writing request: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if frame, err := ReadFrame(conn); err == nil {
+		t.Fatalf("listener served a shard (stamp %s) for a request with a payload", frame.Stamp)
+	}
+
+	// An honest empty-payload request on a fresh connection still works.
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn2.Close()
+	if err := WriteFrame(conn2, &Frame{Node: "node-0"}); err != nil {
+		t.Fatalf("writing request: %v", err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := ReadFrame(conn2); err != nil {
+		t.Fatalf("empty-payload request refused: %v", err)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeReplication did not exit after cancellation")
+	}
+}

@@ -95,6 +95,19 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 // the function never panics and never returns a frame whose payload bytes
 // were not exactly checksummed by the sender.
 func ReadFrame(r io.Reader) (*Frame, error) {
+	return ReadFrameLimit(r, MaxFramePayload)
+}
+
+// ReadFrameLimit is ReadFrame with a caller-chosen payload cap, checked
+// against the declared length BEFORE any payload allocation. Readers of
+// frames that are defined to be small — the replication listener's request
+// frames carry an empty payload — pass a tight cap so an unauthenticated
+// sender cannot spend a declared length as a MaxFramePayload-sized
+// allocation. Caps above MaxFramePayload are clamped to it.
+func ReadFrameLimit(r io.Reader, maxPayload int) (*Frame, error) {
+	if maxPayload < 0 || maxPayload > MaxFramePayload {
+		maxPayload = MaxFramePayload
+	}
 	var fixed [4 + 1 + 8 + 8 + 2]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
 		return nil, fmt.Errorf("cluster: frame header: %w", noEOF(err))
@@ -123,8 +136,8 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	}
 	payLen := binary.BigEndian.Uint32(tail[:4])
 	wantCRC := binary.BigEndian.Uint32(tail[4:])
-	if payLen > MaxFramePayload {
-		return nil, fmt.Errorf("cluster: frame payload %d bytes exceeds %d", payLen, MaxFramePayload)
+	if uint64(payLen) > uint64(maxPayload) {
+		return nil, fmt.Errorf("cluster: frame payload %d bytes exceeds %d", payLen, maxPayload)
 	}
 	payload := make([]byte, int(payLen))
 	if _, err := io.ReadFull(r, payload); err != nil {

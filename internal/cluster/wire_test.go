@@ -89,6 +89,36 @@ func TestWireRejectsOversizedLengths(t *testing.T) {
 	}
 }
 
+// TestReadFrameLimit: the per-call payload cap is checked against the
+// declared length before any payload allocation, admits frames at or under
+// it, and clamps to MaxFramePayload rather than widening past it.
+func TestReadFrameLimit(t *testing.T) {
+	empty := mustFrameBytes(t, &Frame{Node: "node-1", Stamp: Stamp{1, 1}})
+	if _, err := ReadFrameLimit(bytes.NewReader(empty), 0); err != nil {
+		t.Fatalf("empty-payload frame refused under cap 0: %v", err)
+	}
+	loaded := mustFrameBytes(t, &Frame{Node: "node-1", Stamp: Stamp{1, 1}, Payload: []byte("shard-bytes")})
+	if _, err := ReadFrameLimit(bytes.NewReader(loaded), 0); err == nil {
+		t.Fatal("cap-0 read accepted a frame with a payload")
+	}
+	if _, err := ReadFrameLimit(bytes.NewReader(loaded), len("shard-bytes")); err != nil {
+		t.Fatalf("frame at exactly the cap refused: %v", err)
+	}
+	// The declared length alone must trigger the rejection: truncate the
+	// stream right after the length fields so only the cap check can fire.
+	hdrOnly := loaded[:4+1+8+8+2+len("node-1")+8]
+	if _, err := ReadFrameLimit(bytes.NewReader(hdrOnly), 4); err == nil {
+		t.Fatal("declared payload length over the cap accepted")
+	}
+	// Caps past MaxFramePayload clamp to it instead of widening the global
+	// bound.
+	huge := append([]byte(nil), loaded...)
+	binary.BigEndian.PutUint32(huge[4+1+8+8+2+len("node-1"):], MaxFramePayload+1)
+	if _, err := ReadFrameLimit(bytes.NewReader(huge), MaxFramePayload*2); err == nil {
+		t.Fatal("cap above MaxFramePayload widened the global bound")
+	}
+}
+
 // FuzzSnapshotWire hammers the wire decoder with arbitrary bytes: it must
 // never panic, and anything it accepts must re-encode canonically to
 // exactly the bytes it consumed (so a corrupt frame can never round-trip
